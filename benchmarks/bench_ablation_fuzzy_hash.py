@@ -1,0 +1,93 @@
+"""Ablation: combined pHash+dHash vs either hash alone.
+
+The paper: "The combination of both hashes proved to result in better
+performance in identifying fake lookalike login pages."  We measure
+false positives of single-hash matching against a pool of non-lookalike
+pages, at the same threshold.
+"""
+
+import random
+
+from repro.browser.render import render_visual
+from repro.core.spearphish import SpearPhishClassifier
+from repro.imaging.effects import add_gaussian_noise, hue_rotate
+from repro.kits.brands import COMPANY_BRANDS
+from repro.web.site import VisualSpec
+
+
+def _build_classifier():
+    classifier = SpearPhishClassifier(threshold=10)
+    for brand in COMPANY_BRANDS:
+        classifier.add_reference(brand.name, render_visual(brand.spec))
+    return classifier
+
+
+def _clones(rng):
+    clones = []
+    for brand in COMPANY_BRANDS:
+        for noise in (0.0, 6.0):
+            image = render_visual(brand.spec, overlay_text="victim@corp.example")
+            if noise:
+                image = add_gaussian_noise(image, noise, rng)
+            clones.append((brand.name, image))
+        clones.append((brand.name, hue_rotate(render_visual(brand.spec), 4.0)))
+    return clones
+
+
+def _distractors():
+    pages = []
+    for variant in range(12):
+        pages.append(
+            render_visual(
+                VisualSpec(
+                    brand=f"Distractor{variant}",
+                    title="Welcome back",
+                    header_color=((37 * variant) % 255, 90, 140),
+                    button_color=(40, (53 * variant) % 255, 90),
+                    fields=("USERNAME", "PASSWORD") if variant % 2 else ("EMAIL",),
+                    layout_variant=variant,
+                    logo_text=f"D{variant}",
+                )
+            )
+        )
+    return pages
+
+
+def bench_ablation_fuzzy_hash(benchmark, comparison):
+    classifier = _build_classifier()
+    clones = _clones(random.Random(5))
+    distractors = _distractors()
+
+    def evaluate():
+        scores = {}
+        for mode in ("combined", "phash", "dhash"):
+            true_positive = false_positive = 0
+            for brand, image in clones:
+                match = (
+                    classifier.match(image)
+                    if mode == "combined"
+                    else classifier.match_with_single_hash(image, mode)
+                )
+                true_positive += match is not None and match.brand == brand
+            for image in distractors:
+                match = (
+                    classifier.match(image)
+                    if mode == "combined"
+                    else classifier.match_with_single_hash(image, mode)
+                )
+                false_positive += match is not None
+            scores[mode] = (true_positive, false_positive)
+        return scores
+
+    scores = benchmark(evaluate)
+    n_clones, n_distractors = len(clones), len(distractors)
+    for mode, (tp, fp) in scores.items():
+        comparison.row(
+            f"{mode}: clone recall / distractor false positives",
+            "combination performs best",
+            f"{tp}/{n_clones} recall, {fp}/{n_distractors} FP",
+        )
+    combined_tp, combined_fp = scores["combined"]
+    assert combined_tp == n_clones
+    assert combined_fp <= min(scores["phash"][1], scores["dhash"][1])
+    assert combined_fp < max(scores["phash"][1], scores["dhash"][1]) or combined_fp == 0

@@ -1,0 +1,35 @@
+"""Ablation: NotABot's counter-measures knocked out one at a time.
+
+Each Section IV-C design choice maps to at least one detector that
+would catch its absence (see DESIGN.md item 2).
+"""
+
+from repro.crawlers.assessment import run_anonwaf_test, run_botd_test, run_turnstile_test
+from repro.crawlers.notabot import NOTABOT_KNOCKOUTS, notabot_profile_without
+
+
+def bench_ablation_notabot(benchmark, comparison):
+    def evaluate():
+        outcomes = {}
+        for knockout in NOTABOT_KNOCKOUTS:
+            profile = notabot_profile_without(knockout)
+            outcomes[knockout] = (
+                run_botd_test(profile),
+                run_turnstile_test(profile),
+                run_anonwaf_test(profile)[0],
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+
+    def fmt(cells):
+        return "/".join("pass" if cell else "FAIL" for cell in cells)
+
+    comparison.note("NotABot vs BotD/Turnstile/AnonWAF with one counter-measure removed:")
+    for knockout, cells in outcomes.items():
+        expectation = "pass/pass/pass" if knockout == "full" else "at least one FAIL"
+        comparison.row(f"  {knockout}", expectation, fmt(cells))
+    assert all(outcomes["full"])
+    for knockout, cells in outcomes.items():
+        if knockout != "full":
+            assert not all(cells), f"knockout {knockout} went undetected"

@@ -1,0 +1,75 @@
+"""Defender-side benches: referral monitoring and gateway catch rates.
+
+Not tables in the paper, but direct operationalisations of its Key
+Findings — how early the impersonated brand could have detected the
+campaigns, and which evasion lets the corpus through which gateway
+configuration.
+"""
+
+from repro.defense.emailfilters import REFERENCE_FILTERS
+from repro.defense.referral import ReferralMonitor
+from repro.kits.brands import COMPANY_BRANDS
+
+
+def bench_defense_referral_monitoring(benchmark, full_corpus, full_records, comparison):
+    def scan_all_portals():
+        alerts = {}
+        for brand in COMPANY_BRANDS:
+            portal = full_corpus.world.portals[brand.name]
+            own = brand.name.lower().replace(" ", "") + ".example"
+            alerts[brand.name] = ReferralMonitor(portal, own_domains=(own,)).scan()
+        return alerts
+
+    alerts = benchmark(scan_all_portals)
+    detected_domains = {alert.phishing_domain for brand_alerts in alerts.values() for alert in brand_alerts}
+    hotlinking_domains = {
+        plan.host for plan in full_corpus.domain_plans if plan.options.hotlink_brand_resources
+    }
+    comparison.row(
+        "hotlinking spear campaigns (paper: 29.8% of spear pages)",
+        "trackable via referral monitoring",
+        f"{len(hotlinking_domains)} domains deployed",
+    )
+    comparison.row(
+        "  detected from the brands' own asset logs",
+        "all of them, at first page load",
+        f"{len(detected_domains & hotlinking_domains)}/{len(hotlinking_domains)}",
+    )
+    comparison.row(
+        "  false alarms (non-hotlinking domains flagged)",
+        0,
+        len(detected_domains - hotlinking_domains),
+    )
+    assert detected_domains & hotlinking_domains == hotlinking_domains
+    assert not detected_domains - hotlinking_domains
+
+
+def bench_defense_gateway_catch_rates(benchmark, full_corpus, comparison):
+    """What each modeled gateway would have caught of this corpus.
+
+    By construction the corpus evaded real gateways; the models show the
+    per-mechanism reasons (strict QR parsing, no image scanning,
+    reputation that pre-registration defeats).
+    """
+    sample = full_corpus.messages[: min(len(full_corpus.messages), 800)]
+    network = full_corpus.world.network
+
+    def run_filters():
+        return {
+            gateway.name: gateway.catch_rate(sample, network) for gateway in REFERENCE_FILTERS
+        }
+
+    rates = benchmark.pedantic(run_filters, rounds=1, iterations=1)
+    comparison.note(f"catch rates over {len(sample)} corpus messages (all of which, by the")
+    comparison.note("paper's construction, evaded the real gateways):")
+    comparison.note("")
+    for name, rate in rates.items():
+        comparison.row(f"  {name}", "evaded (≈0%) unless unusably aggressive", f"{100 * rate:.1f}%")
+    comparison.note("")
+    comparison.note("AgeZealot demonstrates the pre-registration finding: flagging every")
+    comparison.note("<90-day domain would catch most campaigns, but the paper's median")
+    comparison.note("24-day lead time exists precisely because real products cannot flag")
+    comparison.note("that aggressively without drowning in false positives.")
+    realistic = [rate for name, rate in rates.items() if "AgeZealot" not in name]
+    assert all(rate < 0.10 for rate in realistic)
+    assert rates["AgeZealot (age<90d flags)"] > 0.15

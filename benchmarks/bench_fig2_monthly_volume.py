@@ -1,0 +1,21 @@
+"""Figure 2: scanned messages per month + the 2023 comparison t-test."""
+
+from repro.analysis.figures import figure2
+
+
+def bench_fig2_monthly_volume(benchmark, full_records, comparison, calibration):
+    figure = benchmark(figure2, full_records)
+    comparison.row("total scanned messages", calibration.total_malicious, sum(figure.monthly_2024))
+    comparison.row("mean messages/month 2024", 518.1, round(figure.mean_2024, 1))
+    comparison.row("std messages/month 2024", 278.4, round(figure.std_2024, 1))
+    comparison.row("mean messages/month 2023", 885.2, round(figure.mean_2023, 1))
+    comparison.row("std messages/month 2023", 454.7, round(figure.std_2023, 1))
+    comparison.row("final three months of 2023", "(1959, 1533, 1249)", figure.monthly_2023[-3:])
+    comparison.row("paired t-test p-value", 0.008, round(figure.t_test.p_value, 4))
+    comparison.row("null hypothesis rejected at alpha=0.05", True, figure.t_test.significant())
+    comparison.note("")
+    comparison.note(f"monthly series 2024: {list(figure.monthly_2024)}")
+    comparison.note(f"monthly series 2023: {list(figure.monthly_2023)}")
+    comparison.note("(pairing: within-year volume rank; the paper does not state its pairing)")
+    assert figure.t_test.significant()
+    assert figure.mean_2023 > figure.mean_2024

@@ -1,0 +1,30 @@
+"""Section IV-A: the monthly triage funnel."""
+
+import random
+
+from repro.core.triage import simulate_triage_funnel
+
+
+def bench_sec4_triage_funnel(benchmark, comparison):
+    funnel = benchmark(lambda: simulate_triage_funnel(random.Random(2024)))
+    comparison.row("inbound emails per month", "60,000,000+", funnel.inbound)
+    comparison.row("gateway-filtered fraction", 0.17, round(funnel.gateway_filtered / funnel.inbound, 3))
+    comparison.row("user reports per month", "~14,000", funnel.reported)
+    comparison.row(
+        "reported fraction of delivered", "0.03%", f"{100 * funnel.reported_fraction_of_delivered:.3f}%"
+    )
+    comparison.row(
+        "reports tagged malicious", "3.7%", f"{100 * funnel.malicious_fraction_of_reported:.1f}%"
+    )
+    comparison.row(
+        "reports tagged spam",
+        "61.3%",
+        f"{100 * funnel.tagged_spam / funnel.reported:.1f}%",
+    )
+    comparison.row(
+        "reports tagged legitimate",
+        "35.0%",
+        f"{100 * funnel.tagged_legitimate / funnel.reported:.1f}%",
+    )
+    comparison.row("malicious reports per month", "~500 (25/working day)", funnel.tagged_malicious)
+    assert 0.025 < funnel.malicious_fraction_of_reported < 0.05

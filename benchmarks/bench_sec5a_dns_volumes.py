@@ -1,0 +1,40 @@
+"""Section V-A: Umbrella-style DNS query volumes for landing domains."""
+
+from repro.analysis.dnsvolume import dns_volume_summary
+
+
+def bench_sec5a_dns_volumes(benchmark, full_corpus, full_records, comparison, calibration):
+    summary = benchmark(dns_volume_summary, full_records, full_corpus.world.passive_dns)
+    comparison.row("single-message domains: median max queries/day", 18.5, summary.single_median_max_daily)
+    comparison.row("single-message domains: median 30-day total", 43.0, summary.single_median_total)
+    comparison.row("multi-message domains: median max queries/day", 50.5, summary.multi_median_max_daily)
+    comparison.row("multi-message domains: median 30-day total", 100.5, summary.multi_median_total)
+    top = summary.top_domains
+    comparison.row("top-volume domain 30-day total", calibration.dns_top_domain_total, top[0][2] if top else 0)
+    comparison.row("  its reported-message count", "58 (the most-reported domain)", top[0][1] if top else 0)
+    if len(top) > 1:
+        comparison.row("second-highest volume", f"{calibration.dns_second_total} (5 messages)",
+                       f"{top[1][2]} ({top[1][1]} messages)")
+    if len(top) > 2:
+        comparison.row("third-highest volume", f"{calibration.dns_third_total} (1 message)",
+                       f"{top[2][2]} ({top[2][1]} messages)")
+    assert summary.multi_median_total > summary.single_median_total
+    assert top[0][2] > 10**6
+
+
+def bench_sec5a_domain_syntax(benchmark, full_corpus, full_records, comparison, calibration):
+    """Deceptive-technique prevalence over the landing domains."""
+    from repro.analysis.figures import section5a_spear
+
+    summary = benchmark(section5a_spear, full_records, full_corpus.world)
+    syntax = summary.domain_syntax
+    comparison.row("domains using deceptive techniques",
+                   f"{calibration.deceptive_domains_total}/522 (15.7%)",
+                   f"{syntax.deceptive}/{syntax.total_domains} ({100 * syntax.deceptive_fraction:.1f}%)")
+    comparison.row("punycode domains", 0, syntax.punycode)
+    comparison.note("")
+    comparison.note("by technique (the paper does not give a per-technique split):")
+    for technique, count in syntax.by_technique:
+        comparison.note(f"  {technique}: {count}")
+    assert syntax.punycode == 0
+    assert syntax.deceptive_fraction < 0.25  # "most ... do not use any of these tricks"

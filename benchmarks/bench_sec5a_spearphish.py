@@ -1,0 +1,27 @@
+"""Section V-A: spear-phishing identification via fuzzy screenshot hashes."""
+
+from repro.analysis.figures import section5a_spear
+
+from conftest import BENCH_SCALE
+
+
+def bench_sec5a_spearphish(benchmark, full_corpus, full_records, comparison, calibration):
+    summary = benchmark(section5a_spear, full_records, full_corpus.world)
+    comparison.row("active phishing messages", 1551, summary.active_messages)
+    comparison.row("spear phishing messages", "1137 (73.3%)",
+                   f"{summary.spear_messages} ({100 * summary.spear_fraction:.1f}%)")
+    comparison.row("pages hotlinking brand resources", "339 (29.8% of spear)",
+                   f"{summary.hotlink_messages} ({100 * summary.hotlink_fraction:.1f}%)")
+    comparison.row("distinct landing URLs", calibration.distinct_landing_urls, summary.distinct_landing_urls)
+    comparison.row("distinct landing domains", calibration.distinct_landing_domains, summary.distinct_landing_domains)
+    comparison.row("messages per domain (mean)", 2.62, round(summary.messages_per_domain_mean, 2))
+    comparison.row("messages per domain (median)", 1.0, summary.messages_per_domain_median)
+    comparison.row("messages per domain (max)", 58, summary.messages_per_domain_max)
+    comparison.row(".ru registrars observed",
+                   "REGRU-RU, R01-RU, RU-CENTER-RU, REGTIME-RU, OPENPROV-RU",
+                   ", ".join(summary.ru_registrars))
+    if BENCH_SCALE >= 1.0:
+        assert 0.70 <= summary.spear_fraction <= 0.77
+        assert summary.messages_per_domain_max == calibration.messages_per_domain_max
+    else:  # reduced-scale quick runs keep only the qualitative shape
+        assert summary.spear_fraction > 0.6

@@ -1,0 +1,27 @@
+"""Section V-B: the non-targeted attacks."""
+
+from repro.analysis.figures import section5b_nontargeted
+
+
+def bench_sec5b_nontargeted(benchmark, full_corpus, full_records, comparison, calibration):
+    summary = benchmark.pedantic(
+        section5b_nontargeted, args=(full_records, full_corpus.world), rounds=2, iterations=1
+    )
+    comparison.row("non-targeted active messages", calibration.nontargeted_messages, summary.nontargeted_messages)
+    comparison.note("")
+    comparison.note("impersonated commodity brands (paper: unique-page messages;")
+    comparison.note(" measured: distinct landing sites — duplicates collapse):")
+    paper_counts = dict(calibration.nontargeted_brand_counts)
+    measured = dict(summary.brand_counts)
+    for brand, paper_count in calibration.nontargeted_brand_counts:
+        comparison.row(f"  {brand}", paper_count, measured.get(brand, 0))
+    comparison.row("HTML-attachment messages", calibration.html_attachment_messages, summary.html_attachment_messages)
+    comparison.row("  loading locally without URL change", calibration.html_attachment_local_loading, summary.html_attachment_local)
+    comparison.row("OTP-gated messages", calibration.otp_gate_messages, summary.otp_messages)
+    comparison.row("math-challenge messages", calibration.math_challenge_messages, summary.math_messages)
+    comparison.row("distinct non-targeted domains", calibration.nontargeted_domains, summary.distinct_domains)
+    comparison.row("  with deceptive syntax", calibration.deceptive_domains_nontargeted, summary.deceptive_domains)
+    # Shape: generic Microsoft + webmail dominate, DocuSign is rare.
+    assert measured.get("DocuSign", 0) <= 2
+    ranked = [brand for brand, _ in summary.brand_counts]
+    assert set(ranked[:2]) <= {"Microsoft", "WebMail"}

@@ -1,0 +1,39 @@
+"""Section V-C.2: prevalence of client- and server-side cloaking."""
+
+from repro.analysis.figures import section5c_evasion
+
+
+def bench_sec5c_cloaking_prevalence(benchmark, full_records, comparison, calibration):
+    prevalence = benchmark.pedantic(section5c_evasion, args=(full_records,), rounds=2, iterations=1)
+    comparison.row("credential-harvesting messages (denominator)",
+                   calibration.credential_harvesting_messages, prevalence.credential_messages)
+    comparison.row("Cloudflare Turnstile", "943 (74.4%)",
+                   f"{prevalence.turnstile} ({100 * prevalence.turnstile_fraction:.1f}%)")
+    comparison.row("Google reCAPTCHA v3", "314 (24.8%)",
+                   f"{prevalence.recaptcha} ({100 * prevalence.recaptcha_fraction:.1f}%)")
+    comparison.row("console-method hijacking", ">=295", prevalence.console_hijack)
+    comparison.row("debugger-statement timers", ">=10", prevalence.debugger_timer)
+    comparison.row("context-menu / devtools blocking", 39, prevalence.context_menu_block)
+    comparison.row("UA + timezone + language cloak", 15, prevalence.ua_tz_lang_cloak)
+    comparison.row("BotD + FingerprintJS kits", 5, prevalence.fingerprint_libraries)
+    if prevalence.fingerprint_library_window:
+        start, end = prevalence.fingerprint_library_window
+        comparison.row("  reception window", "Jul 9-18 (one punctual campaign)",
+                       f"hours {start:.0f}-{end:.0f} (single campaign window)")
+    comparison.row("httpbin.org IP collection", 145, prevalence.httpbin)
+    comparison.row("ipapi.co enrichment", 83, prevalence.ipapi)
+    comparison.row("hue-rotate(4deg) messages", 103, prevalence.hue_rotate_messages)
+    comparison.row("hue-rotate(4deg) pages", 167, prevalence.hue_rotate_pages)
+    comparison.row("OTP-gated", 47, prevalence.otp_gate)
+    comparison.row("custom math challenge", 11, prevalence.math_challenge)
+    comparison.note("")
+    comparison.note("shared obfuscated scripts across domains (victim tracking):")
+    for cluster in prevalence.shared_script_clusters[:4]:
+        comparison.note(
+            f"  {cluster.kind}: {cluster.n_domains} domains / {cluster.n_messages} messages"
+        )
+    comparison.note("(paper: variant A 38 domains/151 messages, variant B 57/143)")
+    assert 0.70 <= prevalence.turnstile_fraction <= 0.78
+    assert 0.21 <= prevalence.recaptcha_fraction <= 0.28
+    victim_checks = [c for c in prevalence.shared_script_clusters if c.kind == "victim-check"]
+    assert len(victim_checks) >= 2

@@ -1,0 +1,62 @@
+"""Section V-C.1: the faulty-QR email-filter bug.
+
+The paper tested three leading commercial email security tools against
+QR codes whose payload carries garbage before the URL; two of three
+failed to extract the link (April 2024).  The three modeled filters
+differ exactly where real products did: URL-syntax strictness and
+whether images are scanned at all.
+"""
+
+import random
+
+from repro.kits.credential import CredentialKit, CredentialKitOptions
+from repro.kits.brands import COMPANY_BRANDS
+from repro.kits.lures import build_credential_lure
+from repro.mail.parser import EmailParser
+from repro.web.network import Network
+
+#: Three commercial-filter models: (name, parser, catches_faulty_qr_expected)
+FILTER_MODELS = (
+    ("SecureGateway-A (strict URL validation)", EmailParser(lenient_qr=False), False),
+    ("MailShield-B (strict URL validation)", EmailParser(lenient_qr=False), False),
+    ("PhishBlock-C (lenient extraction)", EmailParser(lenient_qr=True), True),
+)
+
+
+def _faulty_qr_messages(count: int = 20):
+    network = Network()
+    kit = CredentialKit(COMPANY_BRANDS[0], CredentialKitOptions(block_cloud_ips=False))
+    deployment = kit.deploy(network, "faulty-qr-bench.example", ip="185.9.9.9", cert_issued_at=0.0)
+    rng = random.Random(11)
+    return [
+        build_credential_lure(deployment, f"victim{i}@corp.example", f"tok{i:04d}", 5.0, rng,
+                              embed_as="faulty_qr")
+        for i in range(count)
+    ]
+
+
+def bench_sec5c_faulty_qr_filters(benchmark, comparison):
+    messages = _faulty_qr_messages()
+
+    def run_filters():
+        results = {}
+        for name, parser, _ in FILTER_MODELS:
+            caught = 0
+            for message in messages:
+                urls = parser.parse(message).unique_urls()
+                caught += any("faulty-qr-bench.example" in url for url in urls)
+            results[name] = caught
+        return results
+
+    results = benchmark.pedantic(run_filters, rounds=2, iterations=1)
+    failing = 0
+    for name, _, expected_catch in FILTER_MODELS:
+        caught = results[name]
+        verdict = "extracts URL" if caught == len(messages) else "MISSES URL (message classified benign)"
+        if caught == 0:
+            failing += 1
+        comparison.row(f"  {name}", "per paper role", f"{verdict} ({caught}/{len(messages)})")
+    comparison.row("commercial tools failing to detect the link", "2 of 3", f"{failing} of 3")
+    comparison.row("CrawlerBox (lenient, mobile-camera behaviour)", "extracts URL",
+                   "extracts URL" if results[FILTER_MODELS[2][0]] == len(messages) else "FAILS")
+    assert failing == 2

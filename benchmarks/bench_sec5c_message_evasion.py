@@ -1,0 +1,13 @@
+"""Section V-C.1: message-level evasion (auth, noise, QR codes)."""
+
+from repro.analysis.figures import section5c_evasion
+
+
+def bench_sec5c_message_evasion(benchmark, full_records, comparison, calibration):
+    prevalence = benchmark.pedantic(section5c_evasion, args=(full_records,), rounds=2, iterations=1)
+    comparison.row("messages passing SPF+DKIM+DMARC", "all", f"{prevalence.auth_all_pass}/{len(full_records)}")
+    comparison.row("noise-padded messages", ">=270", prevalence.noise_padded)
+    comparison.row("faulty-QR messages", calibration.faulty_qr_messages, prevalence.faulty_qr)
+    comparison.row("QR-bearing messages", "increasingly common", prevalence.qr_messages)
+    assert prevalence.auth_all_pass == len(full_records)
+    assert prevalence.faulty_qr >= 1

@@ -1,0 +1,60 @@
+"""Substrate micro-benchmarks: the pipeline's hot inner loops.
+
+Not tied to a paper table; these keep the building blocks honest
+(QR decode, OCR, perceptual hashing, script execution) and make
+regressions visible.
+"""
+
+import random
+
+from repro.imaging.phash import dhash, phash
+from repro.imaging.ocr import ocr_image
+from repro.imaging.render import render_lines
+from repro.js import Interpreter
+from repro.qr.encoder import qr_image
+from repro.qr.scanner import decode_qr_image
+
+
+def bench_qr_encode_decode(benchmark):
+    def roundtrip():
+        image = qr_image("https://evil-site.example/dhfYWfH#e=dmljdGltQGNvcnA=", scale=3)
+        return decode_qr_image(image)
+
+    payload = benchmark(roundtrip)
+    assert payload.startswith("https://")
+
+
+def bench_ocr_url_extraction(benchmark):
+    image = render_lines(["YOUR MAILBOX IS FULL", "HTTPS://EVIL.EXAMPLE/RENEW"], scale=2)
+    result = benchmark(ocr_image, image)
+    assert "HTTPS://EVIL.EXAMPLE/RENEW" in result.text
+
+
+def bench_perceptual_hashing(benchmark):
+    from repro.browser.render import render_visual
+    from repro.kits.brands import COMPANY_BRANDS
+
+    image = render_visual(COMPANY_BRANDS[0].spec)
+
+    def hash_both():
+        return phash(image), dhash(image)
+
+    p_value, d_value = benchmark(hash_both)
+    assert p_value and d_value
+
+
+def bench_phishscript_obfuscated_reveal(benchmark):
+    from repro.kits.scripts import victim_check_script
+
+    source = victim_check_script("a")
+
+    def execute():
+        interp = Interpreter(rng=random.Random(1))
+        try:
+            interp.run(source)
+        except Exception:  # noqa: BLE001 - host objects absent; parse+eval cost only
+            pass
+        return interp.steps
+
+    steps = benchmark(execute)
+    assert steps > 0

@@ -1,0 +1,15 @@
+"""Table II: phishing landing domains per TLD."""
+
+from repro.analysis.figures import table2
+
+
+def bench_table2_tld_distribution(benchmark, full_records, comparison, calibration):
+    table = benchmark(table2, full_records)
+    comparison.row("distinct landing domains", calibration.distinct_landing_domains, table.total_domains)
+    measured = dict(table.rows)
+    for tld, paper_count in calibration.tld_distribution:
+        comparison.row(f"domains under {tld}", paper_count, measured.get(tld, 0))
+    top_two = [tld for tld, _ in table.rows[:2]]
+    comparison.row("two most common TLDs", "['.com', '.ru']", top_two)
+    assert table.rows[0][0] == ".com"
+    assert top_two[1] == ".ru" or measured.get(".ru", 0) >= sorted(measured.values(), reverse=True)[2]

@@ -1,0 +1,71 @@
+"""Benchmark fixtures: the full-scale study, generated and analyzed once.
+
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.2``) to shrink the corpus for quick
+runs; the default regenerates the paper's full 5,181-message study.
+Every bench writes its paper-vs-measured comparison to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import CrawlerBox
+from repro.dataset import CALIBRATION, CorpusGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    return CALIBRATION
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    return CorpusGenerator(seed=BENCH_SEED, scale=BENCH_SCALE).generate()
+
+
+@pytest.fixture(scope="session")
+def full_box(full_corpus):
+    return CrawlerBox.for_world(full_corpus.world)
+
+
+@pytest.fixture(scope="session")
+def full_records(full_corpus, full_box):
+    return full_box.analyze_corpus(full_corpus.messages)
+
+
+class ComparisonWriter:
+    """Collects paper-vs-measured rows and persists them per bench."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: list[str] = [f"# {name} (scale={BENCH_SCALE}, seed={BENCH_SEED})", ""]
+
+    def row(self, metric: str, paper, measured) -> None:
+        self.lines.append(f"{metric:<52s} paper={paper!s:<18s} measured={measured!s}")
+
+    def note(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        content = "\n".join(self.lines) + "\n"
+        path.write_text(content)
+        print("\n" + content)
+
+
+@pytest.fixture()
+def comparison(request):
+    writer = ComparisonWriter(request.node.name)
+    yield writer
+    writer.flush()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Figure 3 as ASCII art: the phishing deployment timeline.
+
+Reproduces the registration->delivery (timedeltaA) and TLS->delivery
+(timedeltaB) distributions over the landing domains and renders the
+under-90-day histograms, plus the outlier breakdown.
+
+    python3 examples/campaign_timeline.py [scale]
+"""
+
+import sys
+import time
+
+from repro import CorpusGenerator, CrawlerBox
+from repro.analysis.figures import figure3
+from repro.analysis.timeline import compute_timelines
+
+
+def sparkline(counts: list[int], width: int = 90, bucket: int = 6) -> str:
+    blocks = " .:-=+*#%@"
+    merged = [sum(counts[i : i + bucket]) for i in range(0, len(counts), bucket)]
+    top = max(merged) or 1
+    return "".join(blocks[min(9, int(9 * value / top))] for value in merged)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    print(f"Generating and analysing the corpus (scale={scale}) ...")
+    started = time.time()
+    corpus = CorpusGenerator(seed=2024, scale=scale).generate()
+    box = CrawlerBox.for_world(corpus.world)
+    records = box.analyze_corpus(corpus.messages)
+    print(f"  {len(records)} messages analysed in {time.time() - started:.1f}s\n")
+
+    summary = figure3(records, corpus.world.network)
+    print(f"Landing domains: {summary.n_domains}")
+    print(f"median timedeltaA (registration -> delivery): {summary.median_timedelta_a:.0f} h "
+          f"(~{summary.median_timedelta_a / 24:.0f} days; paper: 575 h / 24 days)")
+    print(f"median timedeltaB (TLS issuance -> delivery): {summary.median_timedelta_b:.0f} h "
+          f"(~{summary.median_timedelta_b / 24:.0f} days; paper: 185 h / 8 days)")
+    print(f"kurtosis: A={summary.kurtosis_a:.1f}, B={summary.kurtosis_b:.1f} "
+          "(fat-tailed, right-skewed; paper: 8.4 / 6.8)\n")
+
+    print("Domain count per timedelta under 90 days (one bucket = 6 days):")
+    print(f"  A |{sparkline(summary.histogram_a_days)}|")
+    print(f"  B |{sparkline(summary.histogram_b_days)}|")
+    print("     0d" + " " * 9 + "~30d" + " " * 9 + "~60d" + " " * 9 + "~90d\n")
+
+    print(f"Domains with timedeltaA > 90 days: {summary.over_90d_a} (paper: 102)")
+    print(f"Domains with timedeltaB > 90 days: {summary.over_90d_b} (paper: 5), "
+          f"of which compromised: {summary.over_90d_b_compromised} (paper: 4)")
+    print(f"Outliers (A > 273 d or B > 45 d): {summary.outliers} (paper: 71)")
+    print(f"  compromised small businesses: {summary.outlier_compromised} (paper: 20)")
+    print(f"  abused legitimate services:   {summary.outlier_abused_services} (paper: 9)\n")
+
+    timelines = compute_timelines(records, corpus.world.network)
+    abused = [t for t in timelines if t.is_outlier and t.domain.endswith(
+        ("vercel.app", "cloudflare-ipfs.com", "workers.dev", "r2.dev", "oraclecloud.com", "cloudfront.net"))]
+    print("Sample abused-service landing hosts (legitimate infrastructure):")
+    for timeline in abused[:5]:
+        print(f"  {timeline.domain}  (service registered "
+              f"{timeline.timedelta_a / 24 / 365:.1f} years before the campaign)")
+    print("\nTakeaway (paper Section VI): attackers register domains and obtain")
+    print("certificates weeks ahead, defeating products that score domains by age.")
+
+
+if __name__ == "__main__":
+    main()

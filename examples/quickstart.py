@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: run the whole study end-to-end at reduced scale.
+
+Generates a calibrated synthetic world (phishing kits deployed on a
+simulated internet plus the user-reported message corpus), analyses
+every message with CrawlerBox/NotABot, and prints the headline numbers
+next to the paper's.
+
+    python3 examples/quickstart.py [scale]
+
+``scale`` defaults to 0.15 (~780 messages, a few seconds); 1.0
+regenerates the full 5,181-message study.
+"""
+
+import sys
+import time
+
+from repro import CorpusGenerator, CrawlerBox, summarize
+from repro.analysis import figures
+from repro.core.outcomes import MessageCategory
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+
+    print(f"Generating the world and corpus (scale={scale}) ...")
+    started = time.time()
+    corpus = CorpusGenerator(seed=2024, scale=scale).generate()
+    print(f"  {len(corpus.messages)} reported-malicious messages, "
+          f"{len(corpus.domain_plans)} phishing landing domains "
+          f"({time.time() - started:.1f}s)")
+
+    print("Analysing every message with CrawlerBox (NotABot crawler) ...")
+    started = time.time()
+    box = CrawlerBox.for_world(corpus.world)
+    records = box.analyze_corpus(corpus.messages)
+    print(f"  done in {time.time() - started:.1f}s "
+          f"({1000 * (time.time() - started) / len(records):.1f} ms/message)\n")
+
+    findings = summarize(records)
+    breakdown = figures.outcome_breakdown(records)
+
+    print("Outcome breakdown (paper: 49.6% / 15.9% / 4.5% / 0.1% / 29.9%):")
+    for label, category in (
+        ("no web resources", MessageCategory.NO_RESOURCES),
+        ("error pages", MessageCategory.ERROR),
+        ("interaction required", MessageCategory.INTERACTION),
+        ("downloads", MessageCategory.DOWNLOAD),
+        ("active phishing", MessageCategory.ACTIVE_PHISHING),
+    ):
+        print(f"  {label:<22s} {breakdown.count(category):>5d}  "
+              f"({100 * breakdown.fraction(category):.1f}%)")
+
+    active = breakdown.count(MessageCategory.ACTIVE_PHISHING)
+    print(f"\nSpear phishing (paper: 73.3% of active): "
+          f"{findings.spear_messages}/{active} "
+          f"({100 * findings.spear_messages / active:.1f}%)")
+    print(f"Messages passing SPF+DKIM+DMARC (paper: all): "
+          f"{findings.auth_all_pass}/{findings.total_messages}")
+    print(f"Faulty-QR messages recovered by lenient extraction: {findings.faulty_qr_messages}")
+
+    evasion = figures.section5c_evasion(records)
+    print(f"\nCloudflare Turnstile prevalence (paper: 74.4%): "
+          f"{100 * evasion.turnstile_fraction:.1f}%")
+    print(f"reCAPTCHA v3 prevalence (paper: 24.8%): "
+          f"{100 * evasion.recaptcha_fraction:.1f}%")
+    print("Shared obfuscated victim-tracking scripts:")
+    for cluster in evasion.shared_script_clusters:
+        if cluster.kind == "victim-check":
+            print(f"  one script on {cluster.n_domains} domains / {cluster.n_messages} messages")
+
+
+if __name__ == "__main__":
+    main()

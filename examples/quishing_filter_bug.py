@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The faulty-QR filter bug, end to end (Section V-C.1).
+
+Encodes a genuinely malformed QR payload ("xxx https://...") into a real
+QR symbol, renders it into an email image attachment, and shows how a
+strict email-filter parser extracts nothing while the lenient
+mobile-camera behaviour (and CrawlerBox) recovers the URL.
+
+    python3 examples/quishing_filter_bug.py
+"""
+
+from repro.imaging.image import Image
+from repro.imaging.render import render_lines
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+from repro.mail.parser import EmailParser
+from repro.qr.encoder import qr_image
+from repro.qr.scanner import decode_qr_image, extract_url_lenient, extract_url_strict
+from repro.qr.tables import ECLevel
+
+PAYLOAD = "xxx https://evil-site.com/mfa-reenroll/dhfYWfH"
+
+
+def main() -> None:
+    print(f"1. Attacker encodes the faulty payload into a QR symbol:\n   {PAYLOAD!r}\n")
+    symbol = qr_image(PAYLOAD, ec_level=ECLevel.L, scale=3)
+    print(f"   QR symbol: {symbol.width}x{symbol.height} px "
+          f"({(symbol.width // 3) - 8} modules/side, Reed-Solomon EC level L)")
+
+    banner = render_lines(["YOUR MFA ENROLLMENT EXPIRES TODAY", "SCAN WITH YOUR PHONE TO RE-ENROLL"], scale=2)
+    canvas = Image.new(max(banner.width, symbol.width) + 16, banner.height + symbol.height + 24)
+    canvas.paste(banner, 8, 6)
+    canvas.paste(symbol, 8, banner.height + 12)
+
+    message = EmailMessage(sender="it-helpdesk@notify.example", subject="MFA re-enrollment required")
+    message.add_part(MessagePart.text("Please scan the attached code with your phone."))
+    message.add_part(MessagePart(ContentType.IMAGE, canvas, filename="mfa_qr.png"))
+
+    print("\n2. The raster round trip (locate -> sample -> RS-decode):")
+    decoded = decode_qr_image(canvas)
+    print(f"   decoded payload: {decoded!r}")
+    assert decoded == PAYLOAD
+
+    print("\n3. URL extraction policies diverge:")
+    print(f"   strict (email-filter style):  {extract_url_strict(decoded)!r}")
+    print(f"   lenient (mobile-camera style): {extract_url_lenient(decoded)!r}")
+
+    print("\n4. Full message-level comparison:")
+    strict_urls = EmailParser(lenient_qr=False).parse(message).unique_urls()
+    lenient_urls = EmailParser(lenient_qr=True).parse(message).unique_urls()
+    print(f"   strict filter extracts:  {strict_urls}  -> message classified benign")
+    print(f"   CrawlerBox extracts:     {lenient_urls}")
+
+    print("\n5. Why it matters: the victim's phone opens the URL over its mobile")
+    print("   connection, outside the corporate security perimeter, while the")
+    print("   email filter saw no URL at all.  The paper found 35 such messages")
+    print("   and 2 of 3 leading commercial filters failing the extraction")
+    print("   (both fixed after responsible disclosure).")
+
+
+if __name__ == "__main__":
+    main()

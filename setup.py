@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e .``) on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

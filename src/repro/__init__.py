@@ -1,0 +1,46 @@
+"""repro — reproduction of "A Closer Look At Modern Evasive Phishing Emails".
+
+A full re-implementation of the paper's analysis infrastructure
+(CrawlerBox + NotABot) together with the simulated substrates needed to
+run the ten-month measurement study offline: a synthetic internet with
+DNS/TLS/WHOIS, a scriptable browser with a JavaScript-subset engine,
+bot-detection services (BotD, Turnstile, a commercial WAF, reCAPTCHA
+v3), phishing-kit families implementing every observed evasion, and a
+corpus generator calibrated to the paper's published numbers.
+
+Quickstart::
+
+    from repro import CorpusGenerator, CrawlerBox
+    from repro.core.report import summarize
+
+    corpus = CorpusGenerator(seed=2024, scale=0.05).generate()
+    box = CrawlerBox.for_world(corpus.world)
+    records = box.analyze_corpus(corpus.messages)
+    print(summarize(records).category_counts)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.core import CrawlerBox, PipelineConfig
+from repro.core.report import KeyFindings, summarize
+from repro.crawlers import NotABot, assess_all_crawlers
+from repro.dataset import CALIBRATION, CorpusGenerator, World
+from repro.mail import EmailMessage, EmailParser
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrawlerBox",
+    "PipelineConfig",
+    "NotABot",
+    "assess_all_crawlers",
+    "CorpusGenerator",
+    "World",
+    "CALIBRATION",
+    "EmailMessage",
+    "EmailParser",
+    "KeyFindings",
+    "summarize",
+    "__version__",
+]

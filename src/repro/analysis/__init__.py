@@ -1,0 +1,34 @@
+"""Analysis layer: the paper's statistics recomputed from raw records.
+
+Everything here consumes :class:`~repro.core.artifacts.MessageRecord`
+lists (plus the network's WHOIS/CT/passive-DNS sources) and re-derives
+the evaluation numbers:
+
+- :mod:`~repro.analysis.stats` — kurtosis, paired t-test, medians.
+- :mod:`~repro.analysis.timeline` — Figure 3's timedeltaA/timedeltaB.
+- :mod:`~repro.analysis.domains` — the deceptive-syntax detectors
+  (combosquatting, target embedding, homoglyphs, keyword stuffing,
+  typosquatting, punycode).
+- :mod:`~repro.analysis.evasion` — prevalence of message-level and
+  cloaking evasions, including cross-domain shared-script clustering.
+- :mod:`~repro.analysis.dnsvolume` — Umbrella-style query-volume stats.
+- :mod:`~repro.analysis.figures` — one builder per table/figure.
+"""
+
+from repro.analysis import stats
+from repro.analysis.timeline import DomainTimeline, compute_timelines, timeline_summary
+from repro.analysis.domains import classify_domain_syntax, domain_syntax_summary
+from repro.analysis.evasion import EvasionPrevalence, measure_evasion_prevalence
+from repro.analysis.dnsvolume import dns_volume_summary
+
+__all__ = [
+    "stats",
+    "DomainTimeline",
+    "compute_timelines",
+    "timeline_summary",
+    "classify_domain_syntax",
+    "domain_syntax_summary",
+    "EvasionPrevalence",
+    "measure_evasion_prevalence",
+    "dns_volume_summary",
+]

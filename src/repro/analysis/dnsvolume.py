@@ -1,0 +1,95 @@
+"""DNS query-volume analysis (the Cisco Umbrella study of Section V-A).
+
+"We examine the DNS query volumes for the malicious landing domains
+during the last 30 days before the reception of their associated
+message", contrasting single-message with multi-message domains and
+flagging the one enormous-volume domain that is clearly not targeted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis import stats
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+from repro.enrichment.umbrella import PassiveDnsDatabase
+from repro.web.urls import registered_domain
+
+#: Registrable suffixes dropped from the volume analysis (compromised or
+#: shared-hosting domains whose traffic is not phishing traffic).
+EXCLUDED_SUFFIXES = (
+    "vercel.app",
+    "cloudflare-ipfs.com",
+    "workers.dev",
+    "r2.dev",
+    "oraclecloud.com",
+    "cloudfront.net",
+)
+
+
+@dataclass(frozen=True)
+class DnsVolumeSummary:
+    n_single_domains: int
+    n_multi_domains: int
+    single_median_max_daily: float
+    single_median_total: float
+    multi_median_max_daily: float
+    multi_median_total: float
+    #: (domain, message_count, 30-day total), descending by total.
+    top_domains: tuple[tuple[str, int, int], ...]
+
+
+def dns_volume_summary(
+    records: list[MessageRecord],
+    passive_dns: PassiveDnsDatabase,
+    exclude_compromised: set[str] | None = None,
+) -> DnsVolumeSummary:
+    """Volume statistics for active-phishing landing domains."""
+    message_counts: dict[str, int] = defaultdict(int)
+    first_delivery: dict[str, float] = {}
+    for record in records:
+        if record.category != MessageCategory.ACTIVE_PHISHING:
+            continue
+        for domain in record.landing_domains:
+            message_counts[domain] += 1
+            first = first_delivery.get(domain)
+            if first is None or record.delivered_at < first:
+                first_delivery[domain] = record.delivered_at
+
+    exclude_compromised = exclude_compromised or set()
+    singles_max: list[float] = []
+    singles_total: list[float] = []
+    multi_max: list[float] = []
+    multi_total: list[float] = []
+    totals: list[tuple[str, int, int]] = []
+
+    for domain, count in message_counts.items():
+        if domain in exclude_compromised:
+            continue
+        if registered_domain(domain) != domain and any(
+            domain.endswith(suffix) for suffix in EXCLUDED_SUFFIXES
+        ):
+            continue
+        if not passive_dns.knows(domain):
+            continue
+        volumes = passive_dns.volume_stats(domain, before_hour=first_delivery[domain] + 24.0)
+        totals.append((domain, count, volumes.total))
+        if count == 1:
+            singles_max.append(float(volumes.max_daily))
+            singles_total.append(float(volumes.total))
+        else:
+            multi_max.append(float(volumes.max_daily))
+            multi_total.append(float(volumes.total))
+
+    totals.sort(key=lambda item: item[2], reverse=True)
+    return DnsVolumeSummary(
+        n_single_domains=len(singles_total),
+        n_multi_domains=len(multi_total),
+        single_median_max_daily=stats.median(singles_max) if singles_max else 0.0,
+        single_median_total=stats.median(singles_total) if singles_total else 0.0,
+        multi_median_max_daily=stats.median(multi_max) if multi_max else 0.0,
+        multi_median_total=stats.median(multi_total) if multi_total else 0.0,
+        top_domains=tuple(totals[:5]),
+    )

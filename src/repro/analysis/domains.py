@@ -1,0 +1,123 @@
+"""Deceptive domain-syntax detection (Section V-A).
+
+"Among these domains, only 15.7% (82/522) include combosquatting,
+target embedding, homoglyphs, keyword stuffing, or typosquatting.  No
+domain included punycode."  The detectors mirror the techniques the
+corpus's name generators use; they operate purely on the host string
+plus the list of protected brand tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dataset.names import PHISHY_KEYWORDS
+from repro.web.urls import is_punycode, registered_domain
+
+_HOMOGLYPH_REVERSals = (
+    ("rn", "m"),
+    ("vv", "w"),
+    ("1", "l"),
+    ("0", "o"),
+)
+
+
+def _levenshtein_within(a: str, b: str, limit: int) -> bool:
+    """Edit distance <= limit (banded dynamic programming)."""
+    if abs(len(a) - len(b)) > limit:
+        return False
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        row_min = current[0]
+        for j, char_b in enumerate(b, start=1):
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (char_a != char_b),
+            )
+            row_min = min(row_min, current[j])
+        if row_min > limit:
+            return False
+        previous = current
+    return previous[-1] <= limit
+
+
+def _degloyph(label: str) -> str:
+    """Undo the ASCII homoglyph substitutions."""
+    for fake, real in _HOMOGLYPH_REVERSals:
+        label = label.replace(fake, real)
+    return label
+
+
+def classify_domain_syntax(host: str, brand_tokens: list[str]) -> str | None:
+    """The deceptive technique a host uses, or None.
+
+    ``brand_tokens`` are the lowercase brand names being protected
+    (e.g. ``["amatravel", "skybooker", ...]``).
+    """
+    host = host.lower().rstrip(".")
+    if is_punycode(host):
+        return "punycode"
+
+    registrable = registered_domain(host)
+    main_label = registrable.split(".")[0]
+    subdomain_labels = host[: -len(registrable)].rstrip(".").split(".") if host != registrable else []
+    label_parts = main_label.split("-")
+
+    for brand in brand_tokens:
+        # Target embedding: the brand is a subdomain label of an
+        # unrelated registrable domain.
+        if any(label == brand for label in subdomain_labels) and brand not in main_label:
+            return "target-embedding"
+        # Combosquatting: the intact brand plus a meaningful extra token
+        # in the registrable label.  A single residual character is more
+        # likely a typosquat ("amatravell"), handled below.
+        if brand in main_label and main_label != brand:
+            remainder = main_label.replace(brand, "").strip("-")
+            if len(remainder) >= 2:
+                return "combosquatting"
+        if main_label != brand:
+            # Homoglyphs: reversing the substitutions yields the brand.
+            if _degloyph(main_label) == brand:
+                return "homoglyph"
+            # Typosquatting: one edit away from the brand.
+            if len(main_label) >= 4 and _levenshtein_within(main_label, brand, 1):
+                return "typosquatting"
+
+    # Keyword stuffing: three or more phishy keywords, no brand needed.
+    keyword_hits = sum(1 for part in label_parts if part in PHISHY_KEYWORDS)
+    if keyword_hits >= 3:
+        return "keyword-stuffing"
+    return None
+
+
+@dataclass(frozen=True)
+class DomainSyntaxSummary:
+    total_domains: int
+    deceptive: int
+    punycode: int
+    by_technique: tuple[tuple[str, int], ...]
+
+    @property
+    def deceptive_fraction(self) -> float:
+        return self.deceptive / self.total_domains if self.total_domains else 0.0
+
+
+def domain_syntax_summary(hosts: list[str], brand_tokens: list[str]) -> DomainSyntaxSummary:
+    """Classify a set of landing domains."""
+    counts: Counter = Counter()
+    punycode = 0
+    for host in hosts:
+        technique = classify_domain_syntax(host, brand_tokens)
+        if technique == "punycode":
+            punycode += 1
+        if technique is not None:
+            counts[technique] += 1
+    return DomainSyntaxSummary(
+        total_domains=len(hosts),
+        deceptive=sum(counts.values()),
+        punycode=punycode,
+        by_technique=tuple(sorted(counts.items())),
+    )

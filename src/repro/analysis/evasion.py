@@ -1,0 +1,240 @@
+"""Evasion-technique prevalence (Section V-C), from observed behaviour.
+
+Every count is derived from what the pipeline *observed* — executed
+scripts, AJAX destinations, session signals, URL chains — never from
+generator ground truth:
+
+- Turnstile / reCAPTCHA via their challenge/score endpoints in the
+  page's network activity.
+- Console hijacking, debugger timers, context-menu blocking, and
+  hue-rotation from :class:`~repro.browser.session.SessionSignals`.
+- The UA+timezone+language cloak from the fingerprint-probe reads.
+- Fingerprinting libraries from their artifacts in executed scripts.
+- httpbin/ipapi IP exfiltration from AJAX URLs.
+- The shared victim-tracking scripts via cross-domain clustering of
+  identical obfuscated script texts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.artifacts import MessageRecord, UrlCrawl
+from repro.core.outcomes import MessageCategory, PageClass
+
+
+@dataclass
+class ScriptCluster:
+    """One script text shared across deployments."""
+
+    script_hash: str
+    domains: set[str] = field(default_factory=set)
+    message_indices: set[int] = field(default_factory=set)
+    sample: str = ""
+    decoded: str = ""
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.message_indices)
+
+    @property
+    def kind(self) -> str:
+        """What the (de-obfuscated) script does."""
+        if "hue-rotate" in self.decoded:
+            return "hue-rotate"
+        if "/check" in self.decoded and "atob" in self.decoded:
+            return "victim-check"
+        if "location.href" in self.decoded:
+            return "redirector"
+        return "other"
+
+
+def _decode_dropper(script: str) -> str:
+    """Recover the payload of an ``eval(atob("..."))`` dropper."""
+    import base64
+    import re
+
+    match = re.search(r'eval\(atob\("([A-Za-z0-9+/=]+)"\)\)', script)
+    if not match:
+        return ""
+    try:
+        return base64.b64decode(match.group(1)).decode("latin-1", errors="replace")
+    except Exception:  # noqa: BLE001 - hostile input, best effort
+        return ""
+
+
+@dataclass
+class EvasionPrevalence:
+    """Message counts per technique."""
+
+    credential_messages: int = 0
+    turnstile: int = 0
+    recaptcha: int = 0
+    console_hijack: int = 0
+    debugger_timer: int = 0
+    context_menu_block: int = 0
+    ua_tz_lang_cloak: int = 0
+    fingerprint_libraries: int = 0
+    fingerprint_library_window: tuple[float, float] | None = None
+    httpbin: int = 0
+    ipapi: int = 0
+    hue_rotate_messages: int = 0
+    hue_rotate_pages: int = 0
+    otp_gate: int = 0
+    math_challenge: int = 0
+    auth_all_pass: int = 0
+    noise_padded: int = 0
+    faulty_qr: int = 0
+    qr_messages: int = 0
+    shared_script_clusters: list[ScriptCluster] = field(default_factory=list)
+
+    @property
+    def turnstile_fraction(self) -> float:
+        return self.turnstile / self.credential_messages if self.credential_messages else 0.0
+
+    @property
+    def recaptcha_fraction(self) -> float:
+        return self.recaptcha / self.credential_messages if self.credential_messages else 0.0
+
+
+def _is_credential_message(record: MessageRecord) -> bool:
+    """Messages "aimed at harvesting victims' credentials": an actual
+    login form was reached (the paper's 1,267 = spear + unique commodity
+    lookalikes)."""
+    return record.category == MessageCategory.ACTIVE_PHISHING and any(
+        crawl.page_class == PageClass.LOGIN_FORM for crawl in record.crawls
+    )
+
+
+def _uses_turnstile(crawl: UrlCrawl) -> bool:
+    return any("/cdn-cgi/challenge" in url for url in crawl.ajax_urls)
+
+
+def _uses_recaptcha(crawl: UrlCrawl) -> bool:
+    return any("recaptcha" in url for url in crawl.ajax_urls)
+
+
+def _uses_fingerprint_libraries(crawl: UrlCrawl) -> bool:
+    joined = "\n".join(crawl.executed_scripts)
+    return "__botd_result" in joined and "__fpjs_visitor_id" in joined
+
+
+def _ua_tz_lang_probe(crawl: UrlCrawl) -> bool:
+    """The custom UA+timezone+language association cloak.
+
+    Challenge services (Turnstile, reCAPTCHA) and fingerprinting
+    libraries read the same properties; a crawl only counts as the
+    *custom* cloak when none of those are present on the page chain.
+    """
+    if crawl.signals is None:
+        return False
+    reads = set(crawl.signals.navigator_reads)
+    return (
+        "userAgent" in reads
+        and bool(reads & {"language", "userLanguage"})
+        and crawl.signals.intl_timezone_read
+        and not _uses_fingerprint_libraries(crawl)
+        and not _uses_turnstile(crawl)
+        and not _uses_recaptcha(crawl)
+    )
+
+
+def measure_evasion_prevalence(
+    records: list[MessageRecord], min_cluster_domains: int = 2
+) -> EvasionPrevalence:
+    """Compute the Section V-C prevalence table from analysis records."""
+    from repro.qr.scanner import extract_url_strict
+
+    result = EvasionPrevalence()
+    clusters: dict[str, ScriptCluster] = {}
+    fingerprint_times: list[float] = []
+
+    for record in records:
+        if record.auth is not None and record.auth.all_pass:
+            result.auth_all_pass += 1
+        if record.noise_padded:
+            result.noise_padded += 1
+        if record.qr_payloads:
+            result.qr_messages += 1
+            if any(extract_url_strict(payload) is None for _, payload in record.qr_payloads):
+                result.faulty_qr += 1
+
+        credential = _is_credential_message(record)
+        if credential:
+            result.credential_messages += 1
+
+        message_flags = defaultdict(bool)
+        hue_pages = 0
+        for crawl in record.crawls:
+            if crawl.signals is not None:
+                message_flags["console"] |= crawl.signals.console_hijacked
+                message_flags["debugger"] |= crawl.signals.uses_debugger_timer
+                message_flags["contextmenu"] |= (
+                    crawl.signals.context_menu_blocked or crawl.signals.devtools_keys_blocked
+                )
+                if crawl.signals.hue_rotation_deg:
+                    hue_pages += 1
+            message_flags["turnstile"] |= _uses_turnstile(crawl)
+            message_flags["recaptcha"] |= _uses_recaptcha(crawl)
+            message_flags["fplibs"] |= _uses_fingerprint_libraries(crawl)
+            message_flags["uacloak"] |= _ua_tz_lang_probe(crawl)
+            message_flags["httpbin"] |= any("httpbin.org" in url for url in crawl.ajax_urls)
+            message_flags["ipapi"] |= any("ipapi.co" in url for url in crawl.ajax_urls)
+            title = crawl.final_title.lower()
+            if crawl.page_class == PageClass.GATED_LOGIN:
+                snippet = crawl.final_text_snippet.lower()
+                if "one-time password" in snippet or "verification required" in title:
+                    message_flags["otp"] = True
+                elif "solve" in snippet or "security check" in title:
+                    message_flags["math"] = True
+
+            # Cross-domain script clustering (obfuscated droppers only,
+            # like the paper's shared victim-tracking scripts).
+            for script in crawl.executed_scripts:
+                if "eval(atob(" not in script:
+                    continue
+                digest = hashlib.sha256(script.encode("utf-8")).hexdigest()[:16]
+                cluster = clusters.setdefault(
+                    digest,
+                    ScriptCluster(
+                        script_hash=digest,
+                        sample=script[:120],
+                        decoded=_decode_dropper(script),
+                    ),
+                )
+                if crawl.landing_domain:
+                    cluster.domains.add(crawl.landing_domain)
+                cluster.message_indices.add(record.message_index)
+
+        if credential:
+            result.turnstile += message_flags["turnstile"]
+            result.recaptcha += message_flags["recaptcha"]
+        result.console_hijack += message_flags["console"]
+        result.debugger_timer += message_flags["debugger"]
+        result.context_menu_block += message_flags["contextmenu"]
+        result.ua_tz_lang_cloak += message_flags["uacloak"]
+        result.httpbin += message_flags["httpbin"]
+        result.ipapi += message_flags["ipapi"]
+        result.otp_gate += message_flags["otp"]
+        result.math_challenge += message_flags["math"]
+        if message_flags["fplibs"]:
+            result.fingerprint_libraries += 1
+            fingerprint_times.append(record.delivered_at)
+        if hue_pages:
+            result.hue_rotate_messages += 1
+            result.hue_rotate_pages += hue_pages
+
+    if fingerprint_times:
+        result.fingerprint_library_window = (min(fingerprint_times), max(fingerprint_times))
+    result.shared_script_clusters = sorted(
+        (cluster for cluster in clusters.values() if cluster.n_domains >= min_cluster_domains),
+        key=lambda cluster: cluster.n_messages,
+        reverse=True,
+    )
+    return result

@@ -1,0 +1,289 @@
+"""One builder per table/figure in the paper's evaluation.
+
+Each function returns a plain dataclass/dict of rows so the benchmarks
+can print paper-vs-measured tables and the tests can assert shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis import stats
+from repro.analysis.dnsvolume import DnsVolumeSummary, dns_volume_summary
+from repro.analysis.domains import DomainSyntaxSummary, domain_syntax_summary
+from repro.analysis.evasion import EvasionPrevalence, measure_evasion_prevalence
+from repro.analysis.timeline import TimelineSummary, compute_timelines, timeline_summary
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory, PageClass
+from repro.dataset.calibration import CALIBRATION, Calibration
+from repro.web.urls import top_level_domain
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def table1(seed: int = 7):
+    """Crawler-vs-detector assessment rows (computed live)."""
+    from repro.crawlers.assessment import assess_all_crawlers
+
+    return assess_all_crawlers(seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2:
+    total_domains: int
+    #: (tld, count) sorted descending.
+    rows: tuple[tuple[str, int], ...]
+
+
+def active_landing_domains(records: list[MessageRecord]) -> list[str]:
+    domains: set[str] = set()
+    for record in records:
+        if record.category == MessageCategory.ACTIVE_PHISHING:
+            domains.update(record.landing_domains)
+    return sorted(domains)
+
+
+def table2(records: list[MessageRecord]) -> Table2:
+    domains = active_landing_domains(records)
+    counts = Counter(top_level_domain(domain) for domain in domains)
+    return Table2(total_domains=len(domains), rows=tuple(counts.most_common()))
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure2:
+    monthly_2024: tuple[int, ...]
+    mean_2024: float
+    std_2024: float
+    monthly_2023: tuple[int, ...]
+    mean_2023: float
+    std_2023: float
+    t_test: stats.PairedTTestResult
+
+
+def figure2(records: list[MessageRecord], calibration: Calibration = CALIBRATION) -> Figure2:
+    """Monthly scanned-message volumes plus the 2023 comparison.
+
+    The 2023 series comes from the calibration constants (the study had
+    not started; the paper likewise only had the experts' aggregates).
+    """
+    n_months = len(calibration.monthly_malicious_2024)
+    counts = [0] * n_months
+    for record in records:
+        month = int(record.delivered_at // calibration.hours_per_month)
+        if 0 <= month < n_months:
+            counts[month] += 1
+    series_2023 = [float(value) for value in calibration.monthly_malicious_2023]
+    series_2024 = [float(value) for value in counts]
+    return Figure2(
+        monthly_2024=tuple(counts),
+        mean_2024=stats.mean(series_2024),
+        std_2024=stats.std(series_2024),
+        monthly_2023=tuple(calibration.monthly_malicious_2023),
+        mean_2023=stats.mean(series_2023),
+        std_2023=stats.std(series_2023),
+        t_test=stats.rank_paired_t_test(series_2023, series_2024),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+def figure3(records: list[MessageRecord], network) -> TimelineSummary:
+    return timeline_summary(compute_timelines(records, network))
+
+
+# ----------------------------------------------------------------------
+# Section V: outcome breakdown
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OutcomeBreakdown:
+    total: int
+    counts: tuple[tuple[str, int], ...]
+
+    def count(self, category: str) -> int:
+        return dict(self.counts).get(category, 0)
+
+    def fraction(self, category: str) -> float:
+        return self.count(category) / self.total if self.total else 0.0
+
+
+def outcome_breakdown(records: list[MessageRecord]) -> OutcomeBreakdown:
+    counts = Counter(record.category for record in records)
+    return OutcomeBreakdown(total=len(records), counts=tuple(counts.most_common()))
+
+
+# ----------------------------------------------------------------------
+# Section V-A: spear phishing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpearSummary:
+    active_messages: int
+    spear_messages: int
+    hotlink_messages: int
+    distinct_landing_urls: int
+    distinct_landing_domains: int
+    messages_per_domain_mean: float
+    messages_per_domain_median: float
+    messages_per_domain_max: int
+    ru_registrars: tuple[str, ...]
+    domain_syntax: DomainSyntaxSummary
+    dns_volumes: DnsVolumeSummary | None
+
+    @property
+    def spear_fraction(self) -> float:
+        return self.spear_messages / self.active_messages if self.active_messages else 0.0
+
+    @property
+    def hotlink_fraction(self) -> float:
+        return self.hotlink_messages / self.spear_messages if self.spear_messages else 0.0
+
+
+def section5a_spear(records: list[MessageRecord], world=None) -> SpearSummary:
+    from repro.core.report import _loads_brand_resources
+    from repro.kits.brands import COMMODITY_BRANDS, COMPANY_BRANDS
+
+    active = [r for r in records if r.category == MessageCategory.ACTIVE_PHISHING]
+    spear = [r for r in active if r.spear_brand is not None]
+    hotlink = [r for r in spear if _loads_brand_resources(r)]
+
+    urls: set[str] = set()
+    per_domain: dict[str, int] = defaultdict(int)
+    for record in active:
+        urls.update(record.landing_urls)
+        for domain in record.landing_domains:
+            per_domain[domain] += 1
+    domain_counts = [float(count) for count in per_domain.values()]
+
+    ru_registrars: set[str] = set()
+    if world is not None:
+        from repro.web.urls import registered_domain
+
+        for domain in per_domain:
+            if top_level_domain(domain) == ".ru":
+                whois = world.network.whois.lookup(registered_domain(domain))
+                if whois is not None:
+                    ru_registrars.add(whois.registrar)
+
+    brand_tokens = [brand.name.lower().replace(" ", "") for brand in COMPANY_BRANDS] + [
+        brand.name.lower().replace(" ", "") for brand, _ in COMMODITY_BRANDS
+    ]
+    syntax = domain_syntax_summary(sorted(per_domain), brand_tokens)
+
+    volumes = None
+    if world is not None:
+        compromised = set()
+        from repro.web.urls import registered_domain as _registrable
+
+        for domain in per_domain:
+            whois = world.network.whois.lookup(_registrable(domain))
+            if whois is not None and whois.compromised:
+                compromised.add(domain)
+        volumes = dns_volume_summary(records, world.passive_dns, exclude_compromised=compromised)
+
+    return SpearSummary(
+        active_messages=len(active),
+        spear_messages=len(spear),
+        hotlink_messages=len(hotlink),
+        distinct_landing_urls=len(urls),
+        distinct_landing_domains=len(per_domain),
+        messages_per_domain_mean=stats.mean(domain_counts) if domain_counts else 0.0,
+        messages_per_domain_median=stats.median(domain_counts) if domain_counts else 0.0,
+        messages_per_domain_max=int(max(domain_counts)) if domain_counts else 0,
+        ru_registrars=tuple(sorted(ru_registrars)),
+        domain_syntax=syntax,
+        dns_volumes=volumes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section V-B: non-targeted attacks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NonTargetedSummary:
+    nontargeted_messages: int
+    brand_counts: tuple[tuple[str, int], ...]
+    html_attachment_messages: int
+    html_attachment_local: int
+    otp_messages: int
+    math_messages: int
+    distinct_domains: int
+    deceptive_domains: int
+
+
+def section5b_nontargeted(records: list[MessageRecord], world) -> NonTargetedSummary:
+    """Analyse the active messages that did not match company portals."""
+    from repro.core.spearphish import SpearPhishClassifier
+    from repro.imaging.phash import hamming_distance
+    from repro.kits.brands import COMMODITY_BRANDS, COMPANY_BRANDS
+
+    active = [r for r in records if r.category == MessageCategory.ACTIVE_PHISHING]
+    nontargeted = [r for r in active if r.spear_brand is None]
+
+    commodity_classifier = SpearPhishClassifier.from_portals(
+        world.network, [brand for brand, _ in COMMODITY_BRANDS]
+    )
+
+    #: Unique landing sites per impersonated brand ("130 unique web
+    #: pages"): the same lookalike page reached by several duplicate
+    #: lures counts once.
+    brand_sites: dict[str, set[str]] = defaultdict(set)
+    domains: set[str] = set()
+    html_attachment = 0
+    html_local = 0
+    otp = 0
+    math_gate = 0
+    for record in nontargeted:
+        if record.extraction is not None and record.extraction.html_attachment_paths:
+            html_attachment += 1
+            if record.local_login_form and not record.landing_domains:
+                html_local += 1
+        domains.update(record.landing_domains)
+        is_otp = is_math = False
+        for crawl in record.crawls:
+            if crawl.page_class == PageClass.GATED_LOGIN:
+                snippet = crawl.final_text_snippet.lower()
+                title = crawl.final_title.lower()
+                if "one-time password" in snippet or "verification required" in title:
+                    is_otp = True
+                elif "solve" in snippet or "security check" in title:
+                    is_math = True
+            if crawl.screenshot_phash is None or crawl.page_class != PageClass.LOGIN_FORM:
+                continue
+            for reference in commodity_classifier.references:
+                p_distance = hamming_distance(crawl.screenshot_phash, reference.phash)
+                d_distance = hamming_distance(crawl.screenshot_dhash, reference.dhash)
+                if p_distance <= commodity_classifier.threshold and d_distance <= commodity_classifier.threshold:
+                    brand_sites[reference.brand].add(crawl.landing_domain)
+        otp += is_otp
+        math_gate += is_math
+    brand_counts = Counter({brand: len(sites) for brand, sites in brand_sites.items()})
+
+    brand_tokens = [brand.name.lower().replace(" ", "") for brand in COMPANY_BRANDS] + [
+        brand.name.lower().replace(" ", "") for brand, _ in COMMODITY_BRANDS
+    ]
+    syntax = domain_syntax_summary(sorted(domains), brand_tokens)
+    return NonTargetedSummary(
+        nontargeted_messages=len(nontargeted),
+        brand_counts=tuple(brand_counts.most_common()),
+        html_attachment_messages=html_attachment,
+        html_attachment_local=html_local,
+        otp_messages=otp,
+        math_messages=math_gate,
+        distinct_domains=len(domains),
+        deceptive_domains=syntax.deceptive,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section V-C
+# ----------------------------------------------------------------------
+def section5c_evasion(records: list[MessageRecord]) -> EvasionPrevalence:
+    return measure_evasion_prevalence(records)

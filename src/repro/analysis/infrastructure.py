@@ -1,0 +1,141 @@
+"""Attacker-infrastructure graphing and campaign pivoting.
+
+Threat analysts link phishing deployments through shared infrastructure:
+hosting IPs, sending domains, and — per Section V-C — identical
+obfuscated scripts reused across dozens of landing domains ("an
+obfuscated script shared between 38 distinct domains").  This module
+builds that pivot graph (networkx) from analysis records and clusters
+the landing domains into campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.analysis.evasion import measure_evasion_prevalence
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+
+#: Node kinds in the pivot graph.
+KIND_DOMAIN = "domain"
+KIND_IP = "ip"
+KIND_SENDER = "sender"
+KIND_SCRIPT = "script"
+
+
+def build_infrastructure_graph(records: list[MessageRecord]) -> nx.Graph:
+    """The pivot graph over active-phishing observations.
+
+    Nodes are tagged with ``kind`` (domain/ip/sender/script); edges with
+    ``via`` (hosting/lure/shared-script).
+    """
+    graph = nx.Graph()
+    for record in records:
+        if record.category != MessageCategory.ACTIVE_PHISHING:
+            continue
+        for crawl in record.crawls:
+            domain = crawl.landing_domain
+            if not domain or crawl.page_class not in ("login_form", "gated_login"):
+                continue
+            graph.add_node(domain, kind=KIND_DOMAIN)
+            if crawl.server_ip:
+                graph.add_node(crawl.server_ip, kind=KIND_IP)
+                graph.add_edge(domain, crawl.server_ip, via="hosting")
+            if record.sender_domain:
+                sender = f"sender:{record.sender_domain}"
+                graph.add_node(sender, kind=KIND_SENDER)
+                graph.add_edge(domain, sender, via="lure")
+
+    # Shared-script pivots: identical obfuscated droppers across domains.
+    prevalence = measure_evasion_prevalence(records)
+    for cluster in prevalence.shared_script_clusters:
+        node = f"script:{cluster.script_hash}"
+        graph.add_node(node, kind=KIND_SCRIPT, script_kind=cluster.kind)
+        for domain in cluster.domains:
+            if graph.has_node(domain):
+                graph.add_edge(domain, node, via="shared-script")
+    return graph
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One connected component of the pivot graph."""
+
+    domains: tuple[str, ...]
+    ips: tuple[str, ...]
+    senders: tuple[str, ...]
+    shared_scripts: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.domains)
+
+
+def cluster_campaigns(graph: nx.Graph) -> list[Campaign]:
+    """Connected components, largest first."""
+    campaigns: list[Campaign] = []
+    for component in nx.connected_components(graph):
+        domains, ips, senders, scripts = [], [], [], []
+        for node in sorted(component):
+            kind = graph.nodes[node].get("kind")
+            if kind == KIND_DOMAIN:
+                domains.append(node)
+            elif kind == KIND_IP:
+                ips.append(node)
+            elif kind == KIND_SENDER:
+                senders.append(node.split(":", 1)[1])
+            elif kind == KIND_SCRIPT:
+                scripts.append(graph.nodes[node].get("script_kind", "other"))
+        if domains:
+            campaigns.append(
+                Campaign(
+                    domains=tuple(domains),
+                    ips=tuple(ips),
+                    senders=tuple(senders),
+                    shared_scripts=tuple(scripts),
+                )
+            )
+    campaigns.sort(key=lambda campaign: campaign.size, reverse=True)
+    return campaigns
+
+
+def pivot_from_domain(graph: nx.Graph, domain: str, max_hops: int = 2) -> list[str]:
+    """Analyst pivot: related landing domains within ``max_hops`` edges."""
+    if not graph.has_node(domain):
+        return []
+    reachable = nx.single_source_shortest_path_length(graph, domain, cutoff=max_hops)
+    return sorted(
+        node
+        for node, hops in reachable.items()
+        if node != domain and graph.nodes[node].get("kind") == KIND_DOMAIN
+    )
+
+
+@dataclass(frozen=True)
+class InfrastructureSummary:
+    n_domains: int
+    n_campaigns: int
+    largest_campaign_domains: int
+    singleton_campaigns: int
+    script_linked_campaigns: int
+
+
+def summarize_infrastructure(records: list[MessageRecord]) -> InfrastructureSummary:
+    """Campaign-level view of the landing infrastructure.
+
+    The paper's low-volume finding reappears structurally: most
+    campaigns are singletons (one domain, its host, its sender), while
+    the shared victim-check scripts stitch together the two large
+    multi-domain clusters.
+    """
+    graph = build_infrastructure_graph(records)
+    campaigns = cluster_campaigns(graph)
+    return InfrastructureSummary(
+        n_domains=sum(campaign.size for campaign in campaigns),
+        n_campaigns=len(campaigns),
+        largest_campaign_domains=campaigns[0].size if campaigns else 0,
+        singleton_campaigns=sum(1 for campaign in campaigns if campaign.size == 1),
+        script_linked_campaigns=sum(1 for campaign in campaigns if campaign.shared_scripts),
+    )

@@ -1,0 +1,148 @@
+"""Figure 3: the phishing deployment timeline (Section V-A).
+
+For each landing domain, two deltas against the *average delivery time*
+of its associated messages:
+
+- ``timedeltaA`` — domain registration (WHOIS) to delivery,
+- ``timedeltaB`` — first TLS certificate issuance (CT logs) to delivery.
+
+The paper reports medians of 575 h and 185 h, fat-tailed distributions
+(kurtosis 8.4 / 6.8), 102 vs 5 domains over 90 days, and a 71-domain
+outlier set (42 fresh, 20 compromised, 9 abused legitimate services).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis import stats
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+from repro.web.network import Network
+from repro.web.urls import registered_domain
+
+HOURS_90_DAYS = 90 * 24.0
+HOURS_273_DAYS = 273 * 24.0
+HOURS_45_DAYS = 45 * 24.0
+
+
+@dataclass(frozen=True)
+class DomainTimeline:
+    """One landing domain's deployment timeline."""
+
+    domain: str
+    message_count: int
+    mean_delivery: float
+    registered_at: float | None
+    cert_issued_at: float | None
+    registrar: str = ""
+    compromised: bool = False
+
+    @property
+    def timedelta_a(self) -> float | None:
+        if self.registered_at is None:
+            return None
+        return self.mean_delivery - self.registered_at
+
+    @property
+    def timedelta_b(self) -> float | None:
+        if self.cert_issued_at is None:
+            return None
+        return self.mean_delivery - self.cert_issued_at
+
+    @property
+    def is_outlier(self) -> bool:
+        """The paper's outlier rule: A > 273 days or B > 45 days."""
+        delta_a = self.timedelta_a
+        delta_b = self.timedelta_b
+        return bool(
+            (delta_a is not None and delta_a > HOURS_273_DAYS)
+            or (delta_b is not None and delta_b > HOURS_45_DAYS)
+        )
+
+
+def compute_timelines(records: list[MessageRecord], network: Network) -> list[DomainTimeline]:
+    """Per-domain timelines for every active-phishing landing domain."""
+    deliveries: dict[str, list[float]] = defaultdict(list)
+    for record in records:
+        if record.category != MessageCategory.ACTIVE_PHISHING:
+            continue
+        for domain in record.landing_domains:
+            deliveries[domain].append(record.delivered_at)
+
+    timelines: list[DomainTimeline] = []
+    for domain, hours in sorted(deliveries.items()):
+        whois = network.whois.lookup(registered_domain(domain))
+        cert_issued = network.ct_log.earliest_issuance(domain)
+        if cert_issued is None:
+            cert_issued = network.ct_log.earliest_issuance(registered_domain(domain))
+        timelines.append(
+            DomainTimeline(
+                domain=domain,
+                message_count=len(hours),
+                mean_delivery=sum(hours) / len(hours),
+                registered_at=whois.created if whois else None,
+                cert_issued_at=cert_issued,
+                registrar=whois.registrar if whois else "",
+                compromised=whois.compromised if whois else False,
+            )
+        )
+    return timelines
+
+
+@dataclass(frozen=True)
+class TimelineSummary:
+    """The Figure 3 headline numbers."""
+
+    n_domains: int
+    median_timedelta_a: float
+    median_timedelta_b: float
+    kurtosis_a: float
+    kurtosis_b: float
+    over_90d_a: int
+    over_90d_b: int
+    over_90d_b_compromised: int
+    outliers: int
+    outlier_compromised: int
+    outlier_abused_services: int
+    histogram_a_days: list[int]
+    histogram_b_days: list[int]
+
+
+#: Suffixes of the abused legitimate hosting services the paper names.
+ABUSED_SERVICE_SUFFIXES = (
+    "vercel.app",
+    "cloudflare-ipfs.com",
+    "workers.dev",
+    "r2.dev",
+    "oraclecloud.com",
+    "cloudfront.net",
+)
+
+
+def timeline_summary(timelines: list[DomainTimeline]) -> TimelineSummary:
+    deltas_a = [t.timedelta_a for t in timelines if t.timedelta_a is not None]
+    deltas_b = [t.timedelta_b for t in timelines if t.timedelta_b is not None]
+    outliers = [t for t in timelines if t.is_outlier]
+    return TimelineSummary(
+        n_domains=len(timelines),
+        median_timedelta_a=stats.median(deltas_a),
+        median_timedelta_b=stats.median(deltas_b),
+        kurtosis_a=stats.excess_kurtosis(deltas_a),
+        kurtosis_b=stats.excess_kurtosis(deltas_b),
+        over_90d_a=sum(1 for delta in deltas_a if delta > HOURS_90_DAYS),
+        over_90d_b=sum(1 for delta in deltas_b if delta > HOURS_90_DAYS),
+        over_90d_b_compromised=sum(
+            1
+            for t in timelines
+            if t.timedelta_b is not None and t.timedelta_b > HOURS_90_DAYS and t.compromised
+        ),
+        outliers=len(outliers),
+        outlier_compromised=sum(1 for t in outliers if t.compromised),
+        outlier_abused_services=sum(
+            1 for t in outliers if t.domain.endswith(ABUSED_SERVICE_SUFFIXES)
+        ),
+        histogram_a_days=stats.histogram_days([d for d in deltas_a if d <= HOURS_90_DAYS]),
+        histogram_b_days=stats.histogram_days([d for d in deltas_b if d <= HOURS_90_DAYS]),
+    )

@@ -1,0 +1,32 @@
+"""Bot-detection services (Section IV-D's three tools, plus reCAPTCHA v3).
+
+Each service is modelled at the same layer it operates in reality:
+
+- :mod:`~repro.botdetect.botd` — BotD, a purely client-side open-source
+  library: a script computes a verdict from in-page signals.
+- :mod:`~repro.botdetect.turnstile` — Cloudflare Turnstile: an
+  interstitial challenge script probing the environment (automation
+  flags, CDP artifacts, timing proof-of-work, trusted input events)
+  whose payload a verification endpoint scores together with
+  network-level context, then issues a clearance cookie.
+- :mod:`~repro.botdetect.anonwaf` — the anonymous commercial WAF:
+  network-side checks on *every* request (TLS stack fingerprint, HTTP
+  header quirks, IP reputation) plus a behavioural JS sensor, with a
+  per-visit verdict log like the one the paper consulted.
+- :mod:`~repro.botdetect.recaptcha` — Google reCAPTCHA v3: a background
+  scoring service kits run *after* Turnstile, "thereby preventing the
+  need for victims to interact with two CAPTCHA-like solutions".
+"""
+
+from repro.botdetect.botd import botd_script, read_botd_verdict
+from repro.botdetect.turnstile import TurnstileProtection
+from repro.botdetect.anonwaf import AnonWafProtection
+from repro.botdetect.recaptcha import RecaptchaService
+
+__all__ = [
+    "botd_script",
+    "read_botd_verdict",
+    "TurnstileProtection",
+    "AnonWafProtection",
+    "RecaptchaService",
+]

@@ -1,0 +1,176 @@
+"""AnonWAF: the anonymous commercial Web Application Firewall.
+
+Per Section IV-D it "employs sophisticated techniques, including TLS
+fingerprinting, behavioral analysis, JavaScript fingerprinting, and
+HTTP header inspection".  The model therefore checks every request at
+the network layer (TLS stack, header quirks — including the Puppeteer
+request-interception cache anomaly the paper discovered — automation
+flags in the UA, IP reputation) and, on first contact, serves a sensor
+interstitial whose behavioural payload feeds the same per-visit verdict
+log the authors consulted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.botdetect import signals
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.site import Website
+
+SENSOR_PATH = "/_waf/sensor"
+CLEARANCE_COOKIE = "anonwaf_clearance"
+
+_SENSOR_TEMPLATE = """<html>
+<head><title>One moment please</title></head>
+<body>
+<noscript>Please enable JavaScript.</noscript>
+<script>
+%(collector)s
+setTimeout(function(){
+  var xhr = new XMLHttpRequest();
+  xhr.open('POST', '%(sensor_path)s');
+  xhr.onload = function(){
+    var verdict = JSON.parse(xhr.responseText);
+    if (verdict.pass) { location.reload(); }
+  };
+  xhr.send(JSON.stringify(payload));
+}, 50);
+</script>
+</body></html>"""
+
+
+@dataclass
+class WafVerdict:
+    """One entry in the WAF's visit log."""
+
+    client_ip: str
+    path: str
+    classified_as: str  # 'human' | 'bot'
+    detections: tuple[signals.Detection, ...] = ()
+    stage: str = "network"  # 'network' | 'sensor'
+    timestamp: float = 0.0
+
+
+@dataclass
+class AnonWafProtection:
+    """Wraps a website's handler with network + sensor inspection."""
+
+    website: Website
+    verdict_log: list[WafVerdict] = field(default_factory=list)
+    _clearances: dict[str, str] = field(default_factory=dict)
+    _counter: int = 0
+
+    def __post_init__(self):
+        self._inner_handle = self.website.handle
+        self.website.handle = self.handle  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def network_detections(
+        self, request: HttpRequest, context: ClientContext
+    ) -> list[signals.Detection]:
+        headers = {name: value for name, value in request.headers.items()}
+        checks = [
+            signals.check_tls_stack(context),
+            signals.check_interception_headers(headers),
+            signals.check_ip_reputation(context),
+        ]
+        agent = request.user_agent
+        if "HeadlessChrome" in agent or "PhantomJS" in agent:
+            checks.append(signals.Detection("headless-user-agent", agent[:60]))
+        return [check for check in checks if check is not None]
+
+    def handle(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        network_hits = self.network_detections(request, context)
+        if network_hits:
+            self.verdict_log.append(
+                WafVerdict(
+                    client_ip=context.ip,
+                    path=request.url.path,
+                    classified_as="bot",
+                    detections=tuple(network_hits),
+                    stage="network",
+                    timestamp=request.timestamp,
+                )
+            )
+            return HttpResponse.forbidden("Access denied")
+
+        if request.url.path == SENSOR_PATH:
+            return self._handle_sensor(request, context)
+
+        if self._has_clearance(request, context):
+            self.verdict_log.append(
+                WafVerdict(
+                    client_ip=context.ip,
+                    path=request.url.path,
+                    classified_as="human",
+                    stage="network",
+                    timestamp=request.timestamp,
+                )
+            )
+            return self._inner_handle(request, context)
+
+        return HttpResponse(
+            status=403,
+            body=_SENSOR_TEMPLATE
+            % {"collector": signals.COLLECTOR_SNIPPET, "sensor_path": SENSOR_PATH},
+        )
+
+    # ------------------------------------------------------------------
+    def _has_clearance(self, request: HttpRequest, context: ClientContext) -> bool:
+        cookie_header = request.headers.get("Cookie", "") or ""
+        for part in cookie_header.split(";"):
+            part = part.strip()
+            if part.startswith(f"{CLEARANCE_COOKIE}="):
+                token = part.split("=", 1)[1]
+                return self._clearances.get(token) == context.ip
+        return False
+
+    def sensor_detections(self, payload: dict) -> list[signals.Detection]:
+        checks = (
+            signals.check_webdriver(payload),
+            signals.check_headless_ua(payload),
+            signals.check_behaviour(payload),
+        )
+        return [check for check in checks if check is not None]
+
+    def _handle_sensor(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        try:
+            payload = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            payload = {}
+        detections = self.sensor_detections(payload)
+        passed = not detections
+        self.verdict_log.append(
+            WafVerdict(
+                client_ip=context.ip,
+                path=request.url.path,
+                classified_as="human" if passed else "bot",
+                detections=tuple(detections),
+                stage="sensor",
+                timestamp=request.timestamp,
+            )
+        )
+        if not passed:
+            return HttpResponse(
+                status=200,
+                body=json.dumps({"pass": False, "reasons": [d.signal for d in detections]}),
+                content_type="application/json",
+            )
+        self._counter += 1
+        token = f"waf-{self._counter:06d}"
+        self._clearances[token] = context.ip
+        response = HttpResponse(
+            status=200, body=json.dumps({"pass": True}), content_type="application/json"
+        )
+        response.headers.set("Set-Cookie", f"{CLEARANCE_COOKIE}={token}; Path=/; HttpOnly")
+        return response
+
+    # ------------------------------------------------------------------
+    def human_visits(self) -> list[WafVerdict]:
+        return [verdict for verdict in self.verdict_log if verdict.classified_as == "human"]
+
+    def bot_visits(self) -> list[WafVerdict]:
+        return [verdict for verdict in self.verdict_log if verdict.classified_as == "bot"]

@@ -1,0 +1,70 @@
+"""BotD: the open-source client-side bot-detection library.
+
+BotD runs entirely in the page: it inspects automation flags, the user
+agent, the plugin surface, and window metrics, and exposes its verdict
+to the embedding site.  Phishing kits in the paper embedded BotD (and
+FingerprintJS) directly — five messages in a July campaign — and the
+Table I assessment uses it as the "basic bot detection" baseline.
+"""
+
+from __future__ import annotations
+
+from repro.browser.session import PageSession
+from repro.js.interp import JSObject
+from repro.js.stdlib import js_to_python
+
+#: The library script: computes window.__botd_result = {bot, botKind}.
+BOTD_SCRIPT = """
+(function(){
+  var reasons = [];
+  if (navigator.webdriver === true) { reasons.push('webdriver'); }
+  var ua = navigator.userAgent;
+  if (ua.indexOf('HeadlessChrome') !== -1 || ua.indexOf('PhantomJS') !== -1) {
+    reasons.push('headless_ua');
+  }
+  var isMobile = ua.indexOf('Mobile') !== -1 || ua.indexOf('iPhone') !== -1 || ua.indexOf('Android') !== -1;
+  if (!isMobile && navigator.plugins.length === 0 && typeof window.chrome === 'undefined') {
+    reasons.push('plugin_surface');
+  }
+  if (window.outerWidth === 0 || window.outerHeight === 0) {
+    reasons.push('window_metrics');
+  }
+  window.__botd_result = {
+    bot: reasons.length > 0,
+    botKind: reasons.length > 0 ? reasons[0] : '',
+    reasons: reasons
+  };
+})();
+"""
+
+
+def botd_script() -> str:
+    """The BotD library source a page can inline."""
+    return BOTD_SCRIPT
+
+
+def botd_gate_script(on_human: str, on_bot: str) -> str:
+    """BotD plus a gate: run ``on_human`` or ``on_bot`` based on the verdict."""
+    return (
+        BOTD_SCRIPT
+        + "\nif (window.__botd_result.bot) {\n"
+        + on_bot
+        + "\n} else {\n"
+        + on_human
+        + "\n}\n"
+    )
+
+
+def read_botd_verdict(session: PageSession) -> dict | None:
+    """Read back the verdict BotD left on the window object."""
+    window = session.window
+    if window is None:
+        return None
+    result = window.get("__botd_result")
+    if not isinstance(result, JSObject):
+        # The library also lands on globals when `window.x =` is not used.
+        if session.interp.globals.has("__botd_result"):
+            result = session.interp.globals.lookup("__botd_result")
+        if not isinstance(result, JSObject):
+            return None
+    return js_to_python(result)

@@ -1,0 +1,110 @@
+"""Google-reCAPTCHA-v3-style background scoring.
+
+v3 never shows a challenge: a script collects environment data and the
+service returns a score in [0, 1].  The paper found kits running
+reCAPTCHA "in the background following Turnstile, thereby preventing
+the need for victims to interact with two CAPTCHA-like solutions
+consecutively" (Section V-C.2.b) — 314 of the reported phishing
+messages used it, typically as the second fingerprinting layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.botdetect import signals
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.network import Network
+from repro.web.site import Website
+from repro.web.tls import TLSCertificate
+
+SERVICE_DOMAIN = "recaptcha.google-services.example"
+SCORE_PATH = "/recaptcha/api/score"
+
+#: Client-side snippet kits embed: grecaptcha.execute() -> score callback.
+RECAPTCHA_SNIPPET = """
+%(collector)s
+setTimeout(function(){
+  var xhr = new XMLHttpRequest();
+  xhr.open('POST', 'https://%(domain)s%(path)s');
+  xhr.onload = function(){
+    var result = JSON.parse(xhr.responseText);
+    window.__recaptcha_score = result.score;
+    %(on_score)s
+  };
+  xhr.send(JSON.stringify(payload));
+}, 60);
+"""
+
+
+@dataclass
+class ScoreRecord:
+    client_ip: str
+    score: float
+    detections: tuple[signals.Detection, ...] = ()
+    timestamp: float = 0.0
+
+
+@dataclass
+class RecaptchaService:
+    """The scoring backend, hostable on the network fabric."""
+
+    score_log: list[ScoreRecord] = field(default_factory=list)
+
+    def score(self, payload: dict, context: ClientContext) -> tuple[float, list[signals.Detection]]:
+        """Score a visitor: 0.9 pristine, each signal costs 0.3."""
+        checks = (
+            signals.check_webdriver(payload),
+            signals.check_headless_ua(payload),
+            signals.check_plugin_surface(payload),
+            signals.check_cdp_artifact(payload),
+            signals.check_behaviour(payload),
+        )
+        detections = [check for check in checks if check is not None]
+        if context.known_scanner or context.looks_like_cloud:
+            detections.append(signals.check_ip_reputation(context))  # type: ignore[arg-type]
+        value = max(0.1, 0.9 - 0.3 * len(detections))
+        return value, detections
+
+    def install(self, network: Network) -> Website:
+        """Host the scoring endpoint on the fabric."""
+        site = Website(SERVICE_DOMAIN, ip="142.250.0.9")
+
+        def _score_handler(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            try:
+                payload = json.loads(request.body or "{}")
+            except json.JSONDecodeError:
+                payload = {}
+            value, detections = self.score(payload, context)
+            self.score_log.append(
+                ScoreRecord(
+                    client_ip=context.ip,
+                    score=value,
+                    detections=tuple(detections),
+                    timestamp=request.timestamp,
+                )
+            )
+            return HttpResponse(
+                status=200,
+                body=json.dumps({"score": value}),
+                content_type="application/json",
+            )
+
+        site.add_handler(SCORE_PATH, _score_handler)
+        network.host_website(site)
+        network.issue_certificate(
+            TLSCertificate(SERVICE_DOMAIN, "GTS", float("-inf"), float("inf"))
+        )
+        return site
+
+    @staticmethod
+    def embed_snippet(on_score: str = "") -> str:
+        """The script kits inline to run a background score check."""
+        return RECAPTCHA_SNIPPET % {
+            "collector": signals.COLLECTOR_SNIPPET,
+            "domain": SERVICE_DOMAIN,
+            "path": SCORE_PATH,
+            "on_score": on_score,
+        }

@@ -1,0 +1,134 @@
+"""Shared signal definitions and payload scoring for bot detectors.
+
+The three services check overlapping but distinct signal sets — that is
+what produces Table I's pattern (e.g. undetected_chromedriver passes the
+WAF yet fails Turnstile, because only Turnstile looks for the CDP
+``Runtime.enable`` artifact).  This module centralises the individual
+checks; each detector composes its own subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.context import ClientContext
+
+#: TLS ClientHello fingerprints that belong to real browser stacks.
+BROWSER_TLS_FINGERPRINTS = frozenset({"chrome", "firefox", "safari", "safari-ios", "edge"})
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One triggered signal."""
+
+    signal: str
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# Client-side (JS-collectable) signal checks.  ``payload`` is the dict a
+# challenge script assembled in the page and POSTed to the verifier.
+# ----------------------------------------------------------------------
+def check_webdriver(payload: dict) -> Detection | None:
+    if payload.get("webdriver"):
+        return Detection("navigator.webdriver", "automation flag set")
+    return None
+
+
+def check_headless_ua(payload: dict) -> Detection | None:
+    agent = str(payload.get("userAgent", ""))
+    if "HeadlessChrome" in agent or "PhantomJS" in agent:
+        return Detection("headless-user-agent", agent[:60])
+    return None
+
+
+def check_plugin_surface(payload: dict) -> Detection | None:
+    """Desktop Chrome without plugins and without window.chrome is headless."""
+    agent = str(payload.get("userAgent", ""))
+    is_mobile = "Mobile" in agent or "iPhone" in agent or "Android" in agent
+    if is_mobile:
+        return None
+    if float(payload.get("plugins", 0)) == 0 and not payload.get("hasChrome", False):
+        return Detection("plugin-surface", "no plugins and no window.chrome on desktop")
+    return None
+
+
+def check_window_dimensions(payload: dict) -> Detection | None:
+    if float(payload.get("outerWidth", 1)) == 0 or float(payload.get("outerHeight", 1)) == 0:
+        return Detection("zero-outer-window", "headless window metrics")
+    return None
+
+
+def check_cdp_artifact(payload: dict) -> Detection | None:
+    if payload.get("cdpArtifact"):
+        return Detection("cdp-runtime-leak", "DevTools Runtime.enable artifact visible")
+    return None
+
+
+def check_timing_quantization(payload: dict) -> Detection | None:
+    if payload.get("timingQuantized"):
+        return Detection("vm-timing", "performance.now() is coarsely quantized")
+    return None
+
+
+def check_behaviour(payload: dict) -> Detection | None:
+    """No mouse activity, or synthetic (untrusted) events only."""
+    moves = float(payload.get("mouseMoves", 0))
+    trusted = float(payload.get("trustedMoves", 0))
+    if moves == 0:
+        return Detection("no-mouse-activity", "no input events observed")
+    if trusted == 0:
+        return Detection("untrusted-events", "all input events are synthetic")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Network-side checks.
+# ----------------------------------------------------------------------
+def check_tls_stack(context: ClientContext) -> Detection | None:
+    if context.tls_fingerprint not in BROWSER_TLS_FINGERPRINTS:
+        return Detection("tls-fingerprint", f"non-browser TLS stack {context.tls_fingerprint}")
+    return None
+
+
+def check_interception_headers(headers: dict[str, str]) -> Detection | None:
+    """The Puppeteer request-interception cache quirk (Section IV-C)."""
+    lowered = {name.lower(): value for name, value in headers.items()}
+    if lowered.get("cache-control", "").lower() == "no-cache" and "pragma" in lowered:
+        return Detection("interception-cache-headers", "Cache-Control/Pragma anomaly")
+    return None
+
+
+def check_ip_reputation(context: ClientContext) -> Detection | None:
+    if context.known_scanner:
+        return Detection("scanner-ip", f"{context.ip} on scanner blocklist")
+    if context.looks_like_cloud:
+        return Detection("cloud-ip", f"{context.ip_type} address")
+    return None
+
+
+#: The JS snippet every challenge script embeds to collect its payload.
+COLLECTOR_SNIPPET = """
+var payload = {
+  webdriver: navigator.webdriver === true,
+  userAgent: navigator.userAgent,
+  plugins: navigator.plugins.length,
+  hasChrome: typeof window.chrome !== 'undefined',
+  outerWidth: window.outerWidth,
+  outerHeight: window.outerHeight,
+  language: navigator.language,
+  timezone: Intl.DateTimeFormat().resolvedOptions().timeZone,
+  cdpArtifact: typeof __cdp_runtime_binding !== 'undefined',
+  timingQuantized: false,
+  mouseMoves: 0,
+  trustedMoves: 0
+};
+var t1 = performance.now();
+var t2 = performance.now();
+var t3 = performance.now();
+payload.timingQuantized = (t1 % 1 === 0) && (t2 % 1 === 0) && (t3 % 1 === 0);
+document.addEventListener('mousemove', function(e){
+  payload.mouseMoves = payload.mouseMoves + 1;
+  if (e.isTrusted) { payload.trustedMoves = payload.trustedMoves + 1; }
+});
+"""

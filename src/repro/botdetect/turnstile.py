@@ -1,0 +1,144 @@
+"""Cloudflare-Turnstile-style challenge protection.
+
+Turnstile fronts a website with "a sequence of JavaScript challenges
+that collect data about the browser environment" (Section IV-D).  The
+model follows the real control flow:
+
+1. A visitor without a clearance cookie receives the interstitial page
+   whose script probes the environment (automation flags, CDP
+   artifacts, a timing proof-of-work, plugin surface) and registers an
+   input listener to observe trusted mouse events.
+2. The payload is POSTed to the challenge endpoint, which combines it
+   with network-level context and either issues a ``cf_clearance``
+   cookie (the page then reloads) or keeps serving the challenge.
+3. Subsequent requests bearing a valid clearance pass through to the
+   protected site.
+
+The paper's NotABot passes "without requiring any interaction" — the
+behaviour rewarded with a Cloudflare bug bounty — because its CDP-native
+synthetic input is indistinguishable from a human's.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.botdetect import signals
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.site import Website
+
+CHALLENGE_PATH = "/cdn-cgi/challenge"
+CLEARANCE_COOKIE = "cf_clearance"
+
+_INTERSTITIAL_TEMPLATE = """<html>
+<head><title>Just a moment...</title></head>
+<body>
+<h1>Checking your browser before accessing this site.</h1>
+<div id="turnstile-widget">Verifying...</div>
+<script>
+%(collector)s
+setTimeout(function(){
+  var xhr = new XMLHttpRequest();
+  xhr.open('POST', '%(challenge_path)s');
+  xhr.onload = function(){
+    var verdict = JSON.parse(xhr.responseText);
+    if (verdict.pass) { location.reload(); }
+  };
+  xhr.send(JSON.stringify(payload));
+}, 50);
+</script>
+</body></html>"""
+
+
+@dataclass
+class TurnstileVerdict:
+    """One logged challenge assessment."""
+
+    client_ip: str
+    passed: bool
+    detections: tuple[signals.Detection, ...] = ()
+    timestamp: float = 0.0
+
+
+@dataclass
+class TurnstileProtection:
+    """Wraps a website's handler with the Turnstile flow."""
+
+    website: Website
+    verdict_log: list[TurnstileVerdict] = field(default_factory=list)
+    _clearances: dict[str, str] = field(default_factory=dict)  # token -> ip
+    _counter: int = 0
+
+    def __post_init__(self):
+        self._inner_handle = self.website.handle
+        self.website.handle = self.handle  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        if request.url.path == CHALLENGE_PATH:
+            return self._handle_challenge(request, context)
+        if self._has_clearance(request, context):
+            return self._inner_handle(request, context)
+        return HttpResponse(
+            status=403,
+            body=_INTERSTITIAL_TEMPLATE
+            % {"collector": signals.COLLECTOR_SNIPPET, "challenge_path": CHALLENGE_PATH},
+        )
+
+    # ------------------------------------------------------------------
+    def _has_clearance(self, request: HttpRequest, context: ClientContext) -> bool:
+        cookie_header = request.headers.get("Cookie", "") or ""
+        for part in cookie_header.split(";"):
+            part = part.strip()
+            if part.startswith(f"{CLEARANCE_COOKIE}="):
+                token = part.split("=", 1)[1]
+                return self._clearances.get(token) == context.ip
+        return False
+
+    def assess(self, payload: dict, context: ClientContext) -> list[signals.Detection]:
+        """All triggered signals for a challenge payload."""
+        checks = (
+            signals.check_webdriver(payload),
+            signals.check_headless_ua(payload),
+            signals.check_plugin_surface(payload),
+            signals.check_window_dimensions(payload),
+            signals.check_cdp_artifact(payload),
+            signals.check_timing_quantization(payload),
+            signals.check_behaviour(payload),
+        )
+        detections = [check for check in checks if check is not None]
+        if context.known_scanner:
+            detections.append(signals.Detection("scanner-ip", context.ip))
+        return detections
+
+    def _handle_challenge(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        try:
+            payload = json.loads(request.body or "{}")
+        except json.JSONDecodeError:
+            payload = {}
+        detections = self.assess(payload, context)
+        passed = not detections
+        self.verdict_log.append(
+            TurnstileVerdict(
+                client_ip=context.ip,
+                passed=passed,
+                detections=tuple(detections),
+                timestamp=request.timestamp,
+            )
+        )
+        if not passed:
+            return HttpResponse(
+                status=200,
+                body=json.dumps({"pass": False, "reasons": [d.signal for d in detections]}),
+                content_type="application/json",
+            )
+        self._counter += 1
+        token = f"clearance-{self._counter:06d}"
+        self._clearances[token] = context.ip
+        response = HttpResponse(
+            status=200, body=json.dumps({"pass": True}), content_type="application/json"
+        )
+        response.headers.set("Set-Cookie", f"{CLEARANCE_COOKIE}={token}; Path=/; HttpOnly")
+        return response

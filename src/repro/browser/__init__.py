@@ -1,0 +1,24 @@
+"""Browser substrate: the client side of the simulated web.
+
+Everything a bot-detection service can observe about a visitor lives in
+a :class:`~repro.browser.profile.BrowserProfile`: the JavaScript-visible
+environment (``navigator.webdriver``, user agent, plugins, screen,
+timezone), behavioural signals (trusted mouse events), network identity
+(IP type, TLS stack fingerprint), and instrumentation artifacts (CDP
+``Runtime.enable`` leak, the request-interception cache-header quirk the
+paper discovered in Puppeteer).
+
+A :class:`~repro.browser.browser.Browser` drives pages over the
+:class:`~repro.web.network.Network`: it follows redirects, keeps
+cookies, executes each page's inline scripts with the PhishScript
+interpreter (wired to real host objects in
+:mod:`~repro.browser.hosts`), dispatches synthetic events, services
+timers, honours script navigation, and takes screenshots via
+:mod:`~repro.browser.render`.
+"""
+
+from repro.browser.profile import BrowserProfile
+from repro.browser.browser import Browser, VisitOutcome, VisitResult
+from repro.browser.render import render_visual
+
+__all__ = ["BrowserProfile", "Browser", "VisitResult", "VisitOutcome", "render_visual"]

@@ -1,0 +1,142 @@
+"""Browser profiles: the complete fingerprint surface of a client.
+
+Section IV-C/IV-D of the paper enumerates exactly which attributes the
+anti-bot services inspect and which ones NotABot scrubs: the
+``navigator.webdriver`` flag (the ``AutomationControlled`` switch),
+headless indicators, CDP instrumentation artifacts, the
+request-interception caching quirk (``Cache-Control``/``Pragma``
+headers), untrusted synthetic events, datacenter IPs, and VM timing
+side channels.  Each is one field here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.web.context import (
+    ClientContext,
+    IP_DATACENTER,
+    IP_MOBILE,
+    IP_RESIDENTIAL,
+)
+
+CHROME_UA = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/120.0.0.0 Safari/537.36"
+)
+HEADLESS_CHROME_UA = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) HeadlessChrome/120.0.0.0 Safari/537.36"
+)
+MOBILE_SAFARI_UA = (
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 17_0 like Mac OS X) AppleWebKit/605.1.15 "
+    "(KHTML, like Gecko) Version/17.0 Mobile/15E148 Safari/604.1"
+)
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """Everything observable about one browser client."""
+
+    name: str = "human-chrome"
+    user_agent: str = CHROME_UA
+    headless: bool = False
+    #: Value of navigator.webdriver (True on default automation stacks).
+    webdriver_flag: bool = False
+    #: Chrome DevTools Protocol Runtime.enable artifacts observable in-page.
+    cdp_runtime_leak: bool = False
+    #: Puppeteer request interception left enabled -> cache-header quirk.
+    interception_cache_quirk: bool = False
+    #: Synthetic input events carry isTrusted == True (CDP-native input).
+    trusted_events: bool = True
+    #: Whether the client generates any mouse movement at all.
+    generates_mouse_movement: bool = True
+    plugins_count: int = 3
+    languages: tuple[str, ...] = ("en-US", "en")
+    timezone: str = "Europe/Paris"
+    screen_width: int = 1920
+    screen_height: int = 1080
+    color_depth: int = 24
+    cookies_enabled: bool = True
+    #: window.chrome object present (real Chrome exposes it).
+    has_chrome_object: bool = True
+    #: Running inside a VM quantises fine-grained timers (timing red pill).
+    vm_timing_quantization: bool = False
+    #: Client network identity.
+    ip: str = "93.184.0.10"
+    ip_type: str = IP_RESIDENTIAL
+    country: str = "FR"
+    asn: str = "AS3215"
+    network_name: str = "Orange"
+    tls_fingerprint: str = "chrome"
+    known_scanner_ip: bool = False
+
+    # ------------------------------------------------------------------
+    def client_context(self) -> ClientContext:
+        """The network-level view servers get of this client."""
+        return ClientContext(
+            ip=self.ip,
+            ip_type=self.ip_type,
+            country=self.country,
+            asn=self.asn,
+            network_name=self.network_name,
+            tls_fingerprint=self.tls_fingerprint,
+            known_scanner=self.known_scanner_ip,
+        )
+
+    @property
+    def is_mobile(self) -> bool:
+        return "Mobile" in self.user_agent or "iPhone" in self.user_agent
+
+    def derive(self, **changes) -> "BrowserProfile":
+        """A copy of this profile with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def human_chrome_profile(ip: str = "93.184.0.10") -> BrowserProfile:
+    """A real person on desktop Chrome over a residential connection."""
+    return BrowserProfile(name="human-chrome", ip=ip)
+
+
+def mobile_phone_profile(ip: str = "100.70.0.22") -> BrowserProfile:
+    """A personal smartphone on a mobile data plan (the QR-code path).
+
+    Access from this profile "will typically fall outside the perimeter
+    of the corporate security defenses" — it is how quishing victims
+    reach mobile-only phishing pages.
+    """
+    return BrowserProfile(
+        name="mobile-safari",
+        user_agent=MOBILE_SAFARI_UA,
+        plugins_count=0,
+        screen_width=390,
+        screen_height=844,
+        timezone="Europe/Paris",
+        ip=ip,
+        ip_type=IP_MOBILE,
+        asn="AS20810",
+        network_name="SFR Mobile",
+        tls_fingerprint="safari-ios",
+    )
+
+
+def datacenter_scanner_profile(ip: str = "52.20.0.5") -> BrowserProfile:
+    """A naive security scanner: headless Chrome in the cloud."""
+    return BrowserProfile(
+        name="naive-scanner",
+        user_agent=HEADLESS_CHROME_UA,
+        headless=True,
+        webdriver_flag=True,
+        cdp_runtime_leak=True,
+        trusted_events=False,
+        generates_mouse_movement=False,
+        plugins_count=0,
+        has_chrome_object=False,
+        vm_timing_quantization=True,
+        ip=ip,
+        ip_type=IP_DATACENTER,
+        asn="AS14618",
+        network_name="Amazon AWS",
+        tls_fingerprint="python-requests",
+        known_scanner_ip=True,
+    )

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``     generate the calibrated world, analyse the corpus, print
+              the headline statistics (optionally export the artifacts).
+- ``report``  recompute the statistics from a previously exported run.
+- ``table1``  the crawler-vs-detector assessment, computed live.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _print_study_report(records, world=None) -> None:
+    from repro.analysis import figures
+    from repro.core.outcomes import MessageCategory
+
+    breakdown = figures.outcome_breakdown(records)
+    print(f"\nMessages analysed: {breakdown.total}")
+    print("Outcome breakdown:")
+    for label, category in (
+        ("no web resources", MessageCategory.NO_RESOURCES),
+        ("error pages", MessageCategory.ERROR),
+        ("interaction required", MessageCategory.INTERACTION),
+        ("downloads", MessageCategory.DOWNLOAD),
+        ("active phishing", MessageCategory.ACTIVE_PHISHING),
+    ):
+        print(f"  {label:<22s} {breakdown.count(category):>6d} "
+              f"({100 * breakdown.fraction(category):5.1f}%)")
+
+    spear = sum(1 for record in records if record.spear_brand is not None)
+    active = breakdown.count(MessageCategory.ACTIVE_PHISHING)
+    if active:
+        print(f"Spear phishing: {spear}/{active} ({100 * spear / active:.1f}% of active)")
+
+    evasion = figures.section5c_evasion(records)
+    print(f"Turnstile prevalence: {100 * evasion.turnstile_fraction:.1f}% | "
+          f"reCAPTCHA: {100 * evasion.recaptcha_fraction:.1f}% | "
+          f"faulty QR: {evasion.faulty_qr} | console hijack: {evasion.console_hijack}")
+    clusters = [c for c in evasion.shared_script_clusters if c.kind == "victim-check"]
+    for cluster in clusters:
+        print(f"Shared victim-check script: {cluster.n_domains} domains / "
+              f"{cluster.n_messages} messages")
+
+    if world is not None:
+        summary = figures.figure3(records, world.network)
+        print(f"Timelines: median registration->delivery {summary.median_timedelta_a:.0f} h, "
+              f"TLS->delivery {summary.median_timedelta_b:.0f} h "
+              f"({summary.over_90d_a} domains registered >90 d ahead)")
+
+    from repro.analysis.infrastructure import summarize_infrastructure
+
+    infrastructure = summarize_infrastructure(records)
+    print(f"Infrastructure: {infrastructure.n_domains} landing domains in "
+          f"{infrastructure.n_campaigns} campaigns "
+          f"({infrastructure.singleton_campaigns} singletons, largest "
+          f"{infrastructure.largest_campaign_domains} domains)")
+
+
+def cmd_run(args) -> int:
+    from repro import CorpusGenerator, CrawlerBox
+
+    print(f"Generating world and corpus (seed={args.seed}, scale={args.scale}) ...")
+    started = time.time()
+    corpus = CorpusGenerator(seed=args.seed, scale=args.scale).generate()
+    print(f"  {len(corpus.messages)} messages, {len(corpus.domain_plans)} landing domains "
+          f"({time.time() - started:.1f}s)")
+
+    print("Running CrawlerBox over the corpus ...")
+    started = time.time()
+    box = CrawlerBox.for_world(corpus.world)
+    records = box.analyze_corpus(corpus.messages)
+    print(f"  analysed in {time.time() - started:.1f}s")
+
+    _print_study_report(records, corpus.world)
+
+    if args.export:
+        from repro.core.export import save_records
+
+        save_records(records, args.export)
+        print(f"\nArtifacts exported to {args.export}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.export import load_records
+
+    records = load_records(args.artifacts)
+    print(f"Loaded {len(records)} records from {args.artifacts}")
+    _print_study_report(records)
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.crawlers.assessment import assess_all_crawlers
+
+    header = f"{'crawler':<26s}|{'BotD':^8s}|{'Turnstile':^11s}|{'AnonWAF':^9s}|"
+    print(header)
+    print("-" * len(header))
+    for row in assess_all_crawlers(seed=args.seed):
+        def mark(passed: bool) -> str:
+            return "pass" if passed else "FAIL"
+
+        print(f"{row.crawler:<26s}|{mark(row.passes_botd):^8s}|"
+              f"{mark(row.passes_turnstile):^11s}|{mark(row.passes_anonwaf):^9s}|")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Closer Look At Modern Evasive Phishing Emails' (DSN 2025)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="generate + analyse the study corpus")
+    run_parser.add_argument("--scale", type=float, default=0.15,
+                            help="corpus scale in (0,1]; 1.0 = the full 5,181 messages")
+    run_parser.add_argument("--seed", type=int, default=2024)
+    run_parser.add_argument("--export", metavar="PATH", default=None,
+                            help="write the analysis artifacts to a JSON file")
+    run_parser.set_defaults(handler=cmd_run)
+
+    report_parser = subparsers.add_parser("report", help="re-derive statistics from exported artifacts")
+    report_parser.add_argument("artifacts", help="path produced by 'run --export'")
+    report_parser.set_defaults(handler=cmd_report)
+
+    table1_parser = subparsers.add_parser("table1", help="crawler-vs-detector assessment (Table I)")
+    table1_parser.add_argument("--seed", type=int, default=7)
+    table1_parser.set_defaults(handler=cmd_table1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""CrawlerBox: the paper's analysis infrastructure (Figure 1).
+
+The pipeline's three phases map onto this subpackage:
+
+1. **Fetching/pruning** — :mod:`~repro.core.triage` models the funnel of
+   Section IV-A (60 M inbound emails/month, gateway filtering, user
+   reports, expert tagging); the pipeline itself consumes only the
+   expert-confirmed malicious messages.
+2. **Parsing + crawling** — :mod:`~repro.core.pipeline` drives the
+   recursive parser of :mod:`repro.mail.parser`, dynamically loads
+   HTML/JS attachments, and crawls every extracted URL with NotABot.
+3. **Logging** — :mod:`~repro.core.artifacts` records URLs, certificates,
+   IPs, requests, screenshots (as fuzzy hashes), and evasion signals;
+   :mod:`~repro.core.outcomes` classifies each message into the Section V
+   buckets; :mod:`~repro.core.spearphish` is the pHash+dHash lookalike
+   classifier; :mod:`~repro.core.report` aggregates the key findings.
+"""
+
+from repro.core.pipeline import CrawlerBox, PipelineConfig
+from repro.core.outcomes import MessageCategory, PageClass
+from repro.core.spearphish import SpearPhishClassifier
+from repro.core.artifacts import MessageRecord, UrlCrawl
+from repro.core.triage import TriageFunnel, simulate_triage_funnel
+
+__all__ = [
+    "CrawlerBox",
+    "PipelineConfig",
+    "MessageCategory",
+    "PageClass",
+    "SpearPhishClassifier",
+    "MessageRecord",
+    "UrlCrawl",
+    "TriageFunnel",
+    "simulate_triage_funnel",
+]

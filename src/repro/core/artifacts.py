@@ -1,0 +1,129 @@
+"""Per-message analysis records — the pipeline's logged artifacts.
+
+Section IV-C: "The crawling phase is thoroughly logged, capturing the
+visited domains, their associated TLS certificates, corresponding IP
+addresses, as well as the requests and responses exchanged with the
+browser [...] The collected data is enriched with WHOIS information,
+Shodan service banners and Cisco Umbrella details.  Moreover, once the
+page is fully loaded, a screenshot is taken."
+
+Records keep *derived* data (hashes, signals, statuses) rather than the
+live sessions so a full-corpus run stays memory-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.session import SessionSignals
+from repro.enrichment.enricher import EnrichmentRecord
+from repro.mail.auth import AuthResults
+from repro.mail.parser import ExtractionReport
+
+
+@dataclass
+class UrlCrawl:
+    """One crawled URL and everything observed."""
+
+    url: str
+    outcome: str  # VisitOutcome constant
+    page_class: str  # PageClass constant
+    final_url: str = ""
+    url_chain: tuple[str, ...] = ()
+    landing_domain: str = ""
+    server_ip: str = ""
+    certificate_fingerprint: str = ""
+    certificate_not_before: float | None = None
+    signals: SessionSignals | None = None
+    #: Resource requests (url, kind, referrer) the page triggered.
+    resource_requests: tuple[tuple[str, str, str], ...] = ()
+    ajax_urls: tuple[str, ...] = ()
+    screenshot_phash: int | None = None
+    screenshot_dhash: int | None = None
+    executed_scripts: tuple[str, ...] = ()
+    http_statuses: tuple[int, ...] = ()
+    #: True when this URL came out of dynamic (in-browser) analysis
+    #: rather than static extraction.
+    discovered_dynamically: bool = False
+    extraction_method: str = ""
+    final_title: str = ""
+    final_text_snippet: str = ""
+
+
+@dataclass
+class MessageRecord:
+    """The complete analysis artifact for one reported message."""
+
+    message_index: int
+    delivered_at: float
+    recipient: str
+    sender_domain: str
+    auth: AuthResults | None = None
+    extraction: ExtractionReport | None = None
+    crawls: list[UrlCrawl] = field(default_factory=list)
+    category: str = ""
+    #: Spear-phishing classification (None = not a lookalike).
+    spear_brand: str | None = None
+    spear_distances: tuple[int, int] | None = None
+    #: Local HTML attachments that rendered a credential form in place.
+    local_login_form: bool = False
+    local_session_signals: list[SessionSignals] = field(default_factory=list)
+    enrichments: dict[str, EnrichmentRecord] = field(default_factory=dict)
+    #: Convenience copy of parse-level evasion observations.
+    qr_payloads: tuple[tuple[str, str], ...] = ()
+    noise_padded: bool = False
+    #: Ground truth passed through for calibration tests only.
+    ground_truth: dict = field(default_factory=dict)
+
+    def _phishing_crawls(self) -> list[UrlCrawl]:
+        """Crawls that actually reached phishing content.
+
+        A message may also touch benign infrastructure (media CDNs, form
+        collectors); only pages serving a (possibly gated) login flow
+        count as *landing* pages in the paper's Section V-A analysis.
+        """
+        return [
+            crawl
+            for crawl in self.crawls
+            if crawl.page_class in ("login_form", "gated_login")
+        ]
+
+    @property
+    def landing_domains(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for crawl in self._phishing_crawls():
+            if crawl.landing_domain and crawl.landing_domain not in seen:
+                seen.add(crawl.landing_domain)
+                ordered.append(crawl.landing_domain)
+        return ordered
+
+    @property
+    def landing_urls(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for crawl in self._phishing_crawls():
+            target = crawl.final_url or crawl.url
+            if target and target not in seen:
+                seen.add(target)
+                ordered.append(target)
+        return ordered
+
+    @property
+    def attempted_domains(self) -> list[str]:
+        """Every domain a crawl targeted (including dead/benign ones)."""
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for crawl in self.crawls:
+            domain = crawl.landing_domain
+            if not domain and crawl.url:
+                from repro.web.urls import UrlError, parse_url
+
+                try:
+                    domain = parse_url(crawl.url).host
+                except UrlError:
+                    domain = ""
+            if domain and domain not in seen:
+                seen.add(domain)
+                ordered.append(domain)
+        return ordered

@@ -1,0 +1,89 @@
+"""Key-findings aggregation over a set of analysis records.
+
+Produces the headline numbers the paper's "Key Findings" boxes report,
+computed from :class:`~repro.core.artifacts.MessageRecord` fields only
+(never from generator ground truth).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+
+
+@dataclass
+class KeyFindings:
+    """Aggregate statistics over an analyzed corpus."""
+
+    total_messages: int = 0
+    category_counts: Counter = field(default_factory=Counter)
+    spear_messages: int = 0
+    distinct_landing_urls: int = 0
+    distinct_landing_domains: int = 0
+    hotlink_spear_messages: int = 0
+    auth_all_pass: int = 0
+    noise_padded: int = 0
+    faulty_qr_messages: int = 0
+    qr_messages: int = 0
+    local_login_form_messages: int = 0
+
+    def category_fraction(self, category: str) -> float:
+        if not self.total_messages:
+            return 0.0
+        return self.category_counts[category] / self.total_messages
+
+    @property
+    def spear_fraction_of_active(self) -> float:
+        active = self.category_counts[MessageCategory.ACTIVE_PHISHING]
+        return self.spear_messages / active if active else 0.0
+
+
+def summarize(records: list[MessageRecord]) -> KeyFindings:
+    """Compute the key findings from analyzed records."""
+    from repro.qr.scanner import extract_url_strict
+
+    findings = KeyFindings(total_messages=len(records))
+    urls: set[str] = set()
+    domains: set[str] = set()
+    for record in records:
+        findings.category_counts[record.category] += 1
+        if record.spear_brand is not None:
+            findings.spear_messages += 1
+            if _loads_brand_resources(record):
+                findings.hotlink_spear_messages += 1
+        for url in record.landing_urls:
+            urls.add(url)
+        for domain in record.landing_domains:
+            domains.add(domain)
+        if record.auth is not None and record.auth.all_pass:
+            findings.auth_all_pass += 1
+        if record.noise_padded:
+            findings.noise_padded += 1
+        if record.qr_payloads:
+            findings.qr_messages += 1
+            if any(extract_url_strict(payload) is None for _, payload in record.qr_payloads):
+                findings.faulty_qr_messages += 1
+        if record.local_login_form:
+            findings.local_login_form_messages += 1
+    findings.distinct_landing_urls = len(urls)
+    findings.distinct_landing_domains = len(domains)
+    return findings
+
+
+def _loads_brand_resources(record: MessageRecord) -> bool:
+    """Did the phishing page pull resources from the impersonated org?
+
+    Section V-A's referral-monitoring finding: the page requests the
+    brand's logo/background from the brand's own domain.
+    """
+    if record.spear_brand is None:
+        return False
+    brand_token = record.spear_brand.lower().replace(" ", "")
+    for crawl in record.crawls:
+        for url, kind, _referrer in crawl.resource_requests:
+            if kind == "resource" and brand_token in url:
+                return True
+    return False

@@ -1,0 +1,27 @@
+"""Security crawlers: NotABot and the seven open-source comparators.
+
+Each crawler is a :class:`~repro.browser.browser.Browser` configured
+with the fingerprint surface its real-world counterpart exposes —
+``navigator.webdriver`` flags left unpatched, headless indicators, CDP
+``Runtime.enable`` artifacts, the Puppeteer request-interception cache
+quirk, synthetic-input trust, and the host/network environment (NotABot
+runs non-headless on a physical machine behind a 4G modem).
+
+:mod:`~repro.crawlers.assessment` runs the Table I experiment: every
+crawler against BotD, Turnstile, and AnonWAF.
+"""
+
+from repro.crawlers.base import Crawler
+from repro.crawlers.notabot import NotABot, notabot_profile
+from repro.crawlers.profiles import CRAWLER_PROFILES, crawler_profile
+from repro.crawlers.assessment import CrawlerAssessment, assess_all_crawlers
+
+__all__ = [
+    "Crawler",
+    "NotABot",
+    "notabot_profile",
+    "CRAWLER_PROFILES",
+    "crawler_profile",
+    "CrawlerAssessment",
+    "assess_all_crawlers",
+]

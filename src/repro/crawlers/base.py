@@ -1,0 +1,61 @@
+"""The crawler interface: a Browser plus crawl bookkeeping.
+
+CrawlerBox was "designed with a modular architecture, allowing for
+interchangeable use of the crawling component" (Section IV-A): the core
+pipeline accepts any :class:`Crawler`, so the Table I comparators can be
+swapped in for ablation runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.browser.browser import Browser, VisitResult
+from repro.browser.profile import BrowserProfile
+from repro.browser.session import PageSession
+from repro.web.network import Network
+
+
+class Crawler:
+    """A URL/HTML crawling component with a fixed fingerprint profile."""
+
+    def __init__(
+        self,
+        network: Network,
+        profile: BrowserProfile,
+        rng: random.Random | None = None,
+    ):
+        self.network = network
+        self.profile = profile
+        self.rng = rng or random.Random(0)
+        self.crawled: list[VisitResult] = []
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def _fresh_browser(self, timestamp: float) -> Browser:
+        """A new browser per crawl, like NotABot's per-site Chrome instance.
+
+        "An instance of the original Chrome browser is launched for each
+        crawled website or retrieved HTML/JavaScript code" — fresh
+        cookies and storage every time.
+        """
+        return Browser(
+            self.network,
+            self.profile,
+            rng=random.Random(self.rng.getrandbits(32)),
+            timestamp=timestamp,
+        )
+
+    def crawl_url(self, url: str, timestamp: float = 0.0) -> VisitResult:
+        """Visit one URL and log everything."""
+        browser = self._fresh_browser(timestamp)
+        result = browser.visit(url)
+        self.crawled.append(result)
+        return result
+
+    def crawl_html(self, html: str, timestamp: float = 0.0) -> PageSession:
+        """Dynamically load a local HTML/JS attachment."""
+        browser = self._fresh_browser(timestamp)
+        return browser.load_local_html(html)

@@ -1,0 +1,84 @@
+"""NotABot: CrawlerBox's evasive crawler (Section IV-C).
+
+The paper's counter-measures, each one a profile field here:
+
+1. Real Chrome in **non-headless** mode (no HeadlessChrome UA, real
+   window metrics, plugins and ``window.chrome`` present).
+2. A **physical machine** (Dell Precision 3571), so fine-grained timers
+   show no VM quantisation.
+3. A **4G modem with a commercial mobile data plan**, so the IP is
+   neither datacenter/proxy/VPN nor on scanner blocklists.
+4. The **AutomationControlled** flag disabled, so
+   ``navigator.webdriver`` reads False.
+5. Request interception **disabled** (handlers still log traffic), so
+   the Cache-Control/Pragma quirk never appears.
+6. **Fake mouse movements through the Chrome DevTools Protocol**, which
+   the browser dispatches as trusted (``isTrusted === true``) events.
+
+The knockout constructor powers the ablation bench: disabling any one
+counter-measure re-exposes the corresponding detection signal.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.browser.profile import BrowserProfile, CHROME_UA, HEADLESS_CHROME_UA
+from repro.crawlers.base import Crawler
+from repro.web.context import IP_DATACENTER, IP_MOBILE
+from repro.web.network import Network
+
+
+def notabot_profile() -> BrowserProfile:
+    """The full NotABot configuration."""
+    return BrowserProfile(
+        name="notabot",
+        user_agent=CHROME_UA,
+        headless=False,
+        webdriver_flag=False,  # AutomationControlled disabled
+        cdp_runtime_leak=False,
+        interception_cache_quirk=False,  # interception off, handlers only
+        trusted_events=True,  # CDP-native input is trusted
+        generates_mouse_movement=True,
+        plugins_count=3,
+        has_chrome_object=True,
+        vm_timing_quantization=False,  # physical hardware
+        ip="100.64.10.7",
+        ip_type=IP_MOBILE,  # 4G modem, commercial data plan
+        country="FR",
+        asn="AS20810",
+        network_name="SFR Mobile",
+        tls_fingerprint="chrome",
+        known_scanner_ip=False,
+        timezone="Europe/Paris",
+    )
+
+
+#: Ablation knockouts: name -> the profile fields that undo one counter-measure.
+NOTABOT_KNOCKOUTS: dict[str, dict] = {
+    "full": {},
+    "no-automation-flag-scrub": {"webdriver_flag": True},
+    "headless-mode": {"headless": True, "user_agent": HEADLESS_CHROME_UA, "plugins_count": 0, "has_chrome_object": False},
+    "interception-enabled": {"interception_cache_quirk": True},
+    "no-fake-mouse": {"generates_mouse_movement": False},
+    "virtual-machine": {"vm_timing_quantization": True},
+    "datacenter-ip": {"ip": "52.20.0.5", "ip_type": IP_DATACENTER, "asn": "AS14618", "network_name": "Amazon AWS"},
+}
+
+
+def notabot_profile_without(countermeasure: str) -> BrowserProfile:
+    """NotABot with one counter-measure knocked out (for ablation)."""
+    try:
+        overrides = NOTABOT_KNOCKOUTS[countermeasure]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown knockout {countermeasure!r}; known: {sorted(NOTABOT_KNOCKOUTS)}"
+        ) from exc
+    return notabot_profile().derive(**overrides)
+
+
+class NotABot(Crawler):
+    """The evasive crawler used by the CrawlerBox pipeline."""
+
+    def __init__(self, network: Network, rng: random.Random | None = None):
+        super().__init__(network, notabot_profile(), rng=rng)

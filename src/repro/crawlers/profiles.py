@@ -1,0 +1,140 @@
+"""Fingerprint profiles of the seven open-source crawlers of Table I.
+
+All profiles share NotABot's testbed network identity (the paper tested
+"within a consistent environment, including identical hardware and
+network conditions"): a 4G mobile connection and a real Chrome TLS
+stack.  They differ only in the automation surface each framework
+leaves exposed:
+
+- **Kangooroo** — Java-orchestrated headless Chrome with stock
+  chromedriver: ``navigator.webdriver`` set, HeadlessChrome UA, no input.
+- **Lacus** — Playwright capture system: clean UA/flags but CDP
+  ``Runtime.enable`` artifacts and zero input behaviour.
+- **Puppeteer + stealth plugin** — patches webdriver/UA/window metrics
+  (passes BotD) but leaks CDP artifacts and, when request interception
+  is used for logging, the Cache-Control/Pragma quirk.
+- **Selenium + selenium-stealth** — the stealth patches are incomplete:
+  ``navigator.webdriver`` remains observable.
+- **undetected_chromedriver** — clean surface in non-headless mode and
+  trusted CDP input, but still carries the Runtime.enable artifact
+  (fails Turnstile, passes BotD and AnonWAF, matching the paper).
+- **Nodriver / Selenium-Driverless** — chromedriver-free CDP stacks with
+  no observable artifacts: pass everything, like NotABot.
+"""
+
+from __future__ import annotations
+
+from repro.browser.profile import (
+    BrowserProfile,
+    CHROME_UA,
+    HEADLESS_CHROME_UA,
+)
+from repro.web.context import IP_MOBILE
+
+#: The shared testbed connection (a 4G modem with a commercial data plan).
+_TESTBED = dict(
+    ip="100.64.10.7",
+    ip_type=IP_MOBILE,
+    country="FR",
+    asn="AS20810",
+    network_name="SFR Mobile",
+    tls_fingerprint="chrome",
+    known_scanner_ip=False,
+    timezone="Europe/Paris",
+)
+
+
+def _profile(name: str, **overrides) -> BrowserProfile:
+    base = dict(
+        name=name,
+        user_agent=CHROME_UA,
+        headless=False,
+        webdriver_flag=False,
+        cdp_runtime_leak=False,
+        interception_cache_quirk=False,
+        trusted_events=True,
+        generates_mouse_movement=True,
+        plugins_count=3,
+        has_chrome_object=True,
+        vm_timing_quantization=False,
+    )
+    base.update(_TESTBED)
+    base.update(overrides)
+    return BrowserProfile(**base)
+
+
+KANGOOROO = _profile(
+    "kangooroo",
+    user_agent=HEADLESS_CHROME_UA,
+    headless=True,
+    webdriver_flag=True,
+    cdp_runtime_leak=True,
+    trusted_events=False,
+    generates_mouse_movement=False,
+    plugins_count=0,
+    has_chrome_object=False,
+)
+
+LACUS = _profile(
+    "lacus",
+    cdp_runtime_leak=True,
+    trusted_events=False,
+    generates_mouse_movement=False,
+)
+
+PUPPETEER_STEALTH = _profile(
+    "puppeteer-stealth",
+    cdp_runtime_leak=True,
+    interception_cache_quirk=True,
+    trusted_events=False,
+    generates_mouse_movement=False,
+)
+
+SELENIUM_STEALTH = _profile(
+    "selenium-stealth",
+    webdriver_flag=True,  # the incomplete patch the paper observed
+    cdp_runtime_leak=True,
+    trusted_events=False,
+    generates_mouse_movement=False,
+)
+
+UNDETECTED_CHROMEDRIVER = _profile(
+    "undetected-chromedriver",
+    cdp_runtime_leak=True,  # Runtime.enable is still used by chromedriver
+)
+
+#: undetected_chromedriver in headless mode fails even BotD (the table's
+#: footnote: it passes "only when used in non-headless mode").
+UNDETECTED_CHROMEDRIVER_HEADLESS = _profile(
+    "undetected-chromedriver-headless",
+    user_agent=HEADLESS_CHROME_UA,
+    headless=True,
+    cdp_runtime_leak=True,
+)
+
+NODRIVER = _profile("nodriver")
+
+SELENIUM_DRIVERLESS = _profile("selenium-driverless")
+
+
+CRAWLER_PROFILES: dict[str, BrowserProfile] = {
+    "kangooroo": KANGOOROO,
+    "lacus": LACUS,
+    "puppeteer-stealth": PUPPETEER_STEALTH,
+    "selenium-stealth": SELENIUM_STEALTH,
+    "undetected-chromedriver": UNDETECTED_CHROMEDRIVER,
+    "nodriver": NODRIVER,
+    "selenium-driverless": SELENIUM_DRIVERLESS,
+}
+
+
+def crawler_profile(name: str) -> BrowserProfile:
+    """Profile by crawler name (including 'notabot')."""
+    if name == "notabot":
+        from repro.crawlers.notabot import notabot_profile
+
+        return notabot_profile()
+    try:
+        return CRAWLER_PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown crawler {name!r}; known: {sorted(CRAWLER_PROFILES)} + ['notabot']") from exc

@@ -1,0 +1,19 @@
+"""The synthetic corpus: a world calibrated to the paper's measurements.
+
+The authors' dataset (user-reported emails of five companies, Jan-Oct
+2024) cannot be shared; this subpackage generates a full substitute:
+a :class:`~repro.dataset.world.World` (network fabric + mail DNS +
+passive DNS + legitimate portals + deployed phishing kits) and the
+5,181-message reported-mail corpus whose category mix, timelines, TLD
+distribution, and evasion-technique prevalences follow every number in
+the paper (all centralised in :mod:`~repro.dataset.calibration`).
+
+Everything is seeded and deterministic; ``scale`` shrinks the corpus
+proportionally for fast tests while keeping the ratios.
+"""
+
+from repro.dataset.calibration import CALIBRATION, Calibration
+from repro.dataset.world import World
+from repro.dataset.generator import CorpusGenerator, GeneratedCorpus
+
+__all__ = ["CALIBRATION", "Calibration", "World", "CorpusGenerator", "GeneratedCorpus"]

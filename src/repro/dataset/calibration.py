@@ -1,0 +1,190 @@
+"""Every quantitative target from the paper, in one place.
+
+The corpus generator consumes these constants; the analysis layer
+recomputes the statistics end-to-end and EXPERIMENTS.md compares the
+measured values back against them.  Nothing in the *pipeline* reads
+this module — only the generator and the calibration tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Targets derived from the paper's Sections IV-V."""
+
+    # ------------------------------------------------------------------
+    # Section IV-A: the triage funnel.
+    # ------------------------------------------------------------------
+    monthly_inbound_emails: int = 60_000_000
+    gateway_filtered_fraction: float = 0.17
+    monthly_user_reports: int = 14_000
+    reported_split_malicious: float = 0.037
+    reported_split_legitimate: float = 0.350
+    reported_split_spam: float = 0.613
+
+    # ------------------------------------------------------------------
+    # Figure 2: monthly volumes (Jan-Oct 2024), sum = 5,181.
+    # Paper: mean 518.1, std 278.4, with the January peak continuing the
+    # downward trend out of late 2023 (..., 1959, 1533, 1249 | 1100, ...).
+    # ------------------------------------------------------------------
+    monthly_malicious_2024: tuple[int, ...] = (1100, 840, 700, 570, 500, 430, 330, 290, 230, 191)
+    # March-December 2023 (observed before the study window), sum = 8,852
+    # (mean 885.2); the last three values are the paper's 1959/1533/1249.
+    monthly_malicious_2023: tuple[int, ...] = (430, 450, 480, 520, 580, 690, 961, 1959, 1533, 1249)
+    #: Hours-since-epoch of 2024-01-01 00:00 in the simulation clock.
+    study_epoch_hour: float = 0.0
+    hours_per_month: float = 730.0
+
+    # ------------------------------------------------------------------
+    # Section V: outcome breakdown of the 5,181 messages.
+    # ------------------------------------------------------------------
+    total_malicious: int = 5_181
+    no_web_resources: int = 2_572  # 49.6% - first-contact fraud
+    error_pages: int = 823  # 15.9% - NXDOMAIN / unreachable / filtered
+    interaction_required: int = 235  # 4.5% - Dropbox/Drive/classic CAPTCHA
+    downloads: int = 5  # 0.1% - ZIP archives with HTA droppers
+    active_phishing: int = 1_551  # 29.9% - fake login forms
+
+    #: Split of the error bucket (the paper attributes it to deactivated
+    #: sites and to server-side filtering such as UA/geo restrictions).
+    error_nxdomain: int = 350
+    error_unreachable: int = 250
+    error_mobile_only: int = 123
+    error_geo_filtered: int = 100
+
+    # ------------------------------------------------------------------
+    # Section V-A: spear phishing.
+    # ------------------------------------------------------------------
+    spear_messages: int = 1_137  # 73.3% of active, via pHash+dHash
+    spear_hotlink_messages: int = 339  # 29.8% load brand resources
+    distinct_landing_urls: int = 1_438
+    distinct_landing_domains: int = 522
+    #: Messages-per-domain distribution summary.
+    messages_per_domain_mean: float = 2.62
+    messages_per_domain_median: float = 1.0
+    messages_per_domain_max: int = 58
+
+    #: Table II: TLD histogram over the 522 landing domains.
+    tld_distribution: tuple[tuple[str, int], ...] = (
+        (".com", 262),
+        (".ru", 48),
+        (".dev", 45),
+        (".buzz", 27),
+        (".tech", 9),
+        (".xyz", 9),
+        (".org", 8),
+        (".click", 7),
+        (".br", 7),
+    )  # remaining 100 domains spread over other TLDs
+    other_tlds: tuple[str, ...] = (".net", ".info", ".online", ".site", ".top", ".shop", ".io", ".co", ".biz", ".app")
+    other_tld_count: int = 100
+
+    # Figure 3 timelines (hours).
+    timedelta_a_median_hours: float = 575.0  # registration -> delivery
+    timedelta_b_median_hours: float = 185.0  # certificate -> delivery
+    timedelta_a_kurtosis: float = 8.4
+    timedelta_b_kurtosis: float = 6.8
+    domains_timedelta_a_over_90d: int = 102
+    domains_timedelta_b_over_90d: int = 5
+    #: The 71 outlier domains (timedeltaA > 273 d or timedeltaB > 45 d).
+    outlier_fresh_domains: int = 42
+    outlier_compromised_domains: int = 20
+    outlier_abused_service_domains: int = 9
+    abused_services: tuple[str, ...] = (
+        "vercel.app",
+        "cloudflare-ipfs.com",
+        "workers.dev",
+        "r2.dev",
+        "oraclecloud.com",
+        "cloudfront.net",
+    )
+
+    # DNS query volumes (Cisco-Umbrella-style), 30-day window medians.
+    dns_single_median_max_daily: float = 18.5
+    dns_single_median_total: float = 43.0
+    dns_multi_median_max_daily: float = 50.5
+    dns_multi_median_total: float = 100.5
+    dns_top_domain_total: int = 665_126_135  # the 58-message domain
+    dns_second_total: int = 37_623_107  # a 5-message domain
+    dns_third_total: int = 15_362  # a 1-message domain
+
+    #: Domain syntax: 82/522 use deceptive techniques; none use punycode.
+    deceptive_domains_total: int = 82
+    deceptive_domains_nontargeted: int = 11
+    punycode_domains: int = 0
+
+    # ------------------------------------------------------------------
+    # Section V-B: non-targeted attacks.
+    # ------------------------------------------------------------------
+    nontargeted_messages: int = 414  # active minus spear
+    nontargeted_unique_pages: int = 130
+    #: Per-brand unique-page message counts (sums to 130).
+    nontargeted_brand_counts: tuple[tuple[str, int], ...] = (
+        ("Microsoft Excel", 20),
+        ("OneDrive", 12),
+        ("Office 365", 11),
+        ("Microsoft", 44),
+        ("DocuSign", 1),
+        ("WebMail", 42),
+    )
+    nontargeted_domains: int = 111
+    html_attachment_messages: int = 29
+    html_attachment_local_loading: int = 19
+    otp_gate_messages: int = 47
+    math_challenge_messages: int = 11
+
+    # ------------------------------------------------------------------
+    # Section V-C: evasion prevalence.
+    # ------------------------------------------------------------------
+    credential_harvesting_messages: int = 1_267  # 1,137 spear + 130 commodity
+    turnstile_messages: int = 943  # 74.4% of 1,267
+    recaptcha_messages: int = 314  # 24.8% of 1,267
+    console_hijack_messages: int = 295
+    debugger_timer_messages: int = 10
+    context_menu_block_messages: int = 39
+    ua_tz_lang_cloak_messages: int = 15
+    fingerprint_lib_messages: int = 5  # BotD + FingerprintJS, July 9-18
+    fingerprint_lib_window_hours: tuple[float, float] = (4580.0, 4800.0)  # ~Jul 9-18
+    httpbin_messages: int = 145
+    ipapi_messages: int = 83  # subset of the httpbin ones
+    victim_check_a_messages: int = 151
+    victim_check_a_domains: int = 38
+    victim_check_b_messages: int = 143
+    victim_check_b_domains: int = 57
+    hue_rotate_messages: int = 103
+    hue_rotate_pages: int = 167  # some messages carry two phishing URLs
+    noise_padding_messages: int = 270
+    faulty_qr_messages: int = 35
+    regular_qr_messages: int = 120
+    #: Content-type mix (not a paper statistic): Section IV-B lists PDFs
+    #: and images among the most prevalent part types, so a slice of the
+    #: lures carries its URL in a PDF attachment or rendered text image.
+    pdf_lure_messages: int = 80
+    image_text_lure_messages: int = 50
+
+    # ------------------------------------------------------------------
+    # Victim organisation.
+    # ------------------------------------------------------------------
+    company_domains: tuple[str, ...] = (
+        "corp.amatravel.example",
+        "corp.skybooker.example",
+        "corp.contenthub.example",
+        "corp.revenuepro.example",
+        "corp.payroute.example",
+    )
+
+
+CALIBRATION = Calibration()
+
+
+def scaled(count: int, scale: float, minimum: int = 0) -> int:
+    """Scale an integer target, keeping at least ``minimum``."""
+    if scale >= 1.0:
+        return count
+    value = int(round(count * scale))
+    if count > 0:
+        value = max(value, minimum)
+    return value

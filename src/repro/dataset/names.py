@@ -1,0 +1,139 @@
+"""Domain-name generation: neutral names and the deceptive techniques.
+
+Section V-A: only 15.7 % of the 522 landing domains used combosquatting,
+target embedding, homoglyphs, keyword stuffing, or typosquatting — "most
+of the observed malicious landing domains do not use any of these
+tricks", which keeps them out of CT-log-driven scanners' candidate sets.
+The generators here produce both populations; the matching detectors
+live in :mod:`repro.analysis.domains`.
+"""
+
+from __future__ import annotations
+
+import random
+
+_NEUTRAL_WORDS = (
+    "harbor", "meadow", "crystal", "summit", "cedar", "atlas", "nova", "delta",
+    "orchid", "falcon", "granite", "willow", "ember", "quartz", "breeze", "aurora",
+    "cobalt", "juniper", "latitude", "marina", "onyx", "prairie", "saffron", "tundra",
+    "velvet", "zephyr", "beacon", "canyon", "drift", "estuary", "fjord", "glacier",
+)
+
+_NEUTRAL_SUFFIXES = (
+    "digital", "media", "systems", "consulting", "studio", "labs", "group",
+    "solutions", "partners", "holdings", "works", "collective", "agency",
+)
+
+PHISHY_KEYWORDS = (
+    "secure", "login", "verify", "account", "update", "auth", "signin",
+    "portal", "support", "service", "mail", "webmail", "sso", "id",
+)
+
+_HOMOGLYPH_SUBSTITUTIONS = (
+    ("m", "rn"),
+    ("w", "vv"),
+    ("l", "1"),
+    ("o", "0"),
+    ("i", "1"),
+)
+
+
+def neutral_domain(rng: random.Random) -> str:
+    """A bland, non-deceptive registrable name (without TLD)."""
+    style = rng.randrange(3)
+    if style == 0:
+        return f"{rng.choice(_NEUTRAL_WORDS)}-{rng.choice(_NEUTRAL_WORDS)}"
+    if style == 1:
+        return f"{rng.choice(_NEUTRAL_WORDS)}{rng.choice(_NEUTRAL_SUFFIXES)}"
+    return f"{rng.choice(_NEUTRAL_WORDS)}-{rng.choice(_NEUTRAL_SUFFIXES)}"
+
+
+def combosquatting_domain(brand_token: str, rng: random.Random) -> str:
+    """Brand + keyword joined by a hyphen: ``amatravel-login``."""
+    keyword = rng.choice(PHISHY_KEYWORDS)
+    if rng.random() < 0.5:
+        return f"{brand_token}-{keyword}"
+    return f"{keyword}-{brand_token}"
+
+
+def target_embedding_host(brand_token: str, rng: random.Random) -> str:
+    """Brand as a subdomain label of an unrelated registrable domain."""
+    base = neutral_domain(rng)
+    return f"{brand_token}.{base}"
+
+
+def homoglyph_domain(brand_token: str, rng: random.Random) -> str:
+    """ASCII-homoglyph substitution (never punycode, per the paper)."""
+    candidates = [
+        (original, replacement)
+        for original, replacement in _HOMOGLYPH_SUBSTITUTIONS
+        if original in brand_token
+    ]
+    if not candidates:
+        return brand_token + "0"
+    original, replacement = candidates[rng.randrange(len(candidates))]
+    return brand_token.replace(original, replacement, 1)
+
+
+def keyword_stuffing_domain(rng: random.Random) -> str:
+    """Three or more phishy keywords strung together."""
+    count = rng.randrange(3, 5)
+    words = rng.sample(PHISHY_KEYWORDS, count)
+    return "-".join(words)
+
+
+def typosquatting_domain(brand_token: str, rng: random.Random) -> str:
+    """One edit away from the brand: drop, double, or swap a letter."""
+    if len(brand_token) < 4:
+        return brand_token + brand_token[-1]
+    index = rng.randrange(1, len(brand_token) - 1)
+    style = rng.randrange(3)
+    if style == 0:  # drop a letter
+        return brand_token[:index] + brand_token[index + 1:]
+    if style == 1:  # double a letter
+        return brand_token[:index] + brand_token[index] + brand_token[index:]
+    # swap adjacent letters (fall back to a drop when they are equal,
+    # which would otherwise be a no-op)
+    chars = list(brand_token)
+    if chars[index] == chars[index - 1]:
+        return brand_token[:index] + brand_token[index + 1:]
+    chars[index], chars[index - 1] = chars[index - 1], chars[index]
+    return "".join(chars)
+
+
+DECEPTIVE_TECHNIQUES = (
+    "combosquatting",
+    "target-embedding",
+    "homoglyph",
+    "keyword-stuffing",
+    "typosquatting",
+)
+
+
+def deceptive_host(technique: str, brand_token: str, rng: random.Random, tld: str) -> str:
+    """A full host using one named deceptive technique."""
+    if technique == "combosquatting":
+        return combosquatting_domain(brand_token, rng) + tld
+    if technique == "target-embedding":
+        return target_embedding_host(brand_token, rng) + tld
+    if technique == "homoglyph":
+        return homoglyph_domain(brand_token, rng) + tld
+    if technique == "keyword-stuffing":
+        return keyword_stuffing_domain(rng) + tld
+    if technique == "typosquatting":
+        return typosquatting_domain(brand_token, rng) + tld
+    raise ValueError(f"unknown deceptive technique {technique!r}")
+
+
+def employee_email(rng: random.Random, company_domain: str) -> str:
+    """A victim identity at one of the studied companies."""
+    first = rng.choice(
+        ("ana", "bruno", "chen", "dina", "elif", "farid", "gita", "hugo", "ines",
+         "jonas", "kaori", "lena", "marco", "nadia", "omar", "petra", "quentin",
+         "rosa", "stefan", "tala", "ugo", "vera", "wei", "yara", "zane")
+    )
+    last = rng.choice(
+        ("martin", "silva", "kumar", "haddad", "novak", "tanaka", "costa", "meyer",
+         "lindqvist", "moreau", "okafor", "petrov", "rossi", "schmidt", "yilmaz")
+    )
+    return f"{first}.{last}@{company_domain}"

@@ -1,0 +1,79 @@
+"""The world: everything that exists before any message is analysed.
+
+Bundles the network fabric, the mail-authentication DNS, the passive-DNS
+and Shodan databases, the legitimate login portals, the reCAPTCHA
+scoring service, and the attacker-side deployment registry — one object
+the generator populates and the pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.botdetect.recaptcha import RecaptchaService
+from repro.enrichment.shodan import ShodanDatabase
+from repro.enrichment.umbrella import PassiveDnsDatabase
+from repro.kits.brands import host_legitimate_portals
+from repro.kits.credential import DeployedSite
+from repro.mail.auth import DomainMailPolicy, MailAuthDns
+from repro.web.network import Network
+from repro.web.site import Page, Website, benign_decoy_page
+from repro.web.tls import TLSCertificate
+
+
+@dataclass
+class World:
+    """The simulated environment the study runs in."""
+
+    seed: int = 2024
+    network: Network = field(default_factory=Network)
+    mail_dns: MailAuthDns = field(default_factory=MailAuthDns)
+    passive_dns: PassiveDnsDatabase = field(default_factory=PassiveDnsDatabase)
+    shodan: ShodanDatabase = field(default_factory=ShodanDatabase)
+    recaptcha: RecaptchaService = field(default_factory=RecaptchaService)
+    #: Attacker deployments by landing domain.
+    deployments: dict[str, DeployedSite] = field(default_factory=dict)
+    #: Legitimate portal websites by brand name.
+    portals: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.rng = random.Random(self.seed)
+        self.network.install_ip_services()
+        self.recaptcha.install(self.network)
+        self.portals = host_legitimate_portals(self.network)
+        self._host_decoy_and_media_sites()
+
+    # ------------------------------------------------------------------
+    def _host_decoy_and_media_sites(self) -> None:
+        """Common benign destinations kits redirect bots to."""
+        decoy = Website("decoy-landing.example", ip="203.0.113.200")
+        decoy.set_default(benign_decoy_page("Marketing insights blog"))
+        self.network.host_website(decoy)
+        self.network.issue_certificate(
+            TLSCertificate("decoy-landing.example", "LetsEncrypt", float("-inf"), float("inf"))
+        )
+        for index, host in enumerate(("gyazo-cdn.example", "freeimages-cdn.example")):
+            site = Website(host, ip=f"203.0.114.{index + 1}")
+            site.set_default(Page(html="<html><body>media</body></html>", content_type="image/png"))
+            self.network.host_website(site)
+            self.network.issue_certificate(
+                TLSCertificate(host, "DigiCert", float("-inf"), float("inf"))
+            )
+
+    # ------------------------------------------------------------------
+    def publish_sender(self, domain: str, sending_ip: str) -> None:
+        """Publish SPF/DKIM/DMARC for a sending domain (so auth passes)."""
+        existing = self.mail_dns.lookup(domain)
+        if existing is not None:
+            ips = set(existing.spf_allowed_ips) | {sending_ip}
+            self.mail_dns.publish(
+                DomainMailPolicy(domain=domain, spf_allowed_ips=frozenset(ips))
+            )
+            return
+        self.mail_dns.publish(
+            DomainMailPolicy(domain=domain, spf_allowed_ips=frozenset({sending_ip}))
+        )
+
+    def register_deployment(self, deployment: DeployedSite) -> None:
+        self.deployments[deployment.domain] = deployment

@@ -1,0 +1,26 @@
+"""Defender-side systems built on the paper's key findings.
+
+The paper is a measurement study, but its Key Findings boxes prescribe
+defenses.  This subpackage implements the two actionable ones against
+the same substrates the attacks run on:
+
+- :mod:`~repro.defense.referral` — "by identifying referrals in requests
+  made for [logo/background] resources within their own systems,
+  organizations can track, at early stages, pages impersonating their
+  login sites" (Section V-A).
+- :mod:`~repro.defense.emailfilters` — models of commercial email
+  security filters (URL extraction strictness, base64 handling, QR/image
+  scanning, domain-age reputation), quantifying exactly which evasions
+  let the corpus through each configuration.
+"""
+
+from repro.defense.referral import ReferralAlert, ReferralMonitor
+from repro.defense.emailfilters import FilterVerdict, ModeledEmailFilter, REFERENCE_FILTERS
+
+__all__ = [
+    "ReferralMonitor",
+    "ReferralAlert",
+    "ModeledEmailFilter",
+    "FilterVerdict",
+    "REFERENCE_FILTERS",
+]

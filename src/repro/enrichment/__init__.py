@@ -1,0 +1,25 @@
+"""Threat-intelligence enrichment (Section IV-C's data sources).
+
+CrawlerBox enriches crawl logs with WHOIS information, Shodan service
+banners, and Cisco Umbrella passive-DNS details.  The substrates:
+
+- :mod:`~repro.enrichment.umbrella` — a passive-DNS database with
+  per-domain daily query-volume series (seeded by the corpus generator,
+  augmented by live resolver observations).
+- :mod:`~repro.enrichment.shodan` — service banners per IP.
+- :mod:`~repro.enrichment.enricher` — the join producing one
+  :class:`~repro.enrichment.enricher.EnrichmentRecord` per domain.
+"""
+
+from repro.enrichment.umbrella import PassiveDnsDatabase, QueryVolumeStats
+from repro.enrichment.shodan import ShodanDatabase, ServiceBanner
+from repro.enrichment.enricher import Enricher, EnrichmentRecord
+
+__all__ = [
+    "PassiveDnsDatabase",
+    "QueryVolumeStats",
+    "ShodanDatabase",
+    "ServiceBanner",
+    "Enricher",
+    "EnrichmentRecord",
+]

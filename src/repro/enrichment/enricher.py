@@ -1,0 +1,62 @@
+"""The enrichment join: WHOIS + CT + passive DNS + Shodan per domain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enrichment.shodan import ServiceBanner, ShodanDatabase
+from repro.enrichment.umbrella import PassiveDnsDatabase, QueryVolumeStats
+from repro.web.network import Network
+from repro.web.urls import registered_domain
+from repro.web.whois import WhoisRecord
+
+
+@dataclass(frozen=True)
+class EnrichmentRecord:
+    """Everything CrawlerBox attaches to one crawled domain."""
+
+    domain: str
+    registrable_domain: str
+    whois: WhoisRecord | None
+    #: First TLS certificate issuance seen in CT logs (hours), or None.
+    first_cert_issued_at: float | None
+    dns_volumes: QueryVolumeStats | None
+    shodan_banners: tuple[ServiceBanner, ...] = ()
+    server_ip: str = ""
+
+
+class Enricher:
+    """Performs the enrichment lookups against the simulated sources."""
+
+    def __init__(
+        self,
+        network: Network,
+        passive_dns: PassiveDnsDatabase | None = None,
+        shodan: ShodanDatabase | None = None,
+    ):
+        self.network = network
+        self.passive_dns = passive_dns or PassiveDnsDatabase()
+        self.shodan = shodan or ShodanDatabase()
+
+    def enrich(self, domain: str, at_time: float, server_ip: str = "") -> EnrichmentRecord:
+        """Enrich one domain as observed at ``at_time`` (hours)."""
+        registrable = registered_domain(domain)
+        whois = self.network.whois.lookup(registrable)
+        first_cert = self.network.ct_log.earliest_issuance(domain)
+        if first_cert is None and registrable != domain:
+            first_cert = self.network.ct_log.earliest_issuance(registrable)
+        volumes = (
+            self.passive_dns.volume_stats(domain, before_hour=at_time)
+            if self.passive_dns.knows(domain)
+            else None
+        )
+        banners = tuple(self.shodan.lookup(server_ip)) if server_ip else ()
+        return EnrichmentRecord(
+            domain=domain.lower(),
+            registrable_domain=registrable,
+            whois=whois,
+            first_cert_issued_at=first_cert,
+            dns_volumes=volumes,
+            shodan_banners=banners,
+            server_ip=server_ip,
+        )

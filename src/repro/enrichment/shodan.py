@@ -1,0 +1,32 @@
+"""Shodan-style service banners per IP address."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceBanner:
+    ip: str
+    port: int
+    service: str
+    banner: str
+
+
+class ShodanDatabase:
+    """Banners observed per IP, seeded alongside the hosting topology."""
+
+    def __init__(self):
+        self._banners: dict[str, list[ServiceBanner]] = defaultdict(list)
+
+    def add_banner(self, banner: ServiceBanner) -> None:
+        self._banners[banner.ip].append(banner)
+
+    def add_https_host(self, ip: str, server_software: str = "nginx/1.24") -> None:
+        """Convenience: the typical 443/80 pair a phishing host exposes."""
+        self.add_banner(ServiceBanner(ip, 443, "https", f"Server: {server_software}"))
+        self.add_banner(ServiceBanner(ip, 80, "http", f"Server: {server_software}"))
+
+    def lookup(self, ip: str) -> list[ServiceBanner]:
+        return list(self._banners.get(ip, ()))

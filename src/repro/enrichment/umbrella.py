@@ -1,0 +1,59 @@
+"""Cisco-Umbrella-style passive DNS: per-domain query-volume history.
+
+Section V-A examines "the DNS query volumes for the malicious landing
+domains during the last 30 days before the reception of their
+associated message", contrasting single-message domains (median max
+volume/day 18.5, median 30-day total 43.0) with multi-message domains
+(50.5 / 100.5) — and one domain with 665 M queries that clearly was not
+a targeted campaign.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryVolumeStats:
+    """Volume summary over a trailing window."""
+
+    domain: str
+    window_days: int
+    max_daily: int
+    total: int
+
+
+class PassiveDnsDatabase:
+    """Daily query counts per domain, keyed by day index (hours // 24)."""
+
+    def __init__(self):
+        self._daily: dict[str, dict[int, int]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    def record_volume(self, domain: str, day: int, queries: int) -> None:
+        """Seed (or add to) one day's query count."""
+        bucket = self._daily[domain.lower()]
+        bucket[day] = bucket.get(day, 0) + queries
+
+    def ingest_resolver_log(self, query_log: list[tuple[float, str]]) -> None:
+        """Fold live resolver observations (timestamp hours, domain) in."""
+        for timestamp, domain in query_log:
+            self.record_volume(domain, int(timestamp // 24), 1)
+
+    # ------------------------------------------------------------------
+    def volume_stats(self, domain: str, before_hour: float, window_days: int = 30) -> QueryVolumeStats:
+        """Volumes for the ``window_days`` days before ``before_hour``."""
+        end_day = int(before_hour // 24)
+        start_day = end_day - window_days
+        bucket = self._daily.get(domain.lower(), {})
+        counts = [count for day, count in bucket.items() if start_day <= day < end_day]
+        return QueryVolumeStats(
+            domain=domain.lower(),
+            window_days=window_days,
+            max_daily=max(counts, default=0),
+            total=sum(counts),
+        )
+
+    def knows(self, domain: str) -> bool:
+        return domain.lower() in self._daily

@@ -1,0 +1,38 @@
+"""Raster-image substrate.
+
+The paper's pipeline renders email images, screenshots phishing pages,
+runs OCR over inline images, and compares screenshots with perceptual
+hashes (pHash, dHash).  This subpackage provides the whole raster stack
+used by the reproduction:
+
+- :class:`~repro.imaging.image.Image` — a small RGB raster backed by numpy.
+- :mod:`~repro.imaging.font` / :mod:`~repro.imaging.render` — a 5x7 bitmap
+  font and a text renderer, so messages can embed *real* pixel data.
+- :mod:`~repro.imaging.ocr` — template-matching OCR that recovers text from
+  images rendered with the bitmap font (the "combination of Optical
+  Character Recognition libraries" of Section IV-B).
+- :mod:`~repro.imaging.phash` — DCT perceptual hash and difference hash,
+  plus Hamming distance (Section V-A).
+- :mod:`~repro.imaging.effects` — image perturbations, including the
+  ``hue-rotate(4deg)`` visual-similarity evasion of Section V-C.
+"""
+
+from repro.imaging.image import Image
+from repro.imaging.render import render_text, render_lines
+from repro.imaging.ocr import ocr_image
+from repro.imaging.phash import dhash, hamming_distance, phash
+from repro.imaging.effects import add_gaussian_noise, crop_border, hue_rotate, overlay_text
+
+__all__ = [
+    "Image",
+    "render_text",
+    "render_lines",
+    "ocr_image",
+    "phash",
+    "dhash",
+    "hamming_distance",
+    "hue_rotate",
+    "add_gaussian_noise",
+    "crop_border",
+    "overlay_text",
+]

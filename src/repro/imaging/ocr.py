@@ -1,0 +1,228 @@
+"""Template-matching OCR for images rendered with the 5x7 bitmap font.
+
+Section IV-B of the paper scans inline and attached images for URLs
+"using a combination of Optical Character Recognition libraries".  This
+module plays that role for the raster substrate: it recovers the text of
+an image produced by :mod:`repro.imaging.render` (possibly re-scaled or
+lightly degraded) without being told the rendering parameters.
+
+The engine works in four steps:
+
+1. binarise the image into ink/background (auto polarity),
+2. estimate the cell scale from ink run lengths,
+3. segment lines and, per line, search a small set of grid alignments,
+4. decode each grid cell by nearest-glyph template matching.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.font import GLYPH_HEIGHT, GLYPH_WIDTH, GLYPHS
+from repro.imaging.image import Image
+
+#: Width of one glyph cell including tracking, in font units.
+_CELL_WIDTH = GLYPH_WIDTH + 1
+
+_GLYPH_ITEMS = sorted(GLYPHS.items())
+_GLYPH_STACK = np.stack([glyph for _, glyph in _GLYPH_ITEMS])
+_GLYPH_CHARS = [char for char, _ in _GLYPH_ITEMS]
+
+
+@dataclass(frozen=True)
+class OcrResult:
+    """The decoded text together with a mean per-cell confidence in [0, 1]."""
+
+    text: str
+    confidence: float
+
+
+def _binarize(image: Image) -> np.ndarray:
+    """Return a boolean ink mask; ink is the minority class."""
+    gray = image.to_grayscale()
+    low, high = float(gray.min()), float(gray.max())
+    if high - low < 1e-9:  # flat image, no ink
+        return np.zeros(gray.shape, dtype=bool)
+    mask = gray < (low + high) / 2.0
+    if mask.mean() > 0.5:
+        mask = ~mask
+    return mask
+
+
+def _run_lengths(mask: np.ndarray) -> Counter:
+    """Count lengths of consecutive-True runs along both axes."""
+    counts: Counter = Counter()
+    for axis_mask in (mask, mask.T):
+        padded = np.zeros((axis_mask.shape[0], axis_mask.shape[1] + 2), dtype=bool)
+        padded[:, 1:-1] = axis_mask
+        diff = np.diff(padded.astype(np.int8), axis=1)
+        for row_diff in diff:
+            starts = np.flatnonzero(row_diff == 1)
+            ends = np.flatnonzero(row_diff == -1)
+            for start, end in zip(starts, ends):
+                counts[int(end - start)] += 1
+    return counts
+
+
+def _estimate_scale(mask: np.ndarray) -> int:
+    """Estimate the pixel size of one font cell from ink run lengths.
+
+    Glyph strokes are one font cell thick, so the most common run length
+    is a reliable estimate of the rendering scale.
+    """
+    counts = _run_lengths(mask)
+    if not counts:
+        return 1
+    scale, _ = counts.most_common(1)[0]
+    return max(1, scale)
+
+
+def _line_bands(mask: np.ndarray, scale: int) -> list[tuple[int, int]]:
+    """Split the ink mask into vertical line bands [top, bottom)."""
+    row_has_ink = mask.any(axis=1)
+    bands: list[tuple[int, int]] = []
+    top = None
+    for y, has_ink in enumerate(row_has_ink):
+        if has_ink and top is None:
+            top = y
+        elif not has_ink and top is not None:
+            bands.append((top, y))
+            top = None
+    if top is not None:
+        bands.append((top, len(row_has_ink)))
+    # Glyphs like "=" have internal blank rows: merge adjacent bands that
+    # still fit within one 7-cell line.
+    merged: list[tuple[int, int]] = []
+    for band in bands:
+        if merged and band[1] - merged[-1][0] <= GLYPH_HEIGHT * scale:
+            merged[-1] = (merged[-1][0], band[1])
+        else:
+            merged.append(band)
+    return merged
+
+
+def _cell_bits(mask: np.ndarray, x: int, y: int, scale: int) -> np.ndarray:
+    """Downsample a glyph cell at (x, y) to a 7x5 boolean matrix."""
+    bits = np.zeros((GLYPH_HEIGHT, GLYPH_WIDTH), dtype=bool)
+    height, width = mask.shape
+    for row in range(GLYPH_HEIGHT):
+        y0, y1 = y + row * scale, y + (row + 1) * scale
+        if y1 <= 0 or y0 >= height:
+            continue
+        for col in range(GLYPH_WIDTH):
+            x0, x1 = x + col * scale, x + (col + 1) * scale
+            if x1 <= 0 or x0 >= width:
+                continue
+            block = mask[max(y0, 0) : y1, max(x0, 0) : x1]
+            if block.size:
+                bits[row, col] = block.mean() >= 0.5
+    return bits
+
+
+def _match_glyph(bits: np.ndarray) -> tuple[str, float]:
+    """Return the best-matching character and its similarity in [0, 1]."""
+    distances = (np.logical_xor(_GLYPH_STACK, bits)).reshape(len(_GLYPH_CHARS), -1).sum(axis=1)
+    best = int(distances.argmin())
+    similarity = 1.0 - distances[best] / (GLYPH_WIDTH * GLYPH_HEIGHT)
+    return _GLYPH_CHARS[best], float(similarity)
+
+
+def _decode_line(
+    mask: np.ndarray, band: tuple[int, int], scale: int
+) -> tuple[str, float]:
+    """Decode one line band, searching grid alignments for the best fit."""
+    top, bottom = band
+    line_mask = mask[top:bottom]
+    col_has_ink = line_mask.any(axis=0)
+    inked = np.flatnonzero(col_has_ink)
+    if inked.size == 0:
+        return "", 1.0
+    x_first, x_last = int(inked[0]), int(inked[-1])
+    band_height = bottom - top
+
+    best_text = ""
+    best_key: tuple[float, int, int] = (-1.0, -1, -1)
+    # A glyph may have blank leading columns (e.g. "!") and blank top rows
+    # (e.g. "_"), so try small offsets of the cell grid in both axes.  Ties
+    # on score prefer (a) alignments that decode more ink characters (an
+    # all-blank reading of "..." also scores perfectly) and (b) deeper row
+    # offsets (a lone bottom-row stroke is "_", not a mid-row "-").
+    for row_offset in range(GLYPH_HEIGHT):
+        y_origin = top - row_offset * scale
+        if band_height > GLYPH_HEIGHT * scale and row_offset > 0:
+            break
+        if y_origin + GLYPH_HEIGHT * scale < bottom:
+            continue
+        for col_offset in range(GLYPH_WIDTH):
+            x_origin = x_first - col_offset * scale
+            n_cells = int(np.ceil((x_last + 1 - x_origin) / (_CELL_WIDTH * scale)))
+            if n_cells <= 0:
+                continue
+            chars: list[str] = []
+            scores: list[float] = []
+            for index in range(n_cells):
+                x = x_origin + index * _CELL_WIDTH * scale
+                bits = _cell_bits(mask, x, y_origin, scale)
+                if not bits.any():
+                    chars.append(" ")
+                    scores.append(1.0)
+                    continue
+                char, similarity = _match_glyph(bits)
+                chars.append(char)
+                scores.append(similarity)
+            mean_score = float(np.mean(scores)) if scores else 0.0
+            n_ink_chars = sum(1 for char in chars if char != " ")
+            key = (mean_score, n_ink_chars, -row_offset)
+            if key > best_key:
+                best_key = key
+                best_text = "".join(chars).rstrip()
+    return best_text, best_key[0]
+
+
+def _decode_at_scale(mask: np.ndarray, scale: int) -> tuple[str, float, int]:
+    """Decode the whole mask at one candidate scale."""
+    bands = _line_bands(mask, scale)
+    lines: list[str] = []
+    scores: list[float] = []
+    for band in bands:
+        text, score = _decode_line(mask, band, scale)
+        lines.append(text)
+        scores.append(score)
+    joined = "\n".join(lines)
+    ink_chars = sum(1 for char in joined if char not in " \n")
+    return joined, float(np.mean(scores)) if scores else 0.0, ink_chars
+
+
+def ocr_image(image: Image) -> OcrResult:
+    """Recover the text content of a bitmap-font rendered image.
+
+    Returns an :class:`OcrResult`; the text is canonically uppercase
+    (the font folds case) and lines are joined with ``"\\n"``.
+
+    The run-length scale estimate can be a multiple of the true cell
+    size when the image is dominated by blocky glyphs (a lone "." at
+    scale 2 is pixel-identical to a one-cell feature at scale 4), so the
+    estimate's divisors are also tried and the best-scoring decode wins.
+    Note that images consisting *only* of baseline-free strokes ("_"
+    alone) are inherently ambiguous without a reference line.
+    """
+    mask = _binarize(image)
+    if not mask.any():
+        return OcrResult(text="", confidence=1.0)
+    estimate = _estimate_scale(mask)
+    # Smaller scales first: on equal decode quality the finer grid wins
+    # (a ":" whose two dots fooled the run-length estimate into 2x).
+    candidates = sorted(
+        divisor for divisor in range(1, estimate + 1) if estimate % divisor == 0
+    )
+    best_text, best_key = "", (-1.0, -1)
+    for scale in candidates:
+        text, score, ink_chars = _decode_at_scale(mask, scale)
+        key = (score, ink_chars)
+        if key > best_key:
+            best_key = key
+            best_text = text
+    return OcrResult(text=best_text, confidence=best_key[0])

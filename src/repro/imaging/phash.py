@@ -1,0 +1,76 @@
+"""Perceptual image hashes: pHash (DCT-based) and dHash (gradient-based).
+
+Section V-A: "we use fuzzy hashes: pHash (perceptual hash) and dHash
+(differential hash). [...] The (dis)similarity is measured by the hamming
+distance between the screenshot's hash and the hash of the real legitimate
+pages."  Both hashes operate on grayscale data, which is why the
+``hue-rotate(4deg)`` evasion of Section V-C does not defeat them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn
+
+from repro.imaging.image import Image
+
+#: Number of bits in either hash.
+HASH_BITS = 64
+
+
+def _resize_gray(image: Image, width: int, height: int) -> np.ndarray:
+    """Grayscale + block-mean resize to (height, width).
+
+    Block averaging (rather than nearest-neighbour) keeps the hash stable
+    under small noise, which is the whole point of a fuzzy hash.
+    """
+    gray = image.to_grayscale()
+    src_h, src_w = gray.shape
+    y_edges = np.linspace(0, src_h, height + 1).astype(int)
+    x_edges = np.linspace(0, src_w, width + 1).astype(int)
+    out = np.empty((height, width), dtype=np.float64)
+    for row in range(height):
+        y0, y1 = y_edges[row], max(y_edges[row + 1], y_edges[row] + 1)
+        for col in range(width):
+            x0, x1 = x_edges[col], max(x_edges[col + 1], x_edges[col] + 1)
+            out[row, col] = gray[y0:y1, x0:x1].mean()
+    return out
+
+
+def phash(image: Image) -> int:
+    """64-bit DCT perceptual hash.
+
+    The image is reduced to 32x32 grayscale, transformed with a 2-D DCT,
+    and the top-left 8x8 low-frequency block (excluding the DC term for
+    the median) is thresholded at its median.
+    """
+    small = _resize_gray(image, 32, 32)
+    spectrum = dctn(small, norm="ortho")
+    block = spectrum[:8, :8].copy()
+    median = float(np.median(block.flatten()[1:]))  # exclude DC coefficient
+    bits = (block.flatten() > median).astype(np.uint8)
+    return _bits_to_int(bits)
+
+
+def dhash(image: Image) -> int:
+    """64-bit difference hash: horizontal gradient signs on a 9x8 thumbnail.
+
+    A one-gray-level dead zone keeps bits stable in flat regions, where
+    the raw sign of a near-zero difference would flip under noise or the
+    slight luminance drift of a hue rotation.
+    """
+    small = _resize_gray(image, 9, 8)
+    bits = ((small[:, 1:] - small[:, :-1]) > 1.0).astype(np.uint8).flatten()
+    return _bits_to_int(bits)
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def hamming_distance(hash_a: int, hash_b: int) -> int:
+    """Number of differing bits between two hashes."""
+    return int(bin(hash_a ^ hash_b).count("1"))

@@ -1,0 +1,39 @@
+"""PhishScript: a JavaScript-subset engine for client-side cloaking.
+
+The paper's phishing kits hide their logic in (frequently base64-
+obfuscated) JavaScript executed in the victim's browser: fingerprint
+checks on ``navigator``/``Intl``, console-method hijacking, ``debugger``
+timing loops, victim-email validation with AJAX calls to C2 servers.
+Section IV-B stresses that "dynamic analysis in our case is fundamental
+given the use of obfuscation to hide malicious URLs".
+
+To make that dynamic-analysis requirement real, this subpackage
+implements a small JavaScript interpreter:
+
+- :mod:`~repro.js.lexer` — tokeniser (strings, template literals,
+  numbers, comments, multi-character operators).
+- :mod:`~repro.js.nodes` — AST node definitions.
+- :mod:`~repro.js.parser` — recursive-descent parser for the subset
+  (functions, closures, control flow, objects/arrays, ``new``, ternary,
+  ``typeof``, ``debugger``, try/catch).
+- :mod:`~repro.js.interp` — tree-walking evaluator with host-object
+  interop, a step budget, and a working ``eval`` (needed to run the
+  base64-``eval`` droppers found in the wild).
+- :mod:`~repro.js.stdlib` — ``atob``/``btoa``, ``console``, ``JSON``,
+  ``Math``, string/array methods, ``RegExp``.
+- :mod:`~repro.js.obfuscate` — the obfuscation transforms kits apply
+  (base64-eval wrapping, string splitting, hex escapes).
+"""
+
+from repro.js.interp import Interpreter, JSError, JSObject, JSTimeoutError, UNDEFINED
+from repro.js.obfuscate import base64_eval_wrap, split_string_obfuscate
+
+__all__ = [
+    "Interpreter",
+    "JSObject",
+    "JSError",
+    "JSTimeoutError",
+    "UNDEFINED",
+    "base64_eval_wrap",
+    "split_string_obfuscate",
+]

@@ -1,0 +1,236 @@
+"""Tokeniser for the PhishScript JavaScript subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class JSSyntaxError(SyntaxError):
+    """Raised on malformed PhishScript source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'str', 'template', 'ident', 'keyword', 'punct', 'eof'
+    value: object
+    position: int
+    line: int
+
+
+KEYWORDS = frozenset(
+    {
+        "var", "let", "const", "function", "return", "if", "else", "while",
+        "for", "break", "continue", "true", "false", "null", "undefined",
+        "new", "typeof", "this", "debugger", "throw", "try", "catch",
+        "finally", "delete", "in", "of", "instanceof", "do", "switch",
+        "case", "default", "void",
+    }
+)
+
+# Longest first so maximal-munch works.
+PUNCTUATORS = [
+    "===", "!==", "**=", ">>>", "...",
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "??", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**",
+    "{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "+", "-", "*", "/",
+    "%", "=", "!", "?", ":", ".", "&", "|", "^", "~",
+]
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f", "v": "\v",
+    "0": "\0", "\\": "\\", "'": "'", '"': '"', "`": "`", "\n": "",
+}
+
+
+class Lexer:
+    """Converts PhishScript source into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+
+    # ------------------------------------------------------------------
+    def error(self, message: str) -> JSSyntaxError:
+        return JSSyntaxError(f"line {self.line}: {message}")
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        char = self.source[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+        return char
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.position < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise self.error("unterminated block comment")
+            elif char in "'\"":
+                self._read_string(char)
+            elif char == "`":
+                self._read_template()
+            elif char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                self._read_number()
+            elif char.isalpha() or char in "_$":
+                self._read_identifier()
+            else:
+                self._read_punctuator()
+        self.tokens.append(Token("eof", None, self.position, self.line))
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    def _read_string(self, quote: str) -> None:
+        start, line = self.position, self.line
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise self.error("unterminated string literal")
+            char = self._advance()
+            if char == quote:
+                break
+            if char == "\\":
+                parts.append(self._read_escape())
+            elif char == "\n":
+                raise self.error("newline in string literal")
+            else:
+                parts.append(char)
+        self.tokens.append(Token("str", "".join(parts), start, line))
+
+    def _read_escape(self) -> str:
+        if self.position >= len(self.source):
+            raise self.error("bad escape at end of input")
+        char = self._advance()
+        if char == "x":
+            digits = self.source[self.position : self.position + 2]
+            if len(digits) != 2:
+                raise self.error("bad \\x escape")
+            self.position += 2
+            return chr(int(digits, 16))
+        if char == "u":
+            if self._peek() == "{":
+                self._advance()
+                digits = ""
+                while self._peek() != "}":
+                    digits += self._advance()
+                self._advance()
+                return chr(int(digits, 16))
+            digits = self.source[self.position : self.position + 4]
+            if len(digits) != 4:
+                raise self.error("bad \\u escape")
+            self.position += 4
+            return chr(int(digits, 16))
+        return _ESCAPES.get(char, char)
+
+    def _read_template(self) -> None:
+        """Template literal -> list of ('str', s) / ('expr', source) parts."""
+        start, line = self.position, self.line
+        self._advance()  # backtick
+        parts: list[tuple[str, str]] = []
+        current: list[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise self.error("unterminated template literal")
+            char = self._advance()
+            if char == "`":
+                break
+            if char == "\\":
+                current.append(self._read_escape())
+            elif char == "$" and self._peek() == "{":
+                self._advance()
+                if current:
+                    parts.append(("str", "".join(current)))
+                    current = []
+                depth = 1
+                expr_chars: list[str] = []
+                while depth > 0:
+                    if self.position >= len(self.source):
+                        raise self.error("unterminated template expression")
+                    inner = self._advance()
+                    if inner == "{":
+                        depth += 1
+                    elif inner == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    expr_chars.append(inner)
+                parts.append(("expr", "".join(expr_chars)))
+            else:
+                current.append(char)
+        if current:
+            parts.append(("str", "".join(current)))
+        self.tokens.append(Token("template", parts, start, line))
+
+    def _read_number(self) -> None:
+        start, line = self.position, self.line
+        text = ""
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance()
+            self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+            if not text:
+                raise self.error("bad hex literal")
+            self.tokens.append(Token("num", float(int(text, 16)), start, line))
+            return
+        while self._peek().isdigit():
+            text += self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            text += self._advance()
+            while self._peek().isdigit():
+                text += self._advance()
+        elif self._peek() == ".":
+            text += self._advance()
+        if self._peek() and self._peek() in "eE":
+            text += self._advance()
+            if self._peek() and self._peek() in "+-":
+                text += self._advance()
+            if not self._peek().isdigit():
+                raise self.error(f"missing exponent digits in numeric literal {text!r}")
+            while self._peek().isdigit():
+                text += self._advance()
+        self.tokens.append(Token("num", float(text), start, line))
+
+    def _read_identifier(self) -> None:
+        start, line = self.position, self.line
+        text = ""
+        while self._peek() and (self._peek().isalnum() or self._peek() in "_$"):
+            text += self._advance()
+        kind = "keyword" if text in KEYWORDS else "ident"
+        self.tokens.append(Token(kind, text, start, line))
+
+    def _read_punctuator(self) -> None:
+        start, line = self.position, self.line
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.position):
+                for _ in punct:
+                    self._advance()
+                self.tokens.append(Token("punct", punct, start, line))
+                return
+        raise self.error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise PhishScript source."""
+    return Lexer(source).tokenize()

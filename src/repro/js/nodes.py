@@ -1,0 +1,234 @@
+"""AST node definitions for the PhishScript subset.
+
+Plain dataclasses; the parser builds them and the interpreter walks
+them.  Statement nodes and expression nodes share a base class only for
+typing convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Literal(Node):
+    value: object
+
+
+@dataclass
+class TemplateLiteral(Node):
+    #: Alternating ('str', text) literal parts and parsed expression nodes.
+    parts: list
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+
+
+@dataclass
+class ThisExpr(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: list
+
+
+@dataclass
+class ObjectLiteral(Node):
+    #: List of (key, value-expression) pairs; keys are plain strings.
+    entries: list
+
+
+@dataclass
+class FunctionExpr(Node):
+    name: str | None
+    params: list
+    body: list
+    is_arrow: bool = False
+
+
+@dataclass
+class Member(Node):
+    obj: Node
+    prop: Node  # Identifier for .name, any expression for [expr]
+    computed: bool
+
+
+@dataclass
+class Call(Node):
+    callee: Node
+    args: list
+
+
+@dataclass
+class New(Node):
+    callee: Node
+    args: list
+
+
+@dataclass
+class Unary(Node):
+    op: str
+    operand: Node
+
+
+@dataclass
+class Update(Node):
+    op: str  # '++' or '--'
+    operand: Node
+    prefix: bool
+
+
+@dataclass
+class Binary(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Logical(Node):
+    op: str  # '&&', '||', '??'
+    left: Node
+    right: Node
+
+
+@dataclass
+class Conditional(Node):
+    test: Node
+    consequent: Node
+    alternate: Node
+
+
+@dataclass
+class Assign(Node):
+    op: str  # '=', '+=', ...
+    target: Node  # Identifier or Member
+    value: Node
+
+
+@dataclass
+class Sequence(Node):
+    expressions: list
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Program(Node):
+    body: list
+
+
+@dataclass
+class VarDecl(Node):
+    kind: str  # 'var', 'let', 'const'
+    declarations: list  # list of (name, initialiser-or-None)
+
+
+@dataclass
+class ExprStatement(Node):
+    expression: Node
+
+
+@dataclass
+class Block(Node):
+    body: list
+
+
+@dataclass
+class If(Node):
+    test: Node
+    consequent: Node
+    alternate: Node | None
+
+
+@dataclass
+class While(Node):
+    test: Node
+    body: Node
+
+
+@dataclass
+class DoWhile(Node):
+    test: Node
+    body: Node
+
+
+@dataclass
+class For(Node):
+    init: Node | None
+    test: Node | None
+    update: Node | None
+    body: Node
+
+
+@dataclass
+class ForIn(Node):
+    kind: str | None  # declaration kind or None for bare identifier
+    name: str
+    of: bool  # True for for-of, False for for-in
+    iterable: Node
+    body: Node
+
+
+@dataclass
+class Return(Node):
+    value: Node | None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str
+    params: list
+    body: list
+
+
+@dataclass
+class Throw(Node):
+    value: Node
+
+
+@dataclass
+class Try(Node):
+    block: Node
+    param: str | None
+    handler: Node | None
+    finalizer: Node | None
+
+
+@dataclass
+class Debugger(Node):
+    pass
+
+
+@dataclass
+class Empty(Node):
+    pass
+
+
+@dataclass
+class Switch(Node):
+    discriminant: Node
+    #: List of (test-expression-or-None, [statements]); None = default.
+    cases: list = field(default_factory=list)

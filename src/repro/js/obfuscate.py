@@ -1,0 +1,47 @@
+"""Obfuscation transforms used by the simulated phishing kits.
+
+The paper repeatedly observed base64-encoded scripts "appended to each
+HTML document's <head> section" and obfuscated victim-tracking code
+shared across dozens of domains.  Kits in :mod:`repro.kits` run their
+payload scripts through these transforms; CrawlerBox must execute the
+result (not grep it) to recover the hidden behaviour — which is why
+URL extraction from scripts is dynamic in the pipeline.
+"""
+
+from __future__ import annotations
+
+import base64
+import random
+
+
+def base64_eval_wrap(source: str) -> str:
+    """Wrap a script in the classic ``eval(atob("..."))`` dropper."""
+    encoded = base64.b64encode(source.encode("latin-1", errors="replace")).decode("ascii")
+    return f'eval(atob("{encoded}"));'
+
+
+def split_string_obfuscate(source: str, secret: str, rng: random.Random) -> str:
+    """Hide ``secret`` inside ``source`` by splitting it into concatenated chunks.
+
+    Every occurrence of ``secret`` in ``source`` is replaced by an
+    expression like ``"htt"+"ps:/"+"/evi"+"l.com"`` so the secret never
+    appears verbatim in the script text (defeating static extraction).
+    """
+    if secret not in source:
+        return source
+    chunks: list[str] = []
+    index = 0
+    while index < len(secret):
+        size = rng.randint(2, 5)
+        chunks.append(secret[index : index + size])
+        index += size
+    expression = "+".join('"' + chunk.replace("\\", "\\\\").replace('"', '\\"') + '"' for chunk in chunks)
+    return source.replace(f'"{secret}"', "(" + expression + ")").replace(
+        f"'{secret}'", "(" + expression + ")"
+    )
+
+
+def charcode_obfuscate(secret: str) -> str:
+    """Return an expression rebuilding ``secret`` from character codes."""
+    codes = ",".join(str(ord(char)) for char in secret)
+    return f"String.fromCharCode({codes})"

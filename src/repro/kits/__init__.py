@@ -1,0 +1,35 @@
+"""Phishing kits: the attacker-side content generators.
+
+Merlo et al. (cited in Section VI) found 90 % of phishing kits share
+90 %+ of their code; this subpackage is the corpus's "kit ecosystem":
+parameterised builders that deploy landing sites onto the network
+fabric and compose the luring emails, with every evasion feature the
+paper measured available as a composable option.
+
+- :mod:`~repro.kits.scripts` — client-side evasion snippets (console
+  hijack, debugger timers, fingerprint cloaks, victim-check scripts,
+  hue-rotation, IP exfiltration via httpbin/ipapi).
+- :mod:`~repro.kits.brands` — the impersonated organisations: the five
+  studied companies plus the commodity brands of Section V-B.
+- :mod:`~repro.kits.credential` — credential-harvesting kits (spear and
+  non-targeted), with Turnstile/reCAPTCHA/OTP/math-challenge gating.
+- :mod:`~repro.kits.fraud` — URL-less first-contact fraud (BEC).
+- :mod:`~repro.kits.attachment` — HTML-attachment and ZIP/HTA kits.
+"""
+
+from repro.kits.brands import Brand, COMPANY_BRANDS, COMMODITY_BRANDS
+from repro.kits.credential import CredentialKit, CredentialKitOptions, DeployedSite
+from repro.kits.fraud import build_fraud_message
+from repro.kits.attachment import build_html_attachment_message, build_zip_hta_message
+
+__all__ = [
+    "Brand",
+    "COMPANY_BRANDS",
+    "COMMODITY_BRANDS",
+    "CredentialKit",
+    "CredentialKitOptions",
+    "DeployedSite",
+    "build_fraud_message",
+    "build_html_attachment_message",
+    "build_zip_hta_message",
+]

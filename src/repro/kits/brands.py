@@ -1,0 +1,140 @@
+"""Impersonated organisations and their legitimate login portals.
+
+The five studied companies (one multinational travel-technology group
+plus four companies whose email security it oversees) get fictitious
+but stable identities here, each with a distinctive login-page
+:class:`~repro.web.site.VisualSpec`.  The commodity brands of Section
+V-B (Microsoft Excel / OneDrive / Office 365 / generic Microsoft /
+DocuSign / others) are listed with the paper's per-brand message
+counts so the generator can reproduce the non-targeted mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.network import Network
+from repro.web.site import Page, VisualSpec, Website
+from repro.web.tls import TLSCertificate
+
+
+@dataclass(frozen=True)
+class Brand:
+    """An organisation whose login page can be impersonated."""
+
+    name: str
+    login_domain: str
+    spec: VisualSpec
+
+    def clone_spec(self, hue_rotate_deg: float = 0.0, logo_url: str | None = None) -> VisualSpec:
+        """The visual spec a phishing kit clones (optionally perturbed)."""
+        spec = self.spec
+        if hue_rotate_deg:
+            spec = spec.with_hue_rotation(hue_rotate_deg)
+        if logo_url:
+            from dataclasses import replace
+
+            spec = replace(spec, logo_url=logo_url)
+        return spec
+
+
+_LAYOUT_COUNTER = iter(range(1000))
+
+
+def _company(name: str, domain: str, header: tuple[int, int, int], button: tuple[int, int, int], footer: str) -> Brand:
+    # Every brand gets its own page geometry (see VisualSpec.layout_variant):
+    # real login portals differ structurally, which is what lets the
+    # grayscale fuzzy hashes separate brands while matching clones.
+    variant = next(_LAYOUT_COUNTER) % 12
+    return Brand(
+        name=name,
+        login_domain=domain,
+        spec=VisualSpec(
+            brand=name,
+            title=f"Sign in to {name}",
+            background=(244, 246, 248),
+            header_color=header,
+            button_color=button,
+            button_text="SIGN IN",
+            fields=("EMAIL", "PASSWORD"),
+            footer=footer,
+            layout_variant=variant,
+            logo_text=name,
+        ),
+    )
+
+
+#: The five studied companies (fictitious stand-ins).
+COMPANY_BRANDS: tuple[Brand, ...] = (
+    _company("Amatravel", "login.amatravel.example", (16, 46, 110), (0, 90, 200), "AMATRAVEL IT GROUP"),
+    _company("SkyBooker", "sso.skybooker.example", (120, 30, 30), (190, 40, 40), "SKYBOOKER PLATFORMS"),
+    _company("ContentHub", "portal.contenthub.example", (20, 100, 60), (30, 150, 90), "CONTENTHUB AGGREGATION"),
+    _company("RevenuePro", "id.revenuepro.example", (90, 60, 10), (180, 120, 20), "REVENUEPRO SYSTEMS"),
+    _company("PayRoute", "secure.payroute.example", (60, 20, 90), (120, 40, 180), "PAYROUTE PAYMENTS"),
+)
+
+
+#: Non-targeted commodity brands with Section V-B's message counts.
+COMMODITY_BRANDS: tuple[tuple[Brand, int], ...] = (
+    (_company("Microsoft Excel", "excel.office-docs.example", (16, 110, 60), (20, 140, 80), "MICROSOFT EXCEL ONLINE"), 20),
+    (_company("OneDrive", "onedrive.files-share.example", (0, 90, 160), (0, 120, 215), "MICROSOFT ONEDRIVE"), 12),
+    (_company("Office 365", "portal.office-365.example", (200, 60, 20), (235, 90, 30), "OFFICE 365"), 11),
+    (_company("Microsoft", "account.ms-login.example", (40, 40, 40), (0, 120, 215), "MICROSOFT ACCOUNT"), 44),
+    (_company("DocuSign", "sign.docu-envelope.example", (240, 180, 20), (50, 50, 60), "DOCUSIGN"), 1),
+    (_company("WebMail", "mail.generic-webmail.example", (80, 80, 140), (100, 100, 180), "WEBMAIL SERVICES"), 42),
+)
+
+
+def host_legitimate_portals(network: Network) -> dict[str, Website]:
+    """Host the real login portals (sources of truth for the classifier).
+
+    Each portal serves its login page plus the logo/background assets
+    that 29.8 % of spear-phishing pages hotlink (Section V-A).
+    """
+    hosted: dict[str, Website] = {}
+    all_brands = list(COMPANY_BRANDS) + [brand for brand, _ in COMMODITY_BRANDS]
+    for index, brand in enumerate(all_brands):
+        site = Website(brand.login_domain, ip=f"198.18.{index}.10")
+        site.set_default(Page(html=_portal_html(brand), visual=brand.spec))
+
+        def _logo_handler(request: HttpRequest, context: ClientContext, _brand=brand) -> HttpResponse:
+            response = HttpResponse(status=200, body=f"LOGO:{_brand.name}", content_type="image/png")
+            response.logo_text = _brand.name  # type: ignore[attr-defined]
+            return response
+
+        site.add_handler("/assets/logo.png", _logo_handler)
+        site.add_handler(
+            "/assets/background.png",
+            lambda request, context: HttpResponse(status=200, body="BG", content_type="image/png"),
+        )
+        network.host_website(site)
+        network.issue_certificate(
+            TLSCertificate(brand.login_domain, "DigiCert", float("-inf"), float("inf"))
+        )
+        hosted[brand.name] = site
+    return hosted
+
+
+def _portal_html(brand: Brand) -> str:
+    return f"""<html>
+<head><title>{brand.spec.title}</title></head>
+<body>
+<img src="/assets/logo.png"/>
+<form action="/session" method="POST">
+<input type="text" name="email"/>
+<input type="password" name="password"/>
+</form>
+<p>{brand.spec.footer}</p>
+</body></html>"""
+
+
+def brand_by_name(name: str) -> Brand:
+    for brand in COMPANY_BRANDS:
+        if brand.name == name:
+            return brand
+    for brand, _ in COMMODITY_BRANDS:
+        if brand.name == name:
+            return brand
+    raise KeyError(f"unknown brand {name!r}")

@@ -1,0 +1,337 @@
+"""Credential-harvesting kits (spear and non-targeted).
+
+A :class:`CredentialKit` deploys one landing site onto the network
+fabric: a brand-lookalike login page hidden behind the configured
+stack of server-side guards, challenge services, and client-side
+cloaks, with per-victim tokenized URLs.  The option set mirrors every
+evasion the paper quantified, so the corpus generator can dial
+prevalences to the reported numbers.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.botdetect.recaptcha import RecaptchaService
+from repro.botdetect.turnstile import TurnstileProtection
+from repro.kits import scripts
+from repro.kits.brands import Brand
+from repro.web.cloaking import (
+    ActivationWindowGuard,
+    GeoGuard,
+    IPBlocklistGuard,
+    TokenGuard,
+    UserAgentGuard,
+)
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.network import Network
+from repro.web.site import Page, VisualSpec, Website, benign_decoy_page
+from repro.web.tls import TLSCertificate
+
+_EMAIL_RE = re.compile(r"^[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+$")
+
+
+@dataclass(frozen=True)
+class CredentialKitOptions:
+    """Which evasion features this deployment uses."""
+
+    use_turnstile: bool = False
+    use_recaptcha: bool = False
+    otp_gate: bool = False
+    math_challenge: bool = False
+    victim_check_variant: str | None = None  # 'a' | 'b' | None
+    hue_rotate: bool = False
+    console_hijack: bool = False
+    debugger_timer: bool = False
+    context_menu_block: bool = False
+    ua_tz_lang_cloak: bool = False
+    fingerprint_lib_gate: bool = False
+    ip_exfiltration: str = "none"  # 'none' | 'httpbin' | 'httpbin+ipapi'
+    hotlink_brand_resources: bool = False
+    tokenized_urls: bool = True
+    mobile_only: bool = False
+    geo_countries: tuple[str, ...] = ()
+    block_cloud_ips: bool = True
+    #: When True, guard denials return an error page instead of a benign
+    #: decoy (the UA/geo-filtered sites CrawlerBox "was unable to access").
+    error_on_deny: bool = False
+
+
+@dataclass
+class DeployedSite:
+    """A kit deployment: the live site plus its attacker-side state."""
+
+    domain: str
+    website: Website
+    brand: Brand
+    options: CredentialKitOptions
+    token_guard: TokenGuard | None = None
+    turnstile: TurnstileProtection | None = None
+    harvested_credentials: list[dict] = field(default_factory=list)
+    exfiltrated_client_data: list[dict] = field(default_factory=list)
+    victim_database: set[str] = field(default_factory=set)
+    landing_path_prefix: str = "/"
+    activated_at: float = 0.0
+
+    def landing_url(self, token: str, victim_email: str = "") -> str:
+        """A per-victim tokenized URL, with the victim-check fragment."""
+        url = f"https://{self.domain}{self.landing_path_prefix}{token}"
+        if self.options.victim_check_variant and victim_email:
+            separator = "#e=" if self.options.victim_check_variant == "a" else "#id."
+            encoded = base64.b64encode(victim_email.encode("utf-8")).decode("ascii")
+            url = f"{url}{separator}{encoded}"
+        return url
+
+    def register_victim(self, email: str, token: str) -> str:
+        """Record a victim and issue their token; returns the landing URL."""
+        self.victim_database.add(email.lower())
+        if self.token_guard is not None:
+            self.token_guard.issue(token, email)
+        return self.landing_url(token, email)
+
+
+class CredentialKit:
+    """Builds and deploys one credential-harvesting landing site."""
+
+    def __init__(
+        self,
+        brand: Brand,
+        options: CredentialKitOptions,
+        recaptcha: RecaptchaService | None = None,
+    ):
+        self.brand = brand
+        self.options = options
+        self.recaptcha = recaptcha
+
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        network: Network,
+        domain: str,
+        ip: str,
+        cert_issued_at: float,
+        activated_at: float = 0.0,
+    ) -> DeployedSite:
+        """Host the kit on ``domain`` and return the deployment handle."""
+        options = self.options
+        website = Website(domain, ip=ip)
+        deployment = DeployedSite(
+            domain=domain,
+            website=website,
+            brand=self.brand,
+            options=options,
+            activated_at=activated_at,
+        )
+
+        guards = []
+        if activated_at > 0:
+            guards.append(ActivationWindowGuard(activate_at=activated_at))
+        if options.mobile_only:
+            guards.append(UserAgentGuard.mobile_only())
+        if options.geo_countries:
+            guards.append(GeoGuard(options.geo_countries))
+        if options.block_cloud_ips:
+            guards.append(IPBlocklistGuard(block_cloud=False if options.mobile_only else True))
+        if options.tokenized_urls:
+            token_guard = TokenGuard()
+            deployment.token_guard = token_guard
+            guards.append(token_guard)
+
+        decoy = None if options.error_on_deny else benign_decoy_page(f"{domain} — under construction")
+        page = Page(
+            html=self._landing_html(),
+            visual=self._visual_spec(),
+            guards=guards,
+            decoy=decoy,
+            tags=self._tags(),
+        )
+        if options.otp_gate:
+            website.add_prefix_page("/portal/", page)
+            website.add_prefix_page("/", self._otp_page(guards))
+        elif options.math_challenge:
+            website.add_prefix_page("/portal/", page)
+            website.add_prefix_page("/", self._math_page(guards))
+        else:
+            website.add_prefix_page("/", page)
+
+        website.add_handler("/collect", self._collect_handler(deployment))
+        website.add_handler("/check", self._check_handler(deployment))
+        website.add_handler("/c2/collect", self._c2_handler(deployment))
+
+        network.host_website(website)
+        # Validity is generous so certificates issued long before the
+        # campaign (compromised/abused domains) still verify at crawl
+        # time; timedeltaB is measured from the CT log's first issuance.
+        network.issue_certificate(
+            TLSCertificate(domain, "LetsEncrypt", cert_issued_at, cert_issued_at + 24 * 730)
+        )
+        if options.use_turnstile:
+            deployment.turnstile = TurnstileProtection(website)
+        return deployment
+
+    # ------------------------------------------------------------------
+    def _tags(self) -> frozenset[str]:
+        tags = {"credential-harvesting", f"brand:{self.brand.name}"}
+        options = self.options
+        for flag, label in (
+            (options.use_turnstile, "turnstile"),
+            (options.use_recaptcha, "recaptcha"),
+            (options.otp_gate, "otp"),
+            (options.math_challenge, "math-challenge"),
+            (options.hue_rotate, "hue-rotate"),
+            (options.console_hijack, "console-hijack"),
+            (options.fingerprint_lib_gate, "fingerprint-libs"),
+        ):
+            if flag:
+                tags.add(label)
+        if options.victim_check_variant:
+            tags.add(f"victim-check-{options.victim_check_variant}")
+        return frozenset(tags)
+
+    def _visual_spec(self) -> VisualSpec:
+        logo_url = None
+        if self.options.hotlink_brand_resources:
+            logo_url = f"https://{self.brand.login_domain}/assets/logo.png"
+        return self.brand.clone_spec(
+            hue_rotate_deg=4.0 if self.options.hue_rotate else 0.0,
+            logo_url=logo_url,
+        )
+
+    def _page_scripts(self) -> list[str]:
+        options = self.options
+        decoy = "https://decoy-landing.example/"
+        page_scripts: list[str] = []
+        if options.hue_rotate:
+            page_scripts.append(scripts.hue_rotate_head_script(4.0))
+        if options.console_hijack:
+            page_scripts.append(scripts.console_hijack_script())
+        if options.debugger_timer:
+            page_scripts.append(scripts.debugger_timer_script())
+        if options.context_menu_block:
+            page_scripts.append(scripts.context_menu_block_script())
+        if options.ip_exfiltration != "none":
+            page_scripts.append(
+                scripts.ip_exfiltration_script(
+                    "/c2/collect", use_ipapi=options.ip_exfiltration == "httpbin+ipapi"
+                )
+            )
+        # Reveal logic: exactly one gate controls the hidden form.
+        if options.victim_check_variant:
+            page_scripts.append(scripts.victim_check_script(options.victim_check_variant, decoy))
+        elif options.fingerprint_lib_gate:
+            page_scripts.append(scripts.fingerprint_library_gate(scripts.REVEAL_CONTENT, decoy))
+        elif options.ua_tz_lang_cloak:
+            page_scripts.append(scripts.ua_timezone_language_cloak(scripts.REVEAL_CONTENT, decoy))
+        else:
+            page_scripts.append(scripts.simple_reveal_script())
+        if options.use_recaptcha:
+            page_scripts.append(
+                RecaptchaService.embed_snippet(
+                    on_score="if (result.score < 0.5) { location.href = '" + decoy + "'; }"
+                )
+            )
+        return page_scripts
+
+    def _landing_html(self) -> str:
+        resources = ""
+        if self.options.hotlink_brand_resources:
+            resources = (
+                f'<img src="https://{self.brand.login_domain}/assets/logo.png"/>'
+                f'<img src="https://{self.brand.login_domain}/assets/background.png"/>'
+            )
+        script_tags = "\n".join(f"<script>{source}</script>" for source in self._page_scripts())
+        return f"""<html>
+<head><title>{self.brand.spec.title}</title>{script_tags}</head>
+<body>
+{resources}
+<div id="content" style="display:none">
+<form action="/collect" method="POST">
+<input type="text" name="email"/>
+<input type="password" name="password"/>
+</form>
+</div>
+</body></html>"""
+
+    def _otp_page(self, guards: list) -> Page:
+        """The OTP interstitial (47 messages): code sent out-of-band."""
+        html = """<html>
+<head><title>Verification required</title></head>
+<body>
+<p>Enter the one-time password we sent you to view the secure document.</p>
+<form action="/portal/" method="GET"><input type="text" name="otp"/></form>
+</body></html>"""
+        return Page(
+            html=html,
+            visual=VisualSpec(
+                brand="", title="One-time password required", fields=("OTP CODE",), button_text="VERIFY"
+            ),
+            guards=list(guards),
+            decoy=benign_decoy_page("Document portal"),
+            tags=frozenset({"otp-gate", "requires-interaction"}),
+        )
+
+    def _math_page(self, guards: list) -> Page:
+        """The custom challenge-response page (11 messages)."""
+        html = """<html>
+<head><title>Security check</title></head>
+<body>
+<p>Solve to continue: what is 7 + 5?</p>
+<form action="/portal/" method="GET"><input type="text" name="answer"/></form>
+<script>
+window.__expected_answer = 12;
+</script>
+</body></html>"""
+        return Page(
+            html=html,
+            visual=VisualSpec(
+                brand="", title="Solve 7 + 5 to continue", fields=("ANSWER",), button_text="CONTINUE"
+            ),
+            guards=list(guards),
+            decoy=benign_decoy_page("Security check"),
+            tags=frozenset({"math-challenge", "requires-interaction"}),
+        )
+
+    # ------------------------------------------------------------------
+    # Attacker-side handlers
+    # ------------------------------------------------------------------
+    def _collect_handler(self, deployment: DeployedSite):
+        def _collect(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            try:
+                data = json.loads(request.body) if request.body else {}
+            except json.JSONDecodeError:
+                data = {"raw": request.body}
+            data["client_ip"] = context.ip
+            deployment.harvested_credentials.append(data)
+            return HttpResponse(status=200, body='{"ok":true}', content_type="application/json")
+
+        return _collect
+
+    def _check_handler(self, deployment: DeployedSite):
+        def _check(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            try:
+                data = json.loads(request.body) if request.body else {}
+            except json.JSONDecodeError:
+                data = {}
+            email = str(data.get("email", "")).lower()
+            known = bool(_EMAIL_RE.match(email)) and email in deployment.victim_database
+            return HttpResponse(
+                status=200, body=json.dumps({"known": known}), content_type="application/json"
+            )
+
+        return _check
+
+    def _c2_handler(self, deployment: DeployedSite):
+        def _c2(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            try:
+                data = json.loads(request.body) if request.body else {}
+            except json.JSONDecodeError:
+                data = {}
+            deployment.exfiltrated_client_data.append(data)
+            return HttpResponse(status=200, body='{"ok":true}', content_type="application/json")
+
+        return _c2

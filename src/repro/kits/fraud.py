@@ -1,0 +1,87 @@
+"""URL-less first-contact fraud (49.6 % of the malicious corpus).
+
+"These are generally associated with fraud when attackers try to
+establish first contact with the recipient.  An example [...] is a
+plain-text message impersonating the billing department of a partner
+company, falsely asserting a past-due balance and pressuring the
+recipient to reply urgently [...] often employing the threat of service
+disconnection."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mail.message import EmailMessage, MessagePart
+
+_PARTNER_COMPANIES = (
+    "Global Freight Partners",
+    "Meridian Office Supply",
+    "TransEuropa Logistics",
+    "Corporate Cloud Services",
+    "Skyline Facilities Management",
+    "Atlas Travel Wholesale",
+)
+
+_FRAUD_TEMPLATES = (
+    (
+        "Past due balance — account {account}",
+        "Dear {recipient_name},\n\n"
+        "Our records show an outstanding balance of EUR {amount} on account {account} "
+        "with {company}. This invoice is now {days} days past due.\n\n"
+        "To avoid immediate disconnection of services, reply to this message today "
+        "with your purchase-order reference so we can reconcile payment.\n\n"
+        "Regards,\nBilling Department\n{company}",
+    ),
+    (
+        "URGENT: payment reconciliation required",
+        "Hello {recipient_name},\n\n"
+        "We were unable to reconcile your last remittance to {company}. "
+        "A hold of EUR {amount} has been placed pending confirmation.\n\n"
+        "Kindly reply urgently with your accounts-payable contact to release the hold. "
+        "Failure to respond within {days} business days will result in service suspension.\n\n"
+        "Accounts Receivable\n{company}",
+    ),
+    (
+        "Final notice before service interruption",
+        "Dear {recipient_name},\n\n"
+        "Despite previous reminders, invoice {account} (EUR {amount}) issued by {company} "
+        "remains unpaid. This is the final notice before interruption of service and "
+        "referral to collections.\n\n"
+        "Please respond immediately to arrange settlement.\n\n"
+        "Credit Control\n{company}",
+    ),
+)
+
+
+def build_fraud_message(
+    recipient: str,
+    delivered_at: float,
+    rng: random.Random,
+    sending_domain: str = "",
+    sending_ip: str = "",
+) -> EmailMessage:
+    """One plain-text BEC-style fraud message with no web resources."""
+    company = rng.choice(_PARTNER_COMPANIES)
+    subject_template, body_template = _FRAUD_TEMPLATES[rng.randrange(len(_FRAUD_TEMPLATES))]
+    account = f"INV-{rng.randrange(10000, 99999)}"
+    fields = {
+        "recipient_name": recipient.split("@")[0].replace(".", " ").title(),
+        "company": company,
+        "amount": f"{rng.randrange(800, 48000)}.{rng.randrange(10, 99)}",
+        "account": account,
+        "days": rng.randrange(10, 60),
+    }
+    sender_domain = sending_domain or company.lower().replace(" ", "-") + ".example"
+    message = EmailMessage(
+        sender=f"billing@{sender_domain}",
+        recipient=recipient,
+        subject=subject_template.format(**fields),
+        delivered_at=delivered_at,
+        sending_domain=sender_domain,
+        sending_ip=sending_ip or "198.51.100.10",
+        dkim_signed=True,
+        ground_truth={"category": "fraud-no-resources"},
+    )
+    message.add_part(MessagePart.text(body_template.format(**fields)))
+    return message

@@ -1,0 +1,114 @@
+"""Interaction-gated destinations (the 235-message bucket of Section V).
+
+"235 messages (4.5%) lead to pages requiring specific user interaction
+(e.g., a Dropbox document, a Google Drive page, or a website requiring
+solving a traditional CAPTCHA system involving image-based puzzles)."
+NotABot deliberately cannot solve classic image CAPTCHAs (Section VII),
+so these pages terminate the crawl with an interaction classification.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mail.message import EmailMessage, MessagePart
+from repro.web.network import Network
+from repro.web.site import Page, VisualSpec, Website
+from repro.web.tls import TLSCertificate
+
+INTERACTION_KINDS = ("dropbox-document", "gdrive-page", "classic-captcha")
+
+_PAGE_MARKUP = {
+    "dropbox-document": """<html>
+<head><title>Dropbox - Shared document</title></head>
+<body>
+<h1>Dropbox</h1>
+<p>Someone shared "Q3_payment_schedule.xlsx" with you.</p>
+<p>To view this document, sign in with your work account or request access.</p>
+<form action="/request-access" method="POST"><input type="text" name="email"/></form>
+</body></html>""",
+    "gdrive-page": """<html>
+<head><title>Google Drive - You need access</title></head>
+<body>
+<h1>Google Drive</h1>
+<p>You need access. Ask for access, or switch to an account with access.</p>
+<form action="/request" method="POST"><input type="text" name="message"/></form>
+</body></html>""",
+    "classic-captcha": """<html>
+<head><title>Verify you are human</title></head>
+<body>
+<h1>Security check</h1>
+<p>Select all images containing traffic lights to continue.</p>
+<div id="captcha-grid">[image puzzle grid]</div>
+<form action="/verify" method="POST"><input type="hidden" name="captcha-token"/></form>
+</body></html>""",
+}
+
+_VISUALS = {
+    "dropbox-document": VisualSpec(
+        brand="Dropbox", title="Shared document", header_color=(0, 97, 254),
+        button_color=(0, 97, 254), button_text="REQUEST ACCESS", fields=("EMAIL",),
+    ),
+    "gdrive-page": VisualSpec(
+        brand="Drive", title="You need access", header_color=(30, 142, 62),
+        button_color=(26, 115, 232), button_text="ASK FOR ACCESS", fields=(),
+    ),
+    "classic-captcha": VisualSpec(
+        brand="", title="Verify you are human", header_color=(70, 70, 70),
+        button_color=(66, 133, 244), button_text="VERIFY", fields=(),
+    ),
+}
+
+
+def deploy_interaction_site(
+    network: Network,
+    domain: str,
+    ip: str,
+    kind: str,
+    cert_issued_at: float,
+) -> Website:
+    """Host one interaction-gated page."""
+    if kind not in INTERACTION_KINDS:
+        raise ValueError(f"unknown interaction kind {kind!r}")
+    site = Website(domain, ip=ip)
+    page = Page(
+        html=_PAGE_MARKUP[kind],
+        visual=_VISUALS[kind],
+        tags=frozenset({"requires-interaction", kind}),
+    )
+    site.set_default(page)
+    network.host_website(site)
+    network.issue_certificate(
+        TLSCertificate(domain, "LetsEncrypt", cert_issued_at, cert_issued_at + 24 * 90)
+    )
+    return site
+
+
+def build_interaction_message(
+    recipient: str,
+    delivered_at: float,
+    landing_url: str,
+    kind: str,
+    rng: random.Random,
+    sending_domain: str = "share-notification.example",
+    sending_ip: str = "198.51.100.40",
+) -> EmailMessage:
+    """The lure pointing at an interaction-gated page."""
+    subjects = {
+        "dropbox-document": "Document shared with you via Dropbox",
+        "gdrive-page": "Invitation to collaborate on a document",
+        "classic-captcha": "Your mailbox storage is almost full",
+    }
+    message = EmailMessage(
+        sender=f"no-reply@{sending_domain}",
+        recipient=recipient,
+        subject=subjects[kind],
+        delivered_at=delivered_at,
+        sending_domain=sending_domain,
+        sending_ip=sending_ip,
+        ground_truth={"category": "interaction", "kind": kind, "landing_url": landing_url},
+    )
+    message.add_part(
+        MessagePart.text(f"A document is waiting for you.\n\nOpen it here: {landing_url}\n")
+    )
+    return message

@@ -1,0 +1,142 @@
+"""Lure-message composition for credential kits.
+
+Builds the delivered email around a deployment's tokenized landing URL,
+applying the message-level evasions of Section V-C.1: noise padding
+(line breaks + long random text after the call to action, >=270
+messages), base64 transfer encoding, QR-code embedding, and the
+*faulty* QR variant whose payload carries garbage before the URL
+(35 messages — the email-filter parser bug).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+from repro.imaging.image import Image
+from repro.kits.credential import DeployedSite
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+from repro.qr.encoder import qr_image
+from repro.qr.tables import ECLevel
+
+_CALL_TO_ACTION = (
+    "Your {brand} password expires today. Review your account now:",
+    "A new secure document is waiting for you on {brand}. Sign in to view it:",
+    "Unusual sign-in activity detected on your {brand} account. Verify immediately:",
+    "Action required: confirm your {brand} mailbox to avoid interruption:",
+)
+
+_QR_CALL_TO_ACTION = (
+    "Your {brand} multi-factor enrollment expires today. "
+    "Scan the QR code below with your phone to re-enroll:",
+    "Listen to your new {brand} voicemail by scanning the code with your mobile device:",
+)
+
+#: Faulty-QR payload prefixes observed in the wild: arbitrary ASCII or a
+#: stray bracket before the scheme.
+_FAULTY_PREFIXES = ("xxx ", "[", "** ", "qr:", ")) ")
+
+
+def _noise_block(rng: random.Random) -> str:
+    """Line breaks plus long random text diluting the malicious signal."""
+    breaks = "\n" * rng.randrange(40, 120)
+    words = []
+    for _ in range(rng.randrange(150, 400)):
+        length = rng.randrange(3, 11)
+        words.append("".join(rng.choice(string.ascii_lowercase) for _ in range(length)))
+    return breaks + " ".join(words)
+
+
+def build_credential_lure(
+    deployment: DeployedSite,
+    recipient: str,
+    token: str,
+    delivered_at: float,
+    rng: random.Random,
+    embed_as: str = "link",  # 'link' | 'qr' | 'faulty_qr' | 'image_text'
+    noise_padding: bool = False,
+    base64_body: bool = False,
+    sending_domain: str = "",
+    sending_ip: str = "",
+    extra_urls: tuple[str, ...] = (),
+) -> EmailMessage:
+    """Compose the phishing email for one victim of one deployment."""
+    landing_url = deployment.register_victim(recipient, token)
+    brand = deployment.brand.name
+    sender_domain = sending_domain or f"notify-{deployment.domain}"
+    message = EmailMessage(
+        sender=f"it-security@{sender_domain}",
+        recipient=recipient,
+        subject=f"[{brand}] Action required",
+        delivered_at=delivered_at,
+        sending_domain=sender_domain,
+        sending_ip=sending_ip or "198.51.100.30",
+        ground_truth={
+            "category": "credential-phishing",
+            "landing_domain": deployment.domain,
+            "landing_url": landing_url,
+            "embed_as": embed_as,
+            "noise_padding": noise_padding,
+            "brand": brand,
+        },
+    )
+
+    if embed_as in ("qr", "faulty_qr"):
+        intro = rng.choice(_QR_CALL_TO_ACTION).format(brand=brand)
+        payload = landing_url
+        if embed_as == "faulty_qr":
+            payload = rng.choice(_FAULTY_PREFIXES) + landing_url
+        message.add_part(MessagePart.text(intro, base64_encode=base64_body))
+        message.add_part(
+            MessagePart(
+                ContentType.IMAGE,
+                qr_image(payload, ec_level=ECLevel.L, scale=3),
+                filename="qr_enroll.png",
+            )
+        )
+        message.ground_truth["qr_payload"] = payload
+    elif embed_as == "image_text":
+        # The URL only exists as rendered pixels: text-based extraction
+        # finds nothing, OCR (Section IV-B) recovers it.  Landing URLs
+        # are all-lowercase so the case-folding OCR round trip is exact.
+        from repro.imaging.render import render_lines
+
+        intro = rng.choice(_CALL_TO_ACTION).format(brand=brand)
+        image = render_lines([intro.upper()[:40], landing_url.upper()], scale=2)
+        message.add_part(MessagePart.text("See the notice below.", base64_encode=base64_body))
+        message.add_part(MessagePart(ContentType.IMAGE, image, filename="notice.png"))
+    elif embed_as == "pdf":
+        # A PDF attachment carrying the URL as a link annotation and in
+        # its text; every other one also embeds a QR code in the page
+        # (exercising the rasterise-and-rescan strategy).
+        from repro.pdfdoc import PdfDocument, PdfPage
+
+        intro = rng.choice(_CALL_TO_ACTION).format(brand=brand)
+        images = []
+        if rng.random() < 0.5:
+            images = [qr_image(landing_url, ec_level=ECLevel.L, scale=3)]
+        page = PdfPage(
+            text_lines=[intro.upper()[:44], "OPEN THE SECURE DOCUMENT:", landing_url],
+            uri_annotations=[landing_url],
+            images=images,
+        )
+        document = PdfDocument(title=f"{brand} secure notice").add_page(page)
+        message.add_part(MessagePart.text("Please review the attached notice.", base64_encode=base64_body))
+        message.add_part(
+            MessagePart(ContentType.PDF, document, filename="secure_notice.pdf", inline=False)
+        )
+    else:
+        intro = rng.choice(_CALL_TO_ACTION).format(brand=brand)
+        body = f"{intro}\n\n{landing_url}\n"
+        for extra in extra_urls:
+            body += f"{extra}\n"
+        html = (
+            f"<html><body><p>{intro}</p>"
+            f'<p><a href="{landing_url}">Review account</a></p></body></html>'
+        )
+        message.add_part(MessagePart.text(body, base64_encode=base64_body))
+        message.add_part(MessagePart.html(html))
+
+    if noise_padding:
+        message.add_part(MessagePart.text(_noise_block(rng)))
+    return message

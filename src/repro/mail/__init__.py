@@ -1,0 +1,38 @@
+"""Email substrate: messages, authentication, and the parsing phase.
+
+Models the structures CrawlerBox consumes (Section IV-B): multipart
+messages whose parts may be text, HTML, images (with OCR'd text or QR
+codes), PDFs, ZIP archives, binary blobs identified by magic numbers,
+or nested EML messages — processed recursively.
+
+- :mod:`~repro.mail.message` — the message/part model.
+- :mod:`~repro.mail.auth` — SPF/DKIM/DMARC evaluation (every reported
+  message in the paper passed all three).
+- :mod:`~repro.mail.attachments` — PDF documents, archives, file blobs
+  with magic numbers, HTA droppers.
+- :mod:`~repro.mail.textscan` — static URL extraction from text.
+- :mod:`~repro.mail.parser` — the recursive walker producing an
+  :class:`~repro.mail.parser.ExtractionReport` with full provenance for
+  every URL found.
+"""
+
+from repro.mail.message import EmailMessage, MessagePart, ContentType
+from repro.mail.auth import AuthResults, evaluate_authentication
+from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
+from repro.mail.parser import EmailParser, ExtractedUrl, ExtractionReport
+from repro.mail.textscan import extract_urls_from_text
+
+__all__ = [
+    "EmailMessage",
+    "MessagePart",
+    "ContentType",
+    "AuthResults",
+    "evaluate_authentication",
+    "ArchiveFile",
+    "FileBlob",
+    "HtaFile",
+    "EmailParser",
+    "ExtractionReport",
+    "ExtractedUrl",
+    "extract_urls_from_text",
+]

@@ -1,0 +1,104 @@
+"""Attachment containers: archives, typed blobs, HTA droppers.
+
+Octet-stream attachments are "analyzed according to their file
+signature determined by magic numbers" (Section IV-B): a
+:class:`FileBlob` carries genuine leading bytes for sniffing plus the
+structured payload.  ZIP archives unpack into named entries that are
+re-dispatched; the five download-leading messages of Section V
+contained archives with HTA files that fetch remote JavaScript — which
+CrawlerBox deliberately does **not** execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ZIP_MAGIC = b"PK\x03\x04"
+HTML_MAGICS = (b"<html", b"<!DOCTYPE", b"<HTML")
+EML_MAGICS = (b"Received:", b"From:", b"Return-Path:")
+
+
+@dataclass
+class ArchiveFile:
+    """A ZIP-style archive: named entries with typed contents."""
+
+    entries: list[tuple[str, object]] = field(default_factory=list)
+
+    def add(self, name: str, content: object) -> "ArchiveFile":
+        self.entries.append((name, content))
+        return self
+
+    @property
+    def magic_bytes(self) -> bytes:
+        return ZIP_MAGIC
+
+    def names(self) -> list[str]:
+        return [name for name, _ in self.entries]
+
+
+@dataclass
+class HtaFile:
+    """An HTML Application dropper.
+
+    HTAs run with full user privileges under mshta.exe; the observed
+    samples fetch a JavaScript payload from a malicious domain.
+    CrawlerBox records the remote URL but never executes the file.
+    """
+
+    name: str
+    remote_script_url: str
+    markup: str = ""
+
+    def __post_init__(self):
+        if not self.markup:
+            self.markup = (
+                "<html><head><hta:application id=\"dropper\"/>"
+                f"<script src=\"{self.remote_script_url}\"></script>"
+                "</head><body></body></html>"
+            )
+
+
+@dataclass
+class FileBlob:
+    """An application/octet-stream attachment with sniffable leading bytes."""
+
+    name: str
+    leading_bytes: bytes
+    payload: object  # the structured content behind the magic
+
+    def sniffed_kind(self) -> str:
+        """Classify by magic number, as the parser does."""
+        from repro.pdfdoc.document import PDF_MAGIC
+
+        if self.leading_bytes.startswith(PDF_MAGIC):
+            return "pdf"
+        if self.leading_bytes.startswith(ZIP_MAGIC):
+            return "zip"
+        for magic in HTML_MAGICS:
+            if self.leading_bytes.lstrip().lower().startswith(magic.lower()):
+                return "html"
+        for magic in EML_MAGICS:
+            if self.leading_bytes.startswith(magic):
+                return "eml"
+        if self.leading_bytes.startswith(b"\x89PNG"):
+            return "image"
+        return "unknown"
+
+    @classmethod
+    def wrapping(cls, name: str, payload: object) -> "FileBlob":
+        """Build a blob with leading bytes matching the payload's type."""
+        from repro.imaging.image import Image
+        from repro.mail.message import EmailMessage
+        from repro.pdfdoc.document import PdfDocument
+
+        if isinstance(payload, PdfDocument):
+            return cls(name, payload.magic_bytes + b"1.7", payload)
+        if isinstance(payload, ArchiveFile):
+            return cls(name, payload.magic_bytes, payload)
+        if isinstance(payload, Image):
+            return cls(name, b"\x89PNG\r\n\x1a\n", payload)
+        if isinstance(payload, EmailMessage):
+            return cls(name, b"Received: from simulated", payload)
+        if isinstance(payload, str) and payload.lstrip().lower().startswith(("<html", "<!doctype")):
+            return cls(name, payload[:16].encode("utf-8", errors="replace"), payload)
+        return cls(name, b"\x00\x01\x02\x03", payload)

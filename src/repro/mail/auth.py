@@ -1,0 +1,77 @@
+"""Email authentication: SPF, DKIM, and DMARC.
+
+Section V-C.1: "All the reported messages pass the three email
+authentication methods [...] This means that they are either sent from
+legitimate, well established email addresses or from compromised or
+malicious accounts."  Attackers control or compromise the sending
+infrastructure, so authentication *succeeds* — which is exactly why it
+cannot be relied on as a phishing signal.
+
+The evaluation is a real (if compact) implementation: SPF checks the
+sending IP against the domain's published senders, DKIM checks the
+signature's validity and signing domain, DMARC requires alignment of
+one passing mechanism with the From: domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DomainMailPolicy:
+    """What a domain publishes in DNS (SPF record, DKIM keys, DMARC)."""
+
+    domain: str
+    spf_allowed_ips: frozenset[str] = frozenset()
+    dkim_selectors: frozenset[str] = frozenset({"default"})
+    dmarc_policy: str = "reject"  # 'none' | 'quarantine' | 'reject'
+
+
+@dataclass
+class MailAuthDns:
+    """The DNS-published mail policies of the simulated internet."""
+
+    policies: dict[str, DomainMailPolicy] = field(default_factory=dict)
+
+    def publish(self, policy: DomainMailPolicy) -> None:
+        self.policies[policy.domain.lower()] = policy
+
+    def lookup(self, domain: str) -> DomainMailPolicy | None:
+        return self.policies.get(domain.lower())
+
+
+@dataclass(frozen=True)
+class AuthResults:
+    """The Authentication-Results a receiving server would stamp."""
+
+    spf: str  # 'pass' | 'fail' | 'none'
+    dkim: str
+    dmarc: str
+
+    @property
+    def all_pass(self) -> bool:
+        return self.spf == "pass" and self.dkim == "pass" and self.dmarc == "pass"
+
+
+def evaluate_authentication(message, dns: MailAuthDns) -> AuthResults:
+    """Evaluate SPF/DKIM/DMARC for a message against published policies."""
+    from_domain = message.sender_domain
+    sending_domain = (message.sending_domain or from_domain).lower()
+
+    policy = dns.lookup(sending_domain)
+    if policy is None:
+        spf = "none"
+        dkim = "none"
+    else:
+        spf = "pass" if message.sending_ip in policy.spf_allowed_ips else "fail"
+        dkim = "pass" if message.dkim_signed and policy.dkim_selectors else "fail"
+
+    # DMARC: at least one of SPF/DKIM must pass *and* align with From:.
+    aligned = sending_domain == from_domain or sending_domain.endswith("." + from_domain)
+    if aligned and (spf == "pass" or dkim == "pass"):
+        dmarc = "pass"
+    else:
+        from_policy = dns.lookup(from_domain)
+        dmarc = "fail" if from_policy is not None else "none"
+    return AuthResults(spf=spf, dkim=dkim, dmarc=dmarc)

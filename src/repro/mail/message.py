@@ -1,0 +1,108 @@
+"""The email message / MIME-part model.
+
+A message is a header map plus a list of parts; parts may nest (EML
+attachments contain whole messages, ZIP archives contain files that may
+themselves be parsed).  Text parts may carry a base64
+content-transfer-encoding — one of the message-level evasions of
+Section III-A ("parts of the message are encoded in Base64") that naive
+filters fail to decode.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+
+
+class ContentType:
+    """The content types the paper lists as most prevalent (Section IV-B)."""
+
+    TEXT = "text/plain"
+    HTML = "text/html"
+    IMAGE = "image/png"
+    PDF = "application/pdf"
+    ZIP = "application/zip"
+    OCTET_STREAM = "application/octet-stream"
+    EML = "message/rfc822"
+    RTF = "text/rtf"
+
+
+@dataclass
+class MessagePart:
+    """One MIME part.
+
+    ``content`` is typed by ``content_type``:
+
+    - text/plain, text/rtf, text/html -> ``str`` (possibly base64-encoded
+      when ``transfer_encoding == 'base64'``)
+    - image/* -> :class:`repro.imaging.image.Image`
+    - application/pdf -> :class:`repro.pdfdoc.document.PdfDocument`
+    - application/zip -> :class:`repro.mail.attachments.ArchiveFile`
+    - application/octet-stream -> :class:`repro.mail.attachments.FileBlob`
+    - message/rfc822 -> :class:`EmailMessage`
+    """
+
+    content_type: str
+    content: object
+    filename: str = ""
+    transfer_encoding: str = ""  # '' or 'base64'
+    inline: bool = True
+
+    def decoded_text(self) -> str:
+        """The text content with any transfer encoding removed."""
+        if not isinstance(self.content, str):
+            raise TypeError(f"part {self.content_type} does not hold text")
+        if self.transfer_encoding == "base64":
+            return base64.b64decode(self.content.encode("ascii")).decode("utf-8", errors="replace")
+        return self.content
+
+    @classmethod
+    def text(cls, body: str, base64_encode: bool = False, **kwargs) -> "MessagePart":
+        if base64_encode:
+            encoded = base64.b64encode(body.encode("utf-8")).decode("ascii")
+            return cls(ContentType.TEXT, encoded, transfer_encoding="base64", **kwargs)
+        return cls(ContentType.TEXT, body, **kwargs)
+
+    @classmethod
+    def html(cls, markup: str, base64_encode: bool = False, **kwargs) -> "MessagePart":
+        if base64_encode:
+            encoded = base64.b64encode(markup.encode("utf-8")).decode("ascii")
+            return cls(ContentType.HTML, encoded, transfer_encoding="base64", **kwargs)
+        return cls(ContentType.HTML, markup, **kwargs)
+
+
+@dataclass
+class EmailMessage:
+    """A delivered email as the reporting pipeline sees it."""
+
+    sender: str = "unknown@example.com"
+    recipient: str = "employee@corp.example"
+    subject: str = ""
+    #: Delivery timestamp in hours since the study epoch.
+    delivered_at: float = 0.0
+    headers: dict[str, str] = field(default_factory=dict)
+    parts: list[MessagePart] = field(default_factory=list)
+    #: Domain whose infrastructure sent the message (for SPF/DKIM).
+    sending_domain: str = ""
+    sending_ip: str = "198.51.100.10"
+    #: Whether the sending service signed the message (DKIM).
+    dkim_signed: bool = True
+    #: Ground-truth metadata attached by the corpus generator; the
+    #: pipeline never reads it — tests and calibration checks do.
+    ground_truth: dict = field(default_factory=dict)
+
+    @property
+    def sender_domain(self) -> str:
+        return self.sender.rsplit("@", 1)[-1].lower() if "@" in self.sender else ""
+
+    def add_part(self, part: MessagePart) -> "EmailMessage":
+        self.parts.append(part)
+        return self
+
+    def body_text(self) -> str:
+        """Concatenated decoded text of all top-level text parts."""
+        chunks = []
+        for part in self.parts:
+            if part.content_type in (ContentType.TEXT, ContentType.RTF) and isinstance(part.content, str):
+                chunks.append(part.decoded_text())
+        return "\n".join(chunks)

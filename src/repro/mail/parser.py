@@ -1,0 +1,222 @@
+"""CrawlerBox's parsing phase: recursive part walking + URL extraction.
+
+Implements the methodology list of Section IV-B verbatim:
+
+- URLs are statically extracted from text-based formats.
+- Images are scanned with OCR and for QR codes (URLs carved from QR
+  payloads with the *lenient* mobile-style extractor, so faulty QR codes
+  do not escape analysis).
+- PDFs: (1) URI annotations and text URLs, (2) per-page screenshots
+  analysed like images.
+- Octet-stream blobs are classified by magic number and re-dispatched.
+- HTML/JavaScript is collected for dynamic loading by the crawler (the
+  pipeline stage; the parser also performs static markup extraction).
+- ZIP archives are unpacked and every entry analysed appropriately.
+- EML attachments are processed recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.imaging.image import Image
+from repro.imaging.ocr import ocr_image
+from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+from repro.mail.textscan import extract_urls_from_markup, extract_urls_from_text
+from repro.pdfdoc.document import PdfDocument
+from repro.qr.decoder import QRDecodeError
+from repro.qr.locator import QRLocateError
+from repro.qr.scanner import decode_qr_image, extract_url_lenient, extract_url_strict
+
+
+@dataclass(frozen=True)
+class ExtractedUrl:
+    """A URL with full provenance."""
+
+    url: str
+    method: str  # 'text' | 'html-static' | 'ocr' | 'qr' | 'pdf-annotation' | ...
+    part_path: str  # e.g. 'part[1]/zip:invoice.html'
+
+
+@dataclass
+class ExtractionReport:
+    """Everything the parsing phase recovered from one message."""
+
+    urls: list[ExtractedUrl] = field(default_factory=list)
+    #: (part_path, markup) pairs queued for dynamic browser analysis.
+    html_documents: list[tuple[str, str]] = field(default_factory=list)
+    #: Part paths whose HTML is an *attachment* the victim opens locally
+    #: (as opposed to the rendered message body).
+    html_attachment_paths: set[str] = field(default_factory=set)
+    #: QR payloads seen, with the part path (faulty payloads included).
+    qr_payloads: list[tuple[str, str]] = field(default_factory=list)
+    #: HTA droppers found (recorded, never executed).
+    hta_files: list[tuple[str, HtaFile]] = field(default_factory=list)
+    #: Concatenated visible text across all parts.
+    text: str = ""
+    #: Content types encountered (for the prevalence statistics).
+    content_types: list[str] = field(default_factory=list)
+
+    def unique_urls(self) -> list[str]:
+        seen: set[str] = set()
+        ordered: list[str] = []
+        for item in self.urls:
+            if item.url not in seen:
+                seen.add(item.url)
+                ordered.append(item.url)
+        return ordered
+
+    def add_url(self, url: str | None, method: str, path: str) -> None:
+        if url:
+            self.urls.append(ExtractedUrl(url=url, method=method, part_path=path))
+
+
+class EmailParser:
+    """The recursive message parser.
+
+    ``lenient_qr`` selects the QR payload-to-URL policy: CrawlerBox uses
+    the lenient mobile-style extraction; setting it False reproduces the
+    strict behaviour of the email filters the faulty-QR bug defeats.
+    """
+
+    def __init__(self, lenient_qr: bool = True, decode_base64_text: bool = True):
+        self.lenient_qr = lenient_qr
+        self.decode_base64_text = decode_base64_text
+
+    # ------------------------------------------------------------------
+    def parse(self, message: EmailMessage) -> ExtractionReport:
+        report = ExtractionReport()
+        text_chunks: list[str] = []
+        self._walk_message(message, "", report, text_chunks)
+        report.text = "\n".join(chunk for chunk in text_chunks if chunk)
+        return report
+
+    # ------------------------------------------------------------------
+    def _walk_message(
+        self,
+        message: EmailMessage,
+        prefix: str,
+        report: ExtractionReport,
+        text_chunks: list[str],
+    ) -> None:
+        for index, part in enumerate(message.parts):
+            path = f"{prefix}part[{index}]"
+            self._walk_part(part, path, report, text_chunks)
+
+    def _walk_part(
+        self,
+        part: MessagePart,
+        path: str,
+        report: ExtractionReport,
+        text_chunks: list[str],
+    ) -> None:
+        report.content_types.append(part.content_type)
+        content = part.content
+
+        if part.content_type in (ContentType.TEXT, ContentType.RTF):
+            text = part.decoded_text() if self.decode_base64_text else str(content)
+            text_chunks.append(text)
+            for url in extract_urls_from_text(text):
+                report.add_url(url, "text", path)
+        elif part.content_type == ContentType.HTML:
+            markup = part.decoded_text() if self.decode_base64_text else str(content)
+            report.html_documents.append((path, markup))
+            if not part.inline or part.filename:
+                report.html_attachment_paths.add(path)
+            for url in extract_urls_from_markup(markup):
+                report.add_url(url, "html-static", path)
+        elif part.content_type.startswith("image/"):
+            if isinstance(content, Image):
+                self._scan_image(content, path, report, text_chunks)
+        elif part.content_type == ContentType.PDF:
+            if isinstance(content, PdfDocument):
+                self._scan_pdf(content, path, report, text_chunks)
+        elif part.content_type == ContentType.ZIP:
+            if isinstance(content, ArchiveFile):
+                self._scan_archive(content, path, report, text_chunks)
+        elif part.content_type == ContentType.OCTET_STREAM:
+            if isinstance(content, FileBlob):
+                self._scan_blob(content, path, report, text_chunks)
+        elif part.content_type == ContentType.EML:
+            if isinstance(content, EmailMessage):
+                self._walk_message(content, f"{path}/eml:", report, text_chunks)
+
+    # ------------------------------------------------------------------
+    def _scan_image(
+        self, image: Image, path: str, report: ExtractionReport, text_chunks: list[str]
+    ) -> None:
+        # OCR pass: text rendered into the image (including URLs).
+        result = ocr_image(image)
+        if result.text.strip():
+            text_chunks.append(result.text)
+            for url in extract_urls_from_text(result.text.lower()):
+                report.add_url(url, "ocr", path)
+        # QR pass.
+        try:
+            payload = decode_qr_image(image)
+        except (QRLocateError, QRDecodeError):
+            return
+        report.qr_payloads.append((path, payload))
+        extractor = extract_url_lenient if self.lenient_qr else extract_url_strict
+        report.add_url(extractor(payload), "qr", path)
+
+    def _scan_pdf(
+        self, pdf: PdfDocument, path: str, report: ExtractionReport, text_chunks: list[str]
+    ) -> None:
+        # Strategy 1: embedded URI annotations and text URLs.
+        for uri in pdf.all_uri_annotations():
+            report.add_url(uri, "pdf-annotation", path)
+        text = pdf.all_text()
+        text_chunks.append(text)
+        for url in extract_urls_from_text(text):
+            report.add_url(url, "pdf-text", path)
+        # Strategy 2: rasterise each page, analyse like an image.
+        for page_index, raster in enumerate(pdf.rasterize_pages()):
+            self._scan_image(raster, f"{path}/page[{page_index}]", report, text_chunks)
+
+    def _scan_archive(
+        self, archive: ArchiveFile, path: str, report: ExtractionReport, text_chunks: list[str]
+    ) -> None:
+        for name, entry in archive.entries:
+            entry_path = f"{path}/zip:{name}"
+            self._dispatch_object(entry, name, entry_path, report, text_chunks)
+
+    def _scan_blob(
+        self, blob: FileBlob, path: str, report: ExtractionReport, text_chunks: list[str]
+    ) -> None:
+        kind = blob.sniffed_kind()
+        blob_path = f"{path}/blob:{blob.name}({kind})"
+        if kind == "unknown":
+            return
+        self._dispatch_object(blob.payload, blob.name, blob_path, report, text_chunks)
+
+    def _dispatch_object(
+        self, obj: object, name: str, path: str, report: ExtractionReport, text_chunks: list[str]
+    ) -> None:
+        """Route an extracted file object to the appropriate scanner."""
+        if isinstance(obj, Image):
+            self._scan_image(obj, path, report, text_chunks)
+        elif isinstance(obj, PdfDocument):
+            self._scan_pdf(obj, path, report, text_chunks)
+        elif isinstance(obj, ArchiveFile):
+            self._scan_archive(obj, path, report, text_chunks)
+        elif isinstance(obj, EmailMessage):
+            self._walk_message(obj, f"{path}/eml:", report, text_chunks)
+        elif isinstance(obj, HtaFile):
+            report.hta_files.append((path, obj))
+            # Record (but never fetch or execute) the remote script URL.
+            report.add_url(obj.remote_script_url, "hta-reference", path)
+        elif isinstance(obj, FileBlob):
+            self._scan_blob(obj, path, report, text_chunks)
+        elif isinstance(obj, str):
+            lowered = obj.lstrip().lower()
+            if lowered.startswith(("<html", "<!doctype")) or name.lower().endswith((".html", ".htm")):
+                report.html_documents.append((path, obj))
+                report.html_attachment_paths.add(path)
+                for url in extract_urls_from_markup(obj):
+                    report.add_url(url, "html-static", path)
+            else:
+                text_chunks.append(obj)
+                for url in extract_urls_from_text(obj):
+                    report.add_url(url, "text", path)

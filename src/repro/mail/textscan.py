@@ -1,0 +1,58 @@
+"""Static URL extraction from text and markup."""
+
+from __future__ import annotations
+
+import re
+
+from repro.web.urls import UrlError, parse_url
+
+#: URLs in free text: scheme through the last URL-safe character.
+_TEXT_URL_RE = re.compile(r"https?://[^\s\"'<>()\[\]{}]+", re.IGNORECASE)
+
+#: href/src/action attribute values in markup.
+_ATTR_URL_RE = re.compile(
+    r"""(?:href|src|action)\s*=\s*["']?(https?://[^\s"'<>]+)""", re.IGNORECASE
+)
+
+
+def normalize_url(candidate: str) -> str | None:
+    """Parse and canonicalise a URL (lowercase scheme and host)."""
+    try:
+        parsed = parse_url(candidate)
+    except UrlError:
+        return None
+    rest = candidate.split("://", 1)[1]
+    host_end = len(rest.split("/", 1)[0].split("?", 1)[0].split("#", 1)[0])
+    tail = rest[host_end:]
+    port = "" if parsed.port in (80, 443) else f":{parsed.port}"
+    if ":" in rest[:host_end]:
+        return f"{parsed.scheme}://{parsed.host}{port}{tail}"
+    return f"{parsed.scheme}://{parsed.host}{tail}"
+
+
+def extract_urls_from_text(text: str) -> list[str]:
+    """All http(s) URLs appearing in free text, deduplicated in order."""
+    found: list[str] = []
+    seen: set[str] = set()
+    for match in _TEXT_URL_RE.finditer(text):
+        normalized = normalize_url(match.group(0).rstrip(".,;:!?"))
+        if normalized is not None and normalized not in seen:
+            seen.add(normalized)
+            found.append(normalized)
+    return found
+
+
+def extract_urls_from_markup(markup: str) -> list[str]:
+    """URLs in markup: attributes first, then any free-text occurrences."""
+    found: list[str] = []
+    seen: set[str] = set()
+    for match in _ATTR_URL_RE.finditer(markup):
+        normalized = normalize_url(match.group(1))
+        if normalized is not None and normalized not in seen:
+            seen.add(normalized)
+            found.append(normalized)
+    for url in extract_urls_from_text(markup):
+        if url not in seen:
+            seen.add(url)
+            found.append(url)
+    return found

@@ -1,0 +1,13 @@
+"""A minimal PDF-shaped document substrate.
+
+Section IV-B describes two extraction strategies for PDF attachments:
+"(1) extracting embedded and text-based URLs, and (2) taking a
+screenshot of each page, which is then analyzed like the images"
+(OCR + QR scanning).  :class:`~repro.pdfdoc.document.PdfDocument`
+supports both: pages carry text lines, URI annotations, and embedded
+images, and rasterise deterministically.
+"""
+
+from repro.pdfdoc.document import PdfDocument, PdfPage
+
+__all__ = ["PdfDocument", "PdfPage"]

@@ -1,0 +1,67 @@
+"""PDF documents: text, URI annotations, embedded images, rasterisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.imaging.image import Image
+from repro.imaging.render import render_lines
+
+#: Leading bytes used for magic-number sniffing of octet-stream blobs.
+PDF_MAGIC = b"%PDF-"
+
+
+@dataclass
+class PdfPage:
+    """One page: visible text lines, link annotations, embedded images."""
+
+    text_lines: list[str] = field(default_factory=list)
+    uri_annotations: list[str] = field(default_factory=list)
+    images: list[Image] = field(default_factory=list)
+
+    def rasterize(self, scale: int = 2) -> Image:
+        """Screenshot the page: rendered text with images pasted below."""
+        lines = [line for line in self.text_lines if line.strip()] or [" "]
+        base = render_lines(lines, scale=scale, margin=8)
+        if not self.images:
+            return base
+        total_height = base.height + sum(image.height + 8 for image in self.images)
+        total_width = max([base.width] + [image.width + 16 for image in self.images])
+        canvas = Image.new(total_width, total_height, (255, 255, 255))
+        canvas.paste(base, 0, 0)
+        cursor = base.height
+        for image in self.images:
+            canvas.paste(image, 8, cursor)
+            cursor += image.height + 8
+        return canvas
+
+
+@dataclass
+class PdfDocument:
+    """A multi-page document."""
+
+    pages: list[PdfPage] = field(default_factory=list)
+    title: str = ""
+
+    def add_page(self, page: PdfPage) -> "PdfDocument":
+        self.pages.append(page)
+        return self
+
+    # ------------------------------------------------------------------
+    # Extraction strategy 1: embedded and text-based URLs.
+    # ------------------------------------------------------------------
+    def all_text(self) -> str:
+        return "\n".join(line for page in self.pages for line in page.text_lines)
+
+    def all_uri_annotations(self) -> list[str]:
+        return [uri for page in self.pages for uri in page.uri_annotations]
+
+    # ------------------------------------------------------------------
+    # Extraction strategy 2: page screenshots.
+    # ------------------------------------------------------------------
+    def rasterize_pages(self, scale: int = 2) -> list[Image]:
+        return [page.rasterize(scale=scale) for page in self.pages]
+
+    @property
+    def magic_bytes(self) -> bytes:
+        return PDF_MAGIC

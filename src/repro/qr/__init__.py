@@ -1,0 +1,41 @@
+"""A genuine QR-code codec and image scanner.
+
+Section V-C of the paper documents "quishing": malicious URLs embedded in
+QR codes, including *faulty* QR codes whose payload is not a syntactically
+valid URL (e.g. ``"xxx https://evil-site.com/"``) — mobile camera apps
+still extract and open the URL while several commercial email filters
+fail to.  Reproducing that bug mechanically requires real QR codes, so
+this subpackage implements the codec from scratch:
+
+- :mod:`~repro.qr.gf256` — GF(2^8) arithmetic and Reed–Solomon
+  encoding/decoding (syndromes, Berlekamp–Massey, Chien, Forney).
+- :mod:`~repro.qr.encoder` — byte/alphanumeric/numeric segment encoding,
+  block interleaving, versions 1-10, all four EC levels.
+- :mod:`~repro.qr.matrix` — module placement, the eight mask patterns and
+  the penalty-based mask choice, format/version information.
+- :mod:`~repro.qr.decoder` — matrix back to payload, correcting errors.
+- :mod:`~repro.qr.locator` — find and sample a QR symbol inside a raster
+  :class:`~repro.imaging.image.Image` via finder-pattern detection.
+- :mod:`~repro.qr.scanner` — payload-to-URL policies: the *strict*
+  extractor models email-filter parsers, the *lenient* extractor models
+  mobile camera apps; their disagreement is the exploited bug.
+"""
+
+from repro.qr.encoder import encode_qr, qr_image
+from repro.qr.decoder import decode_qr_matrix
+from repro.qr.locator import locate_qr_matrix
+from repro.qr.scanner import (
+    decode_qr_image,
+    extract_url_lenient,
+    extract_url_strict,
+)
+
+__all__ = [
+    "encode_qr",
+    "qr_image",
+    "decode_qr_matrix",
+    "locate_qr_matrix",
+    "decode_qr_image",
+    "extract_url_strict",
+    "extract_url_lenient",
+]

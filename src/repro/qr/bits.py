@@ -1,0 +1,60 @@
+"""A simple append-only / cursor-read bit buffer used by the QR codec."""
+
+from __future__ import annotations
+
+
+class BitBuffer:
+    """Stores bits most-significant first, mirroring the QR bit stream."""
+
+    def __init__(self, bits: list[int] | None = None):
+        self._bits: list[int] = list(bits) if bits else []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def append_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` low bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if value < 0 or value >> count:
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        for shift in range(count - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def append_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._bits.append(bit)
+
+    def to_bytes(self) -> list[int]:
+        """Pack the bits into bytes (the last byte zero-padded)."""
+        data = []
+        for start in range(0, len(self._bits), 8):
+            chunk = self._bits[start : start + 8]
+            chunk = chunk + [0] * (8 - len(chunk))
+            value = 0
+            for bit in chunk:
+                value = (value << 1) | bit
+            data.append(value)
+        return data
+
+    # ------------------------------------------------------------------
+    # Cursor-based reading (used by the decoder)
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._cursor
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits from the cursor, MSB first."""
+        if count > self.remaining:
+            raise ValueError(f"cannot read {count} bits, only {self.remaining} left")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self._bits[self._cursor]
+            self._cursor += 1
+        return value
+
+    def rewind(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,227 @@
+"""Locate and sample a QR symbol inside a raster image.
+
+The locator implements the classic finder-pattern search: it scans for
+the 1:1:3:1:1 dark/light run signature horizontally, confirms it
+vertically, clusters the candidate centres, identifies the three finder
+patterns geometrically, and samples the module grid.  Symbols are
+assumed axis-aligned (as produced by the mail substrate's renderer) but
+may sit anywhere in the image at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.image import Image
+from repro.qr.tables import matrix_size
+
+
+class QRLocateError(ValueError):
+    """No QR symbol could be located in the image."""
+
+
+@dataclass(frozen=True)
+class FinderCandidate:
+    """A candidate finder-pattern centre, in pixel coordinates."""
+
+    x: float
+    y: float
+    module_size: float
+
+
+def _binarize(image: Image) -> np.ndarray:
+    gray = image.to_grayscale()
+    low, high = float(gray.min()), float(gray.max())
+    if high - low < 1e-9:
+        return np.zeros(gray.shape, dtype=bool)
+    return gray < (low + high) / 2.0
+
+
+def _runs(row: np.ndarray) -> list[tuple[int, int, bool]]:
+    """Consecutive runs as (start, length, value)."""
+    runs: list[tuple[int, int, bool]] = []
+    start = 0
+    current = bool(row[0])
+    for index in range(1, len(row)):
+        value = bool(row[index])
+        if value != current:
+            runs.append((start, index - start, current))
+            start = index
+            current = value
+    runs.append((start, len(row) - start, current))
+    return runs
+
+
+def _ratio_match(lengths: list[int]) -> float | None:
+    """If five runs approximate 1:1:3:1:1, return the unit module size."""
+    total = sum(lengths)
+    if total < 7:
+        return None
+    unit = total / 7.0
+    expected = (1, 1, 3, 1, 1)
+    for length, ratio in zip(lengths, expected):
+        if abs(length - ratio * unit) > max(unit * 0.55, 1.0):
+            return None
+    return unit
+
+
+def _vertical_center(mask: np.ndarray, x: int, y: int, unit: float) -> float | None:
+    """Confirm the 1:1:3:1:1 signature vertically through (x, y).
+
+    Returns the sub-pixel centre of the middle (3-module) run, or None.
+    Refining every row candidate to this common centre makes all rows of
+    a real finder collapse onto one point, so clustering cannot be
+    skewed by adjacent data rows that merely mimic the horizontal run.
+    """
+    height = mask.shape[0]
+    half = int(round(unit * 4.5))
+    y0, y1 = max(0, y - half), min(height, y + half + 1)
+    column = mask[y0:y1, x]
+    if not column.any():
+        return None
+    runs = _runs(column)
+    center_offset = y - y0
+    for index in range(len(runs) - 4):
+        window = runs[index : index + 5]
+        if not (window[0][2] and not window[1][2] and window[2][2] and not window[3][2] and window[4][2]):
+            continue
+        unit_v = _ratio_match([run[1] for run in window])
+        if unit_v is None or not (0.5 * unit <= unit_v <= 2.0 * unit):
+            continue
+        middle = window[2]
+        if middle[0] <= center_offset < middle[0] + middle[1]:
+            return y0 + middle[0] + (middle[1] - 1) / 2.0
+    return None
+
+
+def find_finder_candidates(mask: np.ndarray) -> list[FinderCandidate]:
+    """All pixel positions whose row+column signature matches a finder."""
+    candidates: list[FinderCandidate] = []
+    for y in range(mask.shape[0]):
+        runs = _runs(mask[y])
+        for index in range(len(runs) - 4):
+            window = runs[index : index + 5]
+            if not (window[0][2] and not window[1][2] and window[2][2] and not window[3][2] and window[4][2]):
+                continue
+            unit = _ratio_match([run[1] for run in window])
+            if unit is None:
+                continue
+            # Sub-pixel centre of the 3-module core run: pixels
+            # [start, start + length - 1] have centre start + (length-1)/2.
+            x_center_precise = window[2][0] + (window[2][1] - 1) / 2.0
+            x_center = int(round(x_center_precise))
+            y_center = _vertical_center(mask, x_center, y, unit)
+            if y_center is not None:
+                candidates.append(FinderCandidate(x_center_precise, y_center, unit))
+    return candidates
+
+
+def _cluster(candidates: list[FinderCandidate]) -> list[FinderCandidate]:
+    """Merge candidates belonging to one finder pattern.
+
+    Every candidate has already been refined to the sub-pixel centre of
+    its finder core (horizontally and vertically), so all rows of a real
+    finder land on nearly the same point: a one-module radius suffices,
+    and clusters need at least two supporting rows.
+    """
+    clusters: list[list[FinderCandidate]] = []
+    for candidate in candidates:
+        best_cluster = None
+        for cluster in clusters:
+            centroid_x = float(np.mean([c.x for c in cluster]))
+            centroid_y = float(np.mean([c.y for c in cluster]))
+            unit = float(np.median([c.module_size for c in cluster]))
+            limit = max(unit, candidate.module_size) * 1.0
+            if abs(candidate.x - centroid_x) <= limit and abs(candidate.y - centroid_y) <= limit:
+                best_cluster = cluster
+                break
+        if best_cluster is not None:
+            best_cluster.append(candidate)
+        else:
+            clusters.append([candidate])
+    merged = []
+    for cluster in clusters:
+        if len(cluster) < 2:
+            continue
+        xs = float(np.mean([c.x for c in cluster]))
+        ys = float(np.mean([c.y for c in cluster]))
+        unit = float(np.median([c.module_size for c in cluster]))
+        merged.append(FinderCandidate(xs, ys, unit))
+    return merged
+
+
+def _identify_corners(
+    centers: list[FinderCandidate],
+) -> tuple[FinderCandidate, FinderCandidate, FinderCandidate]:
+    """Return (top_left, top_right, bottom_left) assuming axis alignment."""
+    best = None
+    for i, corner in enumerate(centers):
+        others = [c for j, c in enumerate(centers) if j != i]
+        for right in others:
+            for bottom in others:
+                if right is bottom:
+                    continue
+                dx_r, dy_r = right.x - corner.x, right.y - corner.y
+                dx_b, dy_b = bottom.x - corner.x, bottom.y - corner.y
+                if dx_r <= 0 or dy_b <= 0:
+                    continue
+                # Axis-aligned: right lies along +x, bottom along +y.
+                if abs(dy_r) > abs(dx_r) * 0.2 or abs(dx_b) > abs(dy_b) * 0.2:
+                    continue
+                # Data regions can mimic finder runs; prefer the triple
+                # that is both square (equal spans) and best aligned to
+                # the axes, which spurious candidates are not.
+                score = abs(abs(dx_r) - abs(dy_b)) + abs(dy_r) + abs(dx_b)
+                if best is None or score < best[0]:
+                    best = (score, corner, right, bottom)
+    if best is None:
+        raise QRLocateError("could not identify three finder patterns")
+    return best[1], best[2], best[3]
+
+
+def locate_qr_matrix(image: Image) -> np.ndarray:
+    """Find one QR symbol in ``image`` and return its sampled module matrix."""
+    mask = _binarize(image)
+    if not mask.any():
+        raise QRLocateError("image contains no dark pixels")
+    candidates = find_finder_candidates(mask)
+    centers = _cluster(candidates)
+    if len(centers) < 3:
+        raise QRLocateError(f"found {len(centers)} finder patterns, need 3")
+    top_left, top_right, bottom_left = _identify_corners(centers)
+
+    module = float(
+        np.median([top_left.module_size, top_right.module_size, bottom_left.module_size])
+    )
+    span_x = top_right.x - top_left.x
+    span_y = bottom_left.y - top_left.y
+    size = int(round(((span_x + span_y) / 2.0) / module)) + 7
+    # Snap to the nearest valid symbol size (17 + 4 * version).
+    version = max(1, round((size - 17) / 4))
+    size = matrix_size(version)
+    # Per-axis module sizes: sub-pixel centre errors otherwise accumulate
+    # into half-module drift at the far edge of larger symbols.
+    module_x = span_x / (size - 7)
+    module_y = span_y / (size - 7)
+
+    origin_x = top_left.x - 3.0 * module_x
+    origin_y = top_left.y - 3.0 * module_y
+
+    matrix = np.zeros((size, size), dtype=bool)
+    height, width = mask.shape
+    for row in range(size):
+        for col in range(size):
+            cx = origin_x + col * module_x
+            cy = origin_y + row * module_y
+            x0 = int(round(cx - module_x * 0.25))
+            x1 = max(int(round(cx + module_x * 0.25)), x0 + 1)
+            y0 = int(round(cy - module_y * 0.25))
+            y1 = max(int(round(cy + module_y * 0.25)), y0 + 1)
+            x0, x1 = max(0, x0), min(width, x1)
+            y0, y1 = max(0, y0), min(height, y1)
+            if x0 >= x1 or y0 >= y1:
+                continue
+            matrix[row, col] = mask[y0:y1, x0:x1].mean() >= 0.5
+    return matrix

@@ -1,0 +1,83 @@
+"""Payload-to-URL extraction policies — the faulty-QR filter bug.
+
+Section V-C.1 of the paper: 35 messages carried *faulty* QR codes whose
+payload is not a syntactically valid URL, e.g. ``"xxx https://evil.com/"``
+or ``"[https://evil.com/"``.  Mobile camera apps still extract the URL by
+"disregarding any faulty characters", while (as of April 2024) two of
+three leading commercial email security tools extracted nothing and
+classified the message as benign.
+
+This module exposes both behaviours:
+
+- :func:`extract_url_strict` models the email-filter parsers: the whole
+  payload must be one well-formed URL, otherwise nothing is extracted.
+- :func:`extract_url_lenient` models mobile camera apps (and CrawlerBox):
+  any ``http(s)://`` substring is located and the URL is carved out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.imaging.image import Image
+from repro.qr.decoder import QRDecodeError, decode_qr_matrix
+from repro.qr.locator import QRLocateError, locate_qr_matrix
+
+#: Characters allowed in a URL by the strict (RFC-ish) validator.
+_STRICT_URL_RE = re.compile(
+    r"^https?://"
+    r"[A-Za-z0-9](?:[A-Za-z0-9\-.]*[A-Za-z0-9])?"  # host
+    r"(?::\d{1,5})?"  # port
+    r"(?:/[A-Za-z0-9\-._~!$&'()*+,;=:@%/]*)?"  # path
+    r"(?:\?[A-Za-z0-9\-._~!$&'()*+,;=:@%/?]*)?"  # query
+    r"(?:#[A-Za-z0-9\-._~!$&'()*+,;=:@%/?]*)?$"  # fragment
+)
+
+#: Lenient carve-out: find a scheme anywhere and take the URL-ish tail.
+_LENIENT_URL_RE = re.compile(r"https?://[^\s\"'<>\[\]]+", re.IGNORECASE)
+
+
+def extract_url_strict(payload: str) -> str | None:
+    """Email-filter behaviour: the payload must *be* a valid URL.
+
+    Leading garbage ("xxx https://…"), stray brackets, or any other
+    syntactic irregularity makes extraction fail — which is exactly the
+    bug attackers exploit.
+    """
+    candidate = payload.strip()
+    if _STRICT_URL_RE.match(candidate):
+        return candidate
+    return None
+
+
+def extract_url_lenient(payload: str) -> str | None:
+    """Mobile-camera behaviour: carve the first URL out of the payload."""
+    match = _LENIENT_URL_RE.search(payload)
+    if match:
+        return match.group(0).rstrip(".,;")
+    return None
+
+
+def decode_qr_image(image: Image) -> str:
+    """Locate and decode one QR symbol in an image, returning its payload.
+
+    Raises :class:`~repro.qr.locator.QRLocateError` if no symbol is found
+    and :class:`~repro.qr.decoder.QRDecodeError` if it cannot be decoded.
+    """
+    matrix = locate_qr_matrix(image)
+    return decode_qr_matrix(matrix)
+
+
+def scan_image_for_urls(image: Image, lenient: bool = True) -> list[str]:
+    """Best-effort QR URL extraction from an image.
+
+    Returns an empty list when the image holds no decodable symbol, or
+    when the chosen extraction policy rejects the payload.
+    """
+    try:
+        payload = decode_qr_image(image)
+    except (QRLocateError, QRDecodeError):
+        return []
+    extractor = extract_url_lenient if lenient else extract_url_strict
+    url = extractor(payload)
+    return [url] if url else []

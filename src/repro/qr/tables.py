@@ -1,0 +1,155 @@
+"""QR symbol constants: capacities, block structures, alignment patterns.
+
+Values follow ISO/IEC 18004 for versions 1-10, which comfortably covers
+the payload sizes phishing QR codes use (URLs up to ~270 characters at
+EC level L).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ECLevel(Enum):
+    """Error-correction level, with the 2-bit format-information indicator."""
+
+    L = 0b01
+    M = 0b00
+    Q = 0b11
+    H = 0b10
+
+
+@dataclass(frozen=True)
+class BlockStructure:
+    """Reed–Solomon block layout for one (version, EC level) pair."""
+
+    ec_per_block: int
+    #: List of (block_count, data_codewords_per_block) groups.
+    groups: tuple[tuple[int, int], ...]
+
+    @property
+    def total_data_codewords(self) -> int:
+        return sum(count * size for count, size in self.groups)
+
+    @property
+    def block_sizes(self) -> list[int]:
+        sizes: list[int] = []
+        for count, size in self.groups:
+            sizes.extend([size] * count)
+        return sizes
+
+
+MAX_VERSION = 10
+
+#: (version, ECLevel) -> BlockStructure, per ISO/IEC 18004 table 9.
+BLOCK_TABLE: dict[tuple[int, ECLevel], BlockStructure] = {
+    (1, ECLevel.L): BlockStructure(7, ((1, 19),)),
+    (1, ECLevel.M): BlockStructure(10, ((1, 16),)),
+    (1, ECLevel.Q): BlockStructure(13, ((1, 13),)),
+    (1, ECLevel.H): BlockStructure(17, ((1, 9),)),
+    (2, ECLevel.L): BlockStructure(10, ((1, 34),)),
+    (2, ECLevel.M): BlockStructure(16, ((1, 28),)),
+    (2, ECLevel.Q): BlockStructure(22, ((1, 22),)),
+    (2, ECLevel.H): BlockStructure(28, ((1, 16),)),
+    (3, ECLevel.L): BlockStructure(15, ((1, 55),)),
+    (3, ECLevel.M): BlockStructure(26, ((1, 44),)),
+    (3, ECLevel.Q): BlockStructure(18, ((2, 17),)),
+    (3, ECLevel.H): BlockStructure(22, ((2, 13),)),
+    (4, ECLevel.L): BlockStructure(20, ((1, 80),)),
+    (4, ECLevel.M): BlockStructure(18, ((2, 32),)),
+    (4, ECLevel.Q): BlockStructure(26, ((2, 24),)),
+    (4, ECLevel.H): BlockStructure(16, ((4, 9),)),
+    (5, ECLevel.L): BlockStructure(26, ((1, 108),)),
+    (5, ECLevel.M): BlockStructure(24, ((2, 43),)),
+    (5, ECLevel.Q): BlockStructure(18, ((2, 15), (2, 16))),
+    (5, ECLevel.H): BlockStructure(22, ((2, 11), (2, 12))),
+    (6, ECLevel.L): BlockStructure(18, ((2, 68),)),
+    (6, ECLevel.M): BlockStructure(16, ((4, 27),)),
+    (6, ECLevel.Q): BlockStructure(24, ((4, 19),)),
+    (6, ECLevel.H): BlockStructure(28, ((4, 15),)),
+    (7, ECLevel.L): BlockStructure(20, ((2, 78),)),
+    (7, ECLevel.M): BlockStructure(18, ((4, 31),)),
+    (7, ECLevel.Q): BlockStructure(18, ((2, 14), (4, 15))),
+    (7, ECLevel.H): BlockStructure(26, ((4, 13), (1, 14))),
+    (8, ECLevel.L): BlockStructure(24, ((2, 97),)),
+    (8, ECLevel.M): BlockStructure(22, ((2, 38), (2, 39))),
+    (8, ECLevel.Q): BlockStructure(22, ((4, 18), (2, 19))),
+    (8, ECLevel.H): BlockStructure(26, ((4, 14), (2, 15))),
+    (9, ECLevel.L): BlockStructure(30, ((2, 116),)),
+    (9, ECLevel.M): BlockStructure(22, ((3, 36), (2, 37))),
+    (9, ECLevel.Q): BlockStructure(20, ((4, 16), (4, 17))),
+    (9, ECLevel.H): BlockStructure(24, ((4, 12), (4, 13))),
+    (10, ECLevel.L): BlockStructure(18, ((2, 68), (2, 69))),
+    (10, ECLevel.M): BlockStructure(26, ((4, 43), (1, 44))),
+    (10, ECLevel.Q): BlockStructure(24, ((6, 19), (2, 20))),
+    (10, ECLevel.H): BlockStructure(28, ((6, 15), (2, 16))),
+}
+
+#: Alignment pattern centre coordinates per version.
+ALIGNMENT_POSITIONS: dict[int, tuple[int, ...]] = {
+    1: (),
+    2: (6, 18),
+    3: (6, 22),
+    4: (6, 26),
+    5: (6, 30),
+    6: (6, 34),
+    7: (6, 22, 38),
+    8: (6, 24, 42),
+    9: (6, 26, 46),
+    10: (6, 28, 50),
+}
+
+#: Mask applied to the 15-bit format information string.
+FORMAT_MASK = 0b101010000010010
+#: Generator polynomial for the BCH(15,5) format-information code.
+FORMAT_GENERATOR = 0b10100110111
+#: Generator polynomial for the BCH(18,6) version-information code.
+VERSION_GENERATOR = 0b1111100100101
+
+ALPHANUMERIC_CHARSET = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ $%*+-./:"
+
+
+def matrix_size(version: int) -> int:
+    """Side length of the module matrix for a version."""
+    if not 1 <= version <= 40:
+        raise ValueError(f"invalid QR version {version}")
+    return 17 + 4 * version
+
+
+def version_for_size(size: int) -> int:
+    """Inverse of :func:`matrix_size`."""
+    if size < 21 or (size - 17) % 4 != 0:
+        raise ValueError(f"invalid QR matrix size {size}")
+    return (size - 17) // 4
+
+
+def bch_format_bits(ec_level: ECLevel, mask_id: int) -> int:
+    """The masked 15-bit format information for an EC level and mask."""
+    if not 0 <= mask_id <= 7:
+        raise ValueError("mask_id must be in 0..7")
+    data = (ec_level.value << 3) | mask_id
+    remainder = data << 10
+    for shift in range(4, -1, -1):
+        if remainder & (1 << (shift + 10)):
+            remainder ^= FORMAT_GENERATOR << shift
+    return (((data << 10) | remainder) ^ FORMAT_MASK) & 0x7FFF
+
+
+#: All 32 valid (masked) format strings, for nearest-codeword decoding.
+FORMAT_CODEWORDS: dict[int, tuple[ECLevel, int]] = {
+    bch_format_bits(level, mask): (level, mask)
+    for level in ECLevel
+    for mask in range(8)
+}
+
+
+def bch_version_bits(version: int) -> int:
+    """The 18-bit version information (only used for version >= 7)."""
+    if version < 7:
+        raise ValueError("version information only exists for versions >= 7")
+    remainder = version << 12
+    for shift in range(5, -1, -1):
+        if remainder & (1 << (shift + 12)):
+            remainder ^= VERSION_GENERATOR << shift
+    return (version << 12) | remainder

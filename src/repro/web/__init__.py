@@ -1,0 +1,49 @@
+"""The simulated internet.
+
+The paper's crawler operates against live phishing infrastructure: DNS,
+TLS certificates, WHOIS records, redirecting web servers, and
+server-side cloaking (IP blocklists, User-Agent filters, tokenized
+URLs, delayed activation).  This subpackage provides all of that as an
+in-process fabric:
+
+- :mod:`~repro.web.urls` — URL parsing, registered domains, TLDs.
+- :mod:`~repro.web.http` — request/response types with case-insensitive
+  headers.
+- :mod:`~repro.web.dns` — resolver with NXDOMAIN and a passive-DNS query
+  log (the substrate behind the Cisco-Umbrella-style enrichment).
+- :mod:`~repro.web.tls` — certificates and a Certificate Transparency log.
+- :mod:`~repro.web.whois` — registration records and registrars.
+- :mod:`~repro.web.cloaking` — the server-side cloaking guards of
+  Section III-B.2.
+- :mod:`~repro.web.site` — websites, pages, redirects, visual specs.
+- :mod:`~repro.web.network` — the top-level fabric tying it together.
+"""
+
+from repro.web.http import HttpRequest, HttpResponse, Headers
+from repro.web.urls import ParsedUrl, parse_url, registered_domain, top_level_domain
+from repro.web.dns import DnsResolver, NxDomainError
+from repro.web.tls import CertificateTransparencyLog, TLSCertificate
+from repro.web.whois import WhoisRecord, WhoisRegistry
+from repro.web.site import Page, VisualSpec, Website
+from repro.web.network import Network, ClientContext
+
+__all__ = [
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "ParsedUrl",
+    "parse_url",
+    "registered_domain",
+    "top_level_domain",
+    "DnsResolver",
+    "NxDomainError",
+    "TLSCertificate",
+    "CertificateTransparencyLog",
+    "WhoisRecord",
+    "WhoisRegistry",
+    "Website",
+    "Page",
+    "VisualSpec",
+    "Network",
+    "ClientContext",
+]

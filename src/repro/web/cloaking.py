@@ -1,0 +1,164 @@
+"""Server-side cloaking guards (Section III-B.2).
+
+Each guard inspects the incoming request plus the network-level client
+context and decides whether the *real* (phishing) content may be served.
+When any guard denies, the site serves its benign decoy instead — the
+"cloak".  The four families the paper lists are implemented, plus the
+geolocation filter mentioned in Section V ("the phishing page might only
+be accessible to visitors from a targeted country").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    allowed: bool
+    guard: str
+    reason: str = ""
+
+
+class ServerGuard:
+    """Base class; subclasses override :meth:`evaluate`."""
+
+    name = "guard"
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        raise NotImplementedError
+
+    def _allow(self, reason: str = "") -> GuardDecision:
+        return GuardDecision(True, self.name, reason)
+
+    def _deny(self, reason: str) -> GuardDecision:
+        return GuardDecision(False, self.name, reason)
+
+
+class ActivationWindowGuard(ServerGuard):
+    """Delayed activation: before ``activate_at`` every visitor sees the decoy.
+
+    "Before its activation, all visitors are redirected to a benign page
+    [...] A few hours later, the URL is activated."
+    """
+
+    name = "activation-window"
+
+    def __init__(self, activate_at: float, deactivate_at: float = float("inf")):
+        self.activate_at = activate_at
+        self.deactivate_at = deactivate_at
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        if request.timestamp < self.activate_at:
+            return self._deny(f"URL not yet active (activates at t={self.activate_at:.1f}h)")
+        if request.timestamp > self.deactivate_at:
+            return self._deny("URL deactivated")
+        return self._allow()
+
+
+class UserAgentGuard(ServerGuard):
+    """User-Agent filtering, e.g. mobile-only for QR-delivered URLs."""
+
+    name = "user-agent"
+
+    def __init__(self, require_substrings: tuple[str, ...] = (), block_substrings: tuple[str, ...] = ()):
+        self.require_substrings = tuple(require_substrings)
+        self.block_substrings = tuple(block_substrings)
+
+    @classmethod
+    def mobile_only(cls) -> "UserAgentGuard":
+        return cls(require_substrings=("Mobile", "iPhone", "Android"))
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        agent = request.user_agent
+        for blocked in self.block_substrings:
+            if blocked.lower() in agent.lower():
+                return self._deny(f"blocked user agent ({blocked})")
+        if self.require_substrings and not any(
+            required.lower() in agent.lower() for required in self.require_substrings
+        ):
+            return self._deny("user agent not in the targeted set")
+        return self._allow()
+
+
+class IPBlocklistGuard(ServerGuard):
+    """Blocks known security-scanner IPs and (optionally) cloud ranges."""
+
+    name = "ip-blocklist"
+
+    def __init__(self, blocked_ips: frozenset[str] = frozenset(), block_cloud: bool = True):
+        self.blocked_ips = frozenset(blocked_ips)
+        self.block_cloud = block_cloud
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        if request.client_ip in self.blocked_ips or context.known_scanner:
+            return self._deny("client IP is on the scanner blocklist")
+        if self.block_cloud and context.looks_like_cloud:
+            return self._deny(f"client IP type {context.ip_type} looks automated")
+        return self._allow()
+
+
+class GeoGuard(ServerGuard):
+    """Serves the phishing page only to clients from targeted countries."""
+
+    name = "geo"
+
+    def __init__(self, allowed_countries: tuple[str, ...]):
+        self.allowed_countries = tuple(country.upper() for country in allowed_countries)
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        if context.country.upper() not in self.allowed_countries:
+            return self._deny(f"country {context.country} not targeted")
+        return self._allow()
+
+
+class TokenGuard(ServerGuard):
+    """Tokenized URLs: requests must carry a currently-valid token.
+
+    "The attacker generates URLs containing unique tokens [...] Any
+    request lacking a valid token is redirected to a benign webpage.
+    Additionally, attackers can disable individual tokens."
+    """
+
+    name = "token"
+
+    def __init__(self, parameter: str = "", path_tokens: bool = True):
+        #: Query parameter carrying the token ("" = token is the last path segment).
+        self.parameter = parameter
+        self.path_tokens = path_tokens
+        self._valid: set[str] = set()
+        self._disabled: set[str] = set()
+        #: token -> victim email, for victim-tracking kits.
+        self.token_owner: dict[str, str] = {}
+
+    def issue(self, token: str, owner_email: str = "") -> None:
+        self._valid.add(token)
+        if owner_email:
+            self.token_owner[token] = owner_email
+
+    def disable(self, token: str) -> None:
+        self._disabled.add(token)
+
+    def extract_token(self, request: HttpRequest) -> str | None:
+        if self.parameter:
+            for key, value in request.url.query_params:
+                if key == self.parameter:
+                    return value
+            return None
+        if self.path_tokens:
+            segments = [segment for segment in request.url.path.split("/") if segment]
+            return segments[-1] if segments else None
+        return None
+
+    def evaluate(self, request: HttpRequest, context: ClientContext) -> GuardDecision:
+        token = self.extract_token(request)
+        if token is None:
+            return self._deny("no token in request")
+        if token in self._disabled:
+            return self._deny("token disabled by operator")
+        if token not in self._valid:
+            return self._deny("unknown token")
+        return self._allow()

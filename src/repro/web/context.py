@@ -1,0 +1,39 @@
+"""Network-level client context accompanying a request.
+
+Server-side cloaking (Section III-B.2) filters on attributes that are
+not in the HTTP request itself: IP reputation/type, geolocation, and
+ASN.  The browser substrate fills a :class:`ClientContext` from its
+connection profile; the fabric hands it to the server's guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Connection types, in decreasing order of bot-detection suspicion.
+IP_DATACENTER = "datacenter"
+IP_PROXY = "proxy"
+IP_VPN = "vpn"
+IP_RESIDENTIAL = "residential"
+IP_MOBILE = "mobile"
+
+
+@dataclass(frozen=True)
+class ClientContext:
+    """What the server (or a WAF in front of it) can learn about a client."""
+
+    ip: str = "0.0.0.0"
+    ip_type: str = IP_RESIDENTIAL
+    country: str = "FR"
+    asn: str = "AS0"
+    network_name: str = ""
+    #: TLS ClientHello fingerprint label (JA3-style); real browsers present
+    #: a browser-stack fingerprint, plain HTTP libraries do not.
+    tls_fingerprint: str = "chrome"
+    #: True when the IP appears on security-vendor scanner blocklists.
+    known_scanner: bool = False
+
+    @property
+    def looks_like_cloud(self) -> bool:
+        return self.ip_type in (IP_DATACENTER, IP_PROXY, IP_VPN)

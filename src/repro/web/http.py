@@ -1,0 +1,94 @@
+"""HTTP request/response primitives for the simulated internet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.urls import ParsedUrl, parse_url
+
+
+class Headers:
+    """Case-insensitive HTTP header map preserving insertion order."""
+
+    def __init__(self, initial: dict[str, str] | None = None):
+        self._entries: dict[str, tuple[str, str]] = {}
+        for name, value in (initial or {}).items():
+            self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        self._entries[name.lower()] = (name, str(value))
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        entry = self._entries.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def remove(self, name: str) -> None:
+        self._entries.pop(name.lower(), None)
+
+    def items(self) -> list[tuple[str, str]]:
+        return [entry for entry in self._entries.values()]
+
+    def copy(self) -> "Headers":
+        headers = Headers()
+        for name, value in self.items():
+            headers.set(name, value)
+        return headers
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(self.items())!r})"
+
+
+@dataclass
+class HttpRequest:
+    """A request as seen by a (simulated) web server."""
+
+    method: str
+    url: ParsedUrl
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    client_ip: str = "0.0.0.0"
+    #: Simulation timestamp (hours since epoch of the study window).
+    timestamp: float = 0.0
+
+    @classmethod
+    def get(cls, raw_url: str, **kwargs) -> "HttpRequest":
+        return cls(method="GET", url=parse_url(raw_url), **kwargs)
+
+    @property
+    def user_agent(self) -> str:
+        return self.headers.get("User-Agent", "") or ""
+
+
+@dataclass
+class HttpResponse:
+    """A server response."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    content_type: str = "text/html"
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308) and "Location" in self.headers
+
+    @property
+    def location(self) -> str | None:
+        return self.headers.get("Location")
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "HttpResponse":
+        response = cls(status=status, body="")
+        response.headers.set("Location", location)
+        return response
+
+    @classmethod
+    def not_found(cls, message: str = "404 Not Found") -> "HttpResponse":
+        return cls(status=404, body=f"<html><body><h1>{message}</h1></body></html>")
+
+    @classmethod
+    def forbidden(cls, message: str = "403 Forbidden") -> "HttpResponse":
+        return cls(status=403, body=f"<html><body><h1>{message}</h1></body></html>")

@@ -1,0 +1,138 @@
+"""The network fabric: DNS + TLS + HTTP tied together.
+
+:class:`Network` is the single entry point browsers use.  A request
+resolves the host (NXDOMAIN is observable), validates the site's TLS
+certificate at the simulated timestamp, and dispatches to the website's
+handler with the caller's :class:`~repro.web.context.ClientContext`.
+Third-party IP services (httpbin.org / ipapi.co — used by the kits'
+server-side filtering, Section V-C) can be installed with one call.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.web.context import ClientContext
+from repro.web.dns import DnsResolver, NxDomainError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.site import Website
+from repro.web.tls import CertificateTransparencyLog, TLSCertificate
+from repro.web.whois import WhoisRegistry
+
+__all__ = ["Network", "ClientContext", "ConnectionFailed", "TLSValidationError"]
+
+
+class ConnectionFailed(ConnectionError):
+    """The host resolved but nothing answers (server taken down)."""
+
+
+class TLSValidationError(ConnectionError):
+    """No valid certificate covers the host at this time."""
+
+
+class Network:
+    """The simulated internet fabric."""
+
+    def __init__(self):
+        self.dns = DnsResolver()
+        self.ct_log = CertificateTransparencyLog()
+        self.whois = WhoisRegistry()
+        self._websites: dict[str, Website] = {}
+        #: IP metadata used by enrichment (ip -> (asn, network name, country)).
+        self.ip_metadata: dict[str, tuple[str, str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def host_website(
+        self,
+        website: Website,
+        active_from: float = float("-inf"),
+        active_until: float = float("inf"),
+    ) -> None:
+        """Attach a website to the fabric and publish its DNS record."""
+        self._websites[website.domain] = website
+        if website.ip:
+            self.dns.add_record(website.domain, website.ip, active_from, active_until)
+
+    def take_down(self, domain: str) -> None:
+        """Remove the web server but keep DNS (resolves, then connection fails)."""
+        self._websites.pop(domain.lower(), None)
+
+    def website(self, domain: str) -> Website | None:
+        return self._websites.get(domain.lower())
+
+    def issue_certificate(self, certificate: TLSCertificate) -> None:
+        """Record issuance in the CT log and attach it to a hosted site."""
+        self.ct_log.submit(certificate)
+        site = self._websites.get(certificate.subject.lower())
+        if site is not None:
+            site.certificate = certificate
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def request(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        """Resolve, validate TLS, and serve one request.
+
+        Raises :class:`~repro.web.dns.NxDomainError`,
+        :class:`ConnectionFailed`, or :class:`TLSValidationError` — the
+        error-page outcomes of Section V (15.9% of malicious messages).
+        """
+        host = request.url.host
+        self.dns.resolve(host, timestamp=request.timestamp)
+        website = self._websites.get(host)
+        if website is None:
+            raise ConnectionFailed(f"no server answering for {host}")
+        if request.url.scheme == "https":
+            certificate = website.certificate
+            if certificate is None or not certificate.covers(host) or not certificate.valid_at(request.timestamp):
+                raise TLSValidationError(f"no valid certificate for {host}")
+        return website.handle(request, context)
+
+    # ------------------------------------------------------------------
+    # Built-in third-party services
+    # ------------------------------------------------------------------
+    def install_ip_services(self) -> None:
+        """Host httpbin.org-style and ipapi.co-style IP echo services.
+
+        The paper found kits retrieving the client IP from httpbin.org
+        (145 messages) and enriching it via ipapi.co (83 messages) before
+        exfiltrating it to C2 for server-side filtering.
+        """
+        httpbin = Website("httpbin.org", ip="34.0.0.1")
+
+        def _httpbin_ip(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            body = json.dumps({"origin": context.ip})
+            return HttpResponse(status=200, body=body, content_type="application/json")
+
+        httpbin.add_handler("/ip", _httpbin_ip)
+        self.host_website(httpbin)
+        self.issue_certificate(
+            TLSCertificate("httpbin.org", "DigiCert", float("-inf"), float("inf"))
+        )
+
+        ipapi = Website("ipapi.co", ip="34.0.0.2")
+
+        def _ipapi_json(request: HttpRequest, context: ClientContext) -> HttpResponse:
+            asn, network_name, country = self.ip_metadata.get(
+                context.ip, (context.asn, context.network_name, context.country)
+            )
+            body = json.dumps(
+                {
+                    "ip": context.ip,
+                    "country": country,
+                    "city": "Unknown",
+                    "asn": asn,
+                    "org": network_name,
+                    "network_type": context.ip_type,
+                }
+            )
+            return HttpResponse(status=200, body=body, content_type="application/json")
+
+        ipapi.add_handler("/json", _ipapi_json)
+        ipapi.add_handler("/json/", _ipapi_json)
+        self.host_website(ipapi)
+        self.issue_certificate(
+            TLSCertificate("ipapi.co", "DigiCert", float("-inf"), float("inf"))
+        )

@@ -1,0 +1,172 @@
+"""Websites, pages, and their visual specifications.
+
+A :class:`Page` couples three things the paper's analysis consumes:
+
+1. the HTML (with inline scripts) returned over HTTP,
+2. the server-side cloaking guards protecting it, and
+3. a :class:`VisualSpec` describing what the rendered page looks like —
+   the substrate for screenshots and the pHash/dHash spear-phishing
+   classifier of Section V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.web.cloaking import GuardDecision, ServerGuard
+from repro.web.context import ClientContext
+from repro.web.http import HttpRequest, HttpResponse
+
+
+@dataclass(frozen=True)
+class VisualSpec:
+    """A deterministic description of a rendered page.
+
+    Phishing kits clone a brand's spec (possibly adding noise, a victim
+    email overlay, or a hue-rotation), so screenshots of the fake and the
+    legitimate page hash near-identically — exactly the property the
+    paper's fuzzy-hash classifier exploits.
+    """
+
+    brand: str = ""
+    title: str = "Sign in"
+    background: tuple[int, int, int] = (244, 246, 248)
+    header_color: tuple[int, int, int] = (20, 60, 120)
+    box_color: tuple[int, int, int] = (255, 255, 255)
+    button_color: tuple[int, int, int] = (30, 90, 200)
+    button_text: str = "SIGN IN"
+    fields: tuple[str, ...] = ("EMAIL", "PASSWORD")
+    footer: str = ""
+    #: Deterministic layout geometry selector (0-11): real login portals
+    #: differ structurally, not just in palette, and the grayscale fuzzy
+    #: hashes key on structure.  Clones copy the victim brand's variant.
+    layout_variant: int = 0
+    #: CSS-filter-style hue rotation in degrees (the Section V-C evasion).
+    hue_rotate_deg: float = 0.0
+    #: If set, the logo image is fetched from this URL at render time
+    #: (the "resources from the impersonated organization" finding).
+    logo_url: str | None = None
+    #: Logo drawn locally when no ``logo_url`` is fetched — clones imitate
+    #: the brand's logo even when they do not hotlink it.
+    logo_text: str = ""
+
+    def with_hue_rotation(self, degrees: float) -> "VisualSpec":
+        return replace(self, hue_rotate_deg=degrees)
+
+
+#: A route handler: (request, context) -> HttpResponse.
+RouteHandler = Callable[[HttpRequest, ClientContext], HttpResponse]
+
+
+@dataclass
+class Page:
+    """One servable page."""
+
+    html: str = "<html><body></body></html>"
+    status: int = 200
+    content_type: str = "text/html"
+    visual: VisualSpec | None = None
+    guards: list[ServerGuard] = field(default_factory=list)
+    #: Served when a guard denies: a decoy Page or a redirect URL.
+    decoy: "Page | str | None" = None
+    #: Free-form labels the kits attach (used only by tests/analysis).
+    tags: frozenset[str] = frozenset()
+
+    def to_response(self) -> HttpResponse:
+        response = HttpResponse(status=self.status, body=self.html, content_type=self.content_type)
+        response.headers.set("Content-Type", self.content_type)
+        response.visual = self.visual  # type: ignore[attr-defined]
+        return response
+
+
+@dataclass(frozen=True)
+class AccessLogEntry:
+    request: HttpRequest
+    decisions: tuple[GuardDecision, ...]
+    served_decoy: bool
+    status: int
+
+
+class Website:
+    """A host serving pages and handlers under one domain."""
+
+    def __init__(self, domain: str, ip: str = "", certificate=None):
+        self.domain = domain.lower()
+        self.ip = ip
+        self.certificate = certificate
+        self._routes: dict[str, Page | RouteHandler] = {}
+        self._prefix_routes: list[tuple[str, Page | RouteHandler]] = []
+        self.default: Page | RouteHandler | None = None
+        self.access_log: list[AccessLogEntry] = []
+
+    # ------------------------------------------------------------------
+    def add_page(self, path: str, page: Page) -> None:
+        self._routes[path] = page
+
+    def add_handler(self, path: str, handler: RouteHandler) -> None:
+        self._routes[path] = handler
+
+    def add_prefix_page(self, prefix: str, page: Page) -> None:
+        """Serve ``page`` for any path starting with ``prefix`` (tokenized URLs)."""
+        self._prefix_routes.append((prefix, page))
+
+    def set_default(self, target: Page | RouteHandler) -> None:
+        self.default = target
+
+    # ------------------------------------------------------------------
+    def _find_route(self, path: str) -> Page | RouteHandler | None:
+        if path in self._routes:
+            return self._routes[path]
+        for prefix, target in self._prefix_routes:
+            if path.startswith(prefix):
+                return target
+        return self.default
+
+    def handle(self, request: HttpRequest, context: ClientContext) -> HttpResponse:
+        """Serve a request, applying the page's server-side cloaking."""
+        target = self._find_route(request.url.path)
+        if target is None:
+            response = HttpResponse.not_found()
+            self.access_log.append(AccessLogEntry(request, (), False, response.status))
+            return response
+        if callable(target) and not isinstance(target, Page):
+            response = target(request, context)
+            self.access_log.append(AccessLogEntry(request, (), False, response.status))
+            return response
+
+        page = target
+        decisions = tuple(guard.evaluate(request, context) for guard in page.guards)
+        denied = [decision for decision in decisions if not decision.allowed]
+        if denied:
+            response = self._serve_decoy(page)
+            self.access_log.append(AccessLogEntry(request, decisions, True, response.status))
+            return response
+        response = page.to_response()
+        self.access_log.append(AccessLogEntry(request, decisions, False, response.status))
+        return response
+
+    def _serve_decoy(self, page: Page) -> HttpResponse:
+        if isinstance(page.decoy, str):
+            return HttpResponse.redirect(page.decoy)
+        if isinstance(page.decoy, Page):
+            return page.decoy.to_response()
+        return HttpResponse.not_found("Nothing here")
+
+
+def benign_decoy_page(text: str = "Welcome") -> Page:
+    """A plain, boring page served to suspected bots."""
+    html = f"<html><head><title>{text}</title></head><body><p>{text}</p></body></html>"
+    return Page(
+        html=html,
+        visual=VisualSpec(
+            brand="",
+            title=text,
+            background=(255, 255, 255),
+            header_color=(230, 230, 230),
+            button_color=(200, 200, 200),
+            button_text="",
+            fields=(),
+        ),
+        tags=frozenset({"decoy"}),
+    )

@@ -1,0 +1,129 @@
+"""URL parsing and domain helpers.
+
+A small, explicit re-implementation (rather than a thin wrapper over
+``urllib``) so the strict email-filter URL validation, the lenient
+mobile-style carving, and the domain-syntax analysis of Section V-A all
+share one well-understood code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Multi-label public suffixes the corpus uses (a tiny public-suffix list).
+MULTI_LABEL_SUFFIXES = frozenset(
+    {
+        "co.uk", "org.uk", "ac.uk", "com.br", "net.br", "org.br", "com.au",
+        "com.cn", "co.jp", "co.in", "com.mx", "com.tr", "com.ar", "co.za",
+        "workers.dev", "pages.dev", "r2.dev", "vercel.app", "github.io",
+        "cloudfront.net", "oraclecloud.com", "cloudflare-ipfs.com",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ParsedUrl:
+    """A decomposed absolute URL."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str
+    query: str
+    fragment: str
+    raw: str
+    query_params: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def origin(self) -> str:
+        default = {"http": 80, "https": 443}.get(self.scheme)
+        if self.port == default:
+            return f"{self.scheme}://{self.host}"
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    @property
+    def registered_domain(self) -> str:
+        return registered_domain(self.host)
+
+    @property
+    def tld(self) -> str:
+        return top_level_domain(self.host)
+
+    def with_path(self, path: str) -> "ParsedUrl":
+        raw = f"{self.origin}{path}"
+        return parse_url(raw)
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+class UrlError(ValueError):
+    """The string is not an absolute http(s) URL."""
+
+
+def parse_url(raw: str) -> ParsedUrl:
+    """Parse an absolute http(s) URL, raising :class:`UrlError` otherwise."""
+    raw = raw.strip()
+    split = urlsplit(raw)
+    if split.scheme not in ("http", "https"):
+        raise UrlError(f"unsupported scheme in {raw!r}")
+    if not split.hostname:
+        raise UrlError(f"missing host in {raw!r}")
+    host = split.hostname.lower().rstrip(".")
+    if not host or any(not part for part in host.split(".")):
+        raise UrlError(f"malformed host in {raw!r}")
+    try:
+        port = split.port or {"http": 80, "https": 443}[split.scheme]
+    except ValueError as exc:
+        raise UrlError(f"bad port in {raw!r}") from exc
+    path = split.path or "/"
+    params = tuple(parse_qsl(split.query, keep_blank_values=True))
+    return ParsedUrl(
+        scheme=split.scheme,
+        host=host,
+        port=port,
+        path=path,
+        query=split.query,
+        fragment=split.fragment,
+        raw=raw,
+        query_params=params,
+    )
+
+
+def is_valid_url(raw: str) -> bool:
+    """True when :func:`parse_url` accepts the string."""
+    try:
+        parse_url(raw)
+        return True
+    except UrlError:
+        return False
+
+
+def registered_domain(host: str) -> str:
+    """The registrable domain: one label below the public suffix.
+
+    ``login.portal.evil-site.com`` -> ``evil-site.com``;
+    ``phish.tenant.workers.dev`` -> ``tenant.workers.dev``.
+    """
+    host = host.lower().rstrip(".")
+    labels = host.split(".")
+    if len(labels) <= 2:
+        return host
+    for suffix_length in (3, 2):
+        if len(labels) > suffix_length:
+            suffix = ".".join(labels[-suffix_length:])
+            if suffix in MULTI_LABEL_SUFFIXES:
+                return ".".join(labels[-(suffix_length + 1):])
+    return ".".join(labels[-2:])
+
+
+def top_level_domain(host: str) -> str:
+    """The final label of the host, with a leading dot (``.com``)."""
+    host = host.lower().rstrip(".")
+    return "." + host.rsplit(".", 1)[-1] if "." in host else "." + host
+
+
+def is_punycode(host: str) -> bool:
+    """True when any label uses the IDNA ``xn--`` encoding."""
+    return any(label.startswith("xn--") for label in host.lower().split("."))

@@ -1,0 +1,38 @@
+"""Shared fixtures: a small generated world and its analyzed records.
+
+Scale 0.06 keeps the full generate+analyze cycle around a few seconds
+while exercising every kit family and evasion feature at least once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CrawlerBox
+from repro.dataset import CorpusGenerator
+
+
+TEST_SCALE = 0.15
+TEST_SEED = 2024
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return CorpusGenerator(seed=TEST_SEED, scale=TEST_SCALE).generate()
+
+
+@pytest.fixture(scope="session")
+def crawlerbox(small_corpus):
+    return CrawlerBox.for_world(small_corpus.world)
+
+
+@pytest.fixture(scope="session")
+def analyzed_records(small_corpus, crawlerbox):
+    return crawlerbox.analyze_corpus(small_corpus.messages)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)

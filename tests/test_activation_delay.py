@@ -1,0 +1,76 @@
+"""Delayed-activation cloaking (Section III-B.2.1), end to end.
+
+"Before its activation, all visitors are redirected to a benign page.
+This technique can be used to prevent email security filters from
+reaching the malicious page while scanning the URL extracted from an
+incoming message. [...] A few hours later, the URL is activated."
+"""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.profile import human_chrome_profile
+from repro.core import CrawlerBox
+from repro.core.outcomes import MessageCategory
+from repro.dataset.world import World
+from repro.kits.brands import COMPANY_BRANDS
+from repro.kits.credential import CredentialKit, CredentialKitOptions
+from repro.kits.lures import build_credential_lure
+
+
+@pytest.fixture(scope="module")
+def delayed_world():
+    world = World(seed=31)
+    kit = CredentialKit(
+        COMPANY_BRANDS[0],
+        CredentialKitOptions(block_cloud_ips=False),
+        recaptcha=world.recaptcha,
+    )
+    # Delivered around t=100h; the URL only activates at t=106h.
+    deployment = kit.deploy(
+        world.network, "sleeper.example", ip="185.5.5.5",
+        cert_issued_at=0.0, activated_at=106.0,
+    )
+    world.register_deployment(deployment)
+    message = build_credential_lure(
+        deployment, "v@corp.amatravel.example", "tokS", 100.0, random.Random(1)
+    )
+    world.publish_sender(message.sending_domain, message.sending_ip)
+    return world, deployment, message
+
+
+class TestDelayedActivation:
+    def test_scan_at_delivery_sees_decoy(self, delayed_world):
+        world, deployment, message = delayed_world
+        url = message.ground_truth["landing_url"]
+        browser = Browser(world.network, human_chrome_profile(), rng=random.Random(2), timestamp=100.5)
+        result = browser.visit(url)
+        assert "under construction" in result.final_response.body
+
+    def test_victim_after_activation_sees_phish(self, delayed_world):
+        world, deployment, message = delayed_world
+        url = message.ground_truth["landing_url"]
+        browser = Browser(world.network, human_chrome_profile(), rng=random.Random(3), timestamp=110.0)
+        result = browser.visit(url)
+        session = result.final_session
+        assert session.elements["content"].get("style").get("display") == "block"
+
+    def test_immediate_pipeline_analysis_is_defeated(self, delayed_world):
+        """An email-filter-style scan right at delivery misses the phish;
+        the paper's point about this cloaking class."""
+        world, _, message = delayed_world
+        box = CrawlerBox.for_world(world)  # analysis_delay_hours=1 < the 6h delay
+        record = box.analyze(message)
+        assert record.category != MessageCategory.ACTIVE_PHISHING
+
+    def test_later_reanalysis_catches_it(self, delayed_world):
+        """Re-scanning after activation (retro-analysis) recovers it."""
+        from repro.core import PipelineConfig
+
+        world, _, message = delayed_world
+        box = CrawlerBox.for_world(world, config=PipelineConfig(analysis_delay_hours=12.0))
+        record = box.analyze(message)
+        assert record.category == MessageCategory.ACTIVE_PHISHING
+        assert record.spear_brand == COMPANY_BRANDS[0].name

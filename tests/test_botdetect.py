@@ -1,0 +1,205 @@
+"""Bot-detection service tests: BotD, Turnstile, AnonWAF, reCAPTCHA."""
+
+import json
+import random
+
+import pytest
+
+from repro.botdetect import signals
+from repro.botdetect.anonwaf import AnonWafProtection
+from repro.botdetect.botd import botd_gate_script, botd_script, read_botd_verdict
+from repro.botdetect.recaptcha import RecaptchaService
+from repro.botdetect.turnstile import TurnstileProtection
+from repro.browser.browser import Browser
+from repro.browser.profile import datacenter_scanner_profile, human_chrome_profile
+from repro.web.context import ClientContext, IP_DATACENTER
+from repro.web.network import Network
+from repro.web.site import Page, Website
+from repro.web.tls import TLSCertificate
+
+
+def _network_with(page_html, domain="test.example"):
+    network = Network()
+    site = Website(domain, ip="6.6.6.6")
+    site.set_default(Page(html=page_html))
+    network.host_website(site)
+    network.issue_certificate(TLSCertificate(domain, "CA", float("-inf"), float("inf")))
+    return network, site
+
+
+def _visit(network, profile, url="https://test.example/"):
+    browser = Browser(network, profile, rng=random.Random(2))
+    return browser.visit(url)
+
+
+class TestSignals:
+    def test_webdriver_check(self):
+        assert signals.check_webdriver({"webdriver": True}) is not None
+        assert signals.check_webdriver({"webdriver": False}) is None
+
+    def test_headless_ua(self):
+        assert signals.check_headless_ua({"userAgent": "HeadlessChrome/120"}) is not None
+        assert signals.check_headless_ua({"userAgent": "Chrome/120"}) is None
+
+    def test_plugin_surface_spares_mobile(self):
+        mobile = {"userAgent": "iPhone Mobile Safari", "plugins": 0, "hasChrome": False}
+        desktop = {"userAgent": "Chrome/120", "plugins": 0, "hasChrome": False}
+        assert signals.check_plugin_surface(mobile) is None
+        assert signals.check_plugin_surface(desktop) is not None
+
+    def test_behaviour(self):
+        assert signals.check_behaviour({"mouseMoves": 0, "trustedMoves": 0}) is not None
+        assert signals.check_behaviour({"mouseMoves": 5, "trustedMoves": 0}) is not None
+        assert signals.check_behaviour({"mouseMoves": 5, "trustedMoves": 5}) is None
+
+    def test_tls_stack(self):
+        assert signals.check_tls_stack(ClientContext(tls_fingerprint="python-requests")) is not None
+        assert signals.check_tls_stack(ClientContext(tls_fingerprint="chrome")) is None
+
+    def test_interception_headers(self):
+        quirky = {"Cache-Control": "no-cache", "Pragma": "no-cache"}
+        assert signals.check_interception_headers(quirky) is not None
+        assert signals.check_interception_headers({"Cache-Control": "max-age=0"}) is None
+
+    def test_ip_reputation(self):
+        assert signals.check_ip_reputation(ClientContext(known_scanner=True)) is not None
+        assert signals.check_ip_reputation(ClientContext(ip_type=IP_DATACENTER)) is not None
+        assert signals.check_ip_reputation(ClientContext()) is None
+
+
+class TestBotD:
+    def test_human_passes(self):
+        network, _ = _network_with(f"<html><head><script>{botd_script()}</script></head><body></body></html>")
+        result = _visit(network, human_chrome_profile())
+        verdict = read_botd_verdict(result.final_session)
+        assert verdict is not None and verdict["bot"] is False
+
+    def test_scanner_detected_with_reason(self):
+        network, _ = _network_with(f"<html><head><script>{botd_script()}</script></head><body></body></html>")
+        result = _visit(network, datacenter_scanner_profile())
+        verdict = read_botd_verdict(result.final_session)
+        assert verdict["bot"] is True
+        assert "webdriver" in verdict["reasons"]
+
+    def test_gate_script_branches(self):
+        gate = botd_gate_script("window.__branch = 'human';", "window.__branch = 'bot';")
+        network, _ = _network_with(f"<html><head><script>{gate}</script></head><body></body></html>")
+        human = _visit(network, human_chrome_profile())
+        assert human.final_session.window.get("__branch") == "human"
+        scanner = _visit(network, datacenter_scanner_profile())
+        assert scanner.final_session.window.get("__branch") == "bot"
+
+
+class TestTurnstile:
+    def _protected(self):
+        network, site = _network_with("<html><body><p>SECRET-CONTENT</p></body></html>")
+        protection = TurnstileProtection(site)
+        return network, protection
+
+    def test_human_clears_without_interaction(self):
+        network, protection = self._protected()
+        result = _visit(network, human_chrome_profile())
+        assert "SECRET-CONTENT" in result.final_response.body
+        assert protection.verdict_log[-1].passed
+
+    def test_scanner_stuck_on_interstitial(self):
+        network, protection = self._protected()
+        result = _visit(network, datacenter_scanner_profile())
+        assert "SECRET-CONTENT" not in (result.final_response.body if result.final_response else "")
+        failed = [v for v in protection.verdict_log if not v.passed]
+        assert failed and any(d.signal == "navigator.webdriver" for d in failed[0].detections)
+
+    def test_clearance_is_ip_bound(self):
+        """A stolen clearance cookie does not help a bot on another IP."""
+        network, protection = self._protected()
+        browser = Browser(network, human_chrome_profile(), rng=random.Random(3))
+        browser.visit("https://test.example/")
+        cookie = browser.cookies["test.example"]["cf_clearance"]
+        # Replay from a scanner on a different IP: the cookie is ignored
+        # and the scanner cannot pass the challenge itself.
+        scanner = Browser(network, datacenter_scanner_profile(), rng=random.Random(4))
+        scanner.set_cookie("test.example", "cf_clearance", cookie)
+        result = scanner.visit("https://test.example/")
+        assert "SECRET-CONTENT" not in result.final_response.body
+
+    def test_cdp_leak_detected(self):
+        network, protection = self._protected()
+        leaky = human_chrome_profile().derive(cdp_runtime_leak=True)
+        result = _visit(network, leaky)
+        assert "SECRET-CONTENT" not in result.final_response.body
+        detections = [d.signal for v in protection.verdict_log for d in v.detections]
+        assert "cdp-runtime-leak" in detections
+
+    def test_vm_timing_detected(self):
+        network, protection = self._protected()
+        vm = human_chrome_profile().derive(vm_timing_quantization=True)
+        result = _visit(network, vm)
+        detections = [d.signal for v in protection.verdict_log for d in v.detections]
+        assert "vm-timing" in detections
+
+
+class TestAnonWaf:
+    def _protected(self):
+        network, site = _network_with("<html><body><p>WAF-PROTECTED</p></body></html>")
+        waf = AnonWafProtection(site)
+        return network, waf
+
+    def test_human_passes_and_logged(self):
+        network, waf = self._protected()
+        result = _visit(network, human_chrome_profile())
+        assert "WAF-PROTECTED" in result.final_response.body
+        assert waf.human_visits()
+
+    def test_interception_quirk_blocked_at_network_layer(self):
+        network, waf = self._protected()
+        quirky = human_chrome_profile().derive(interception_cache_quirk=True)
+        result = _visit(network, quirky)
+        assert result.final_response.status == 403
+        detections = [d.signal for v in waf.bot_visits() for d in v.detections]
+        assert "interception-cache-headers" in detections
+
+    def test_non_browser_tls_blocked(self):
+        network, waf = self._protected()
+        scripted = human_chrome_profile().derive(tls_fingerprint="python-requests")
+        result = _visit(network, scripted)
+        assert result.final_response.status == 403
+
+    def test_no_mouse_behaviour_blocked_at_sensor(self):
+        network, waf = self._protected()
+        still = human_chrome_profile().derive(generates_mouse_movement=False)
+        result = _visit(network, still)
+        assert "WAF-PROTECTED" not in result.final_response.body
+        sensor_verdicts = [v for v in waf.verdict_log if v.stage == "sensor"]
+        assert sensor_verdicts and not sensor_verdicts[0].classified_as == "human"
+
+
+class TestRecaptcha:
+    def test_clean_client_high_score(self):
+        service = RecaptchaService()
+        score, detections = service.score(
+            {"webdriver": False, "userAgent": "Chrome/120", "plugins": 3, "hasChrome": True,
+             "mouseMoves": 5, "trustedMoves": 5},
+            ClientContext(),
+        )
+        assert score >= 0.8 and not detections
+
+    def test_bot_low_score(self):
+        service = RecaptchaService()
+        score, detections = service.score(
+            {"webdriver": True, "userAgent": "HeadlessChrome", "plugins": 0, "hasChrome": False,
+             "mouseMoves": 0, "trustedMoves": 0},
+            ClientContext(known_scanner=True),
+        )
+        assert score <= 0.2 and detections
+
+    def test_embedded_snippet_scores_in_browser(self):
+        network, site = _network_with(
+            "<html><head><script>"
+            + RecaptchaService.embed_snippet()
+            + "</script></head><body></body></html>"
+        )
+        service = RecaptchaService()
+        service.install(network)
+        result = _visit(network, human_chrome_profile())
+        assert result.final_session.window.get("__recaptcha_score") >= 0.8
+        assert service.score_log

@@ -1,0 +1,47 @@
+"""CLI tests (argument parsing and the run/report/table1 flows)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == 0.15
+        assert args.seed == 2024
+        assert args.export is None
+
+    def test_run_options(self):
+        args = build_parser().parse_args(["run", "--scale", "0.5", "--seed", "7", "--export", "x.json"])
+        assert (args.scale, args.seed, args.export) == (0.5, 7, "x.json")
+
+    def test_report_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestFlows:
+    def test_run_and_report(self, tmp_path, capsys):
+        artifacts = tmp_path / "run.json"
+        exit_code = main(["run", "--scale", "0.03", "--seed", "5", "--export", str(artifacts)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Outcome breakdown" in output
+        assert "Turnstile prevalence" in output
+        assert artifacts.exists()
+
+        exit_code = main(["report", str(artifacts)])
+        assert exit_code == 0
+        report_output = capsys.readouterr().out
+        assert "Outcome breakdown" in report_output
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "notabot" in output
+        assert output.count("FAIL") >= 8  # the detectable crawlers' cells

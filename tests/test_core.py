@@ -1,0 +1,209 @@
+"""Core pipeline tests: outcomes, spear classifier, triage, pipeline."""
+
+import random
+
+import pytest
+
+from repro.core import CrawlerBox, PipelineConfig
+from repro.core.outcomes import MessageCategory, PageClass, aggregate_message_category
+from repro.core.report import summarize
+from repro.core.spearphish import SpearPhishClassifier
+from repro.core.triage import TAG_MALICIOUS, TAG_SPAM, simulate_triage_funnel
+from repro.browser.render import render_visual
+from repro.kits.brands import COMPANY_BRANDS
+from repro.imaging.effects import add_gaussian_noise, hue_rotate, overlay_text
+
+
+class TestAggregation:
+    def test_no_urls_is_no_resources(self):
+        assert aggregate_message_category(False, []) == MessageCategory.NO_RESOURCES
+
+    def test_login_form_wins(self):
+        categories = [PageClass.ERROR, PageClass.LOGIN_FORM, PageClass.BENIGN]
+        assert aggregate_message_category(True, categories) == MessageCategory.ACTIVE_PHISHING
+
+    def test_gated_login_is_active(self):
+        assert aggregate_message_category(True, [PageClass.GATED_LOGIN]) == MessageCategory.ACTIVE_PHISHING
+
+    def test_download_beats_interaction(self):
+        categories = [PageClass.INTERACTION, PageClass.DOWNLOAD]
+        assert aggregate_message_category(True, categories) == MessageCategory.DOWNLOAD
+
+    def test_all_errors(self):
+        assert aggregate_message_category(True, [PageClass.ERROR, PageClass.ERROR]) == MessageCategory.ERROR
+
+    def test_local_login_form_overrides(self):
+        assert (
+            aggregate_message_category(True, [PageClass.ERROR], local_login_form=True)
+            == MessageCategory.ACTIVE_PHISHING
+        )
+
+    def test_benign_only_is_other(self):
+        assert aggregate_message_category(True, [PageClass.BENIGN]) == MessageCategory.OTHER
+
+
+class TestSpearClassifier:
+    @pytest.fixture()
+    def classifier(self):
+        classifier = SpearPhishClassifier(threshold=10)
+        for brand in COMPANY_BRANDS:
+            classifier.add_reference(brand.name, render_visual(brand.spec))
+        return classifier
+
+    def test_exact_clone_matches(self, classifier):
+        clone = render_visual(COMPANY_BRANDS[0].spec)
+        match = classifier.match(clone)
+        assert match is not None and match.brand == COMPANY_BRANDS[0].name
+        assert match.combined_distance == 0
+
+    def test_clone_with_victim_email_overlay_matches(self, classifier):
+        screenshot = render_visual(COMPANY_BRANDS[1].spec, overlay_text="victim@corp.example")
+        match = classifier.match(screenshot)
+        assert match is not None and match.brand == COMPANY_BRANDS[1].name
+
+    def test_clone_with_noise_matches(self, classifier):
+        screenshot = add_gaussian_noise(render_visual(COMPANY_BRANDS[2].spec), 8.0, random.Random(1))
+        assert classifier.match(screenshot) is not None
+
+    def test_hue_rotated_clone_still_matches(self, classifier):
+        """The paper's explicit claim: hue-rotate does not defeat the hashes."""
+        rotated = hue_rotate(render_visual(COMPANY_BRANDS[0].spec), 4.0)
+        match = classifier.match(rotated)
+        assert match is not None and match.brand == COMPANY_BRANDS[0].name
+
+    def test_cross_brand_does_not_match(self, classifier):
+        for index in range(1, len(COMPANY_BRANDS)):
+            screenshot = render_visual(COMPANY_BRANDS[index].spec)
+            match = classifier.match(screenshot)
+            assert match is not None and match.brand == COMPANY_BRANDS[index].name
+
+    def test_unrelated_page_no_match(self, classifier):
+        from repro.web.site import VisualSpec
+
+        unrelated = render_visual(
+            VisualSpec(brand="Random Blog", title="Welcome", header_color=(200, 200, 200),
+                       button_text="", fields=(), layout_variant=7)
+        )
+        assert classifier.match(unrelated) is None
+
+    def test_single_hash_ablation_weaker(self, classifier):
+        """Combined matching is at least as specific as single-hash."""
+        from repro.web.site import VisualSpec
+
+        candidates = [
+            render_visual(VisualSpec(brand=f"B{i}", title="Sign in", layout_variant=i,
+                                     header_color=(i * 20 % 255, 80, 120)))
+            for i in range(12)
+        ]
+        combined_hits = sum(1 for c in candidates if classifier.match(c) is not None)
+        phash_hits = sum(1 for c in candidates if classifier.match_with_single_hash(c, "phash") is not None)
+        dhash_hits = sum(1 for c in candidates if classifier.match_with_single_hash(c, "dhash") is not None)
+        assert combined_hits <= phash_hits
+        assert combined_hits <= dhash_hits
+
+
+class TestTriage:
+    def test_funnel_shape(self):
+        funnel = simulate_triage_funnel(random.Random(1))
+        assert funnel.inbound == 60_000_000
+        assert funnel.gateway_filtered == int(60_000_000 * 0.17)
+        assert funnel.delivered == funnel.inbound - funnel.gateway_filtered
+        # ~0.03% of delivered messages are reported.
+        assert 0.0002 < funnel.reported_fraction_of_delivered < 0.0004
+        # ~3.7% of reports are malicious.
+        assert 0.025 < funnel.malicious_fraction_of_reported < 0.05
+
+    def test_tag_distribution(self):
+        rng = random.Random(2)
+        from repro.core.triage import expert_tag
+
+        tags = [expert_tag(rng) for _ in range(20_000)]
+        assert 0.03 < tags.count(TAG_MALICIOUS) / len(tags) < 0.045
+        assert 0.58 < tags.count(TAG_SPAM) / len(tags) < 0.65
+
+    def test_sampled_funnel_consistent(self):
+        funnel = simulate_triage_funnel(random.Random(3), reported_sample=2000)
+        assert funnel.tagged_malicious + funnel.tagged_spam + funnel.tagged_legitimate == funnel.reported
+
+
+class TestPipelineIntegration:
+    def test_records_align_with_messages(self, small_corpus, analyzed_records):
+        assert len(analyzed_records) == len(small_corpus.messages)
+        for index, record in enumerate(analyzed_records):
+            assert record.message_index == index
+
+    def test_category_assignment_matches_ground_truth(self, analyzed_records):
+        expected_map = {
+            "fraud-no-resources": MessageCategory.NO_RESOURCES,
+            "credential-phishing": MessageCategory.ACTIVE_PHISHING,
+            "error-nxdomain": MessageCategory.ERROR,
+            "error-unreachable": MessageCategory.ERROR,
+            "error-mobile-only": MessageCategory.ERROR,
+            "error-geo-filtered": MessageCategory.ERROR,
+            "interaction": MessageCategory.INTERACTION,
+            "download": MessageCategory.DOWNLOAD,
+            "html-attachment-local": MessageCategory.ACTIVE_PHISHING,
+            "html-attachment-redirect": MessageCategory.ACTIVE_PHISHING,
+        }
+        mismatches = [
+            (record.ground_truth.get("category"), record.category)
+            for record in analyzed_records
+            if expected_map.get(record.ground_truth.get("category", "")) not in (None, record.category)
+        ]
+        assert not mismatches, mismatches[:5]
+
+    def test_spear_classification_accuracy(self, analyzed_records):
+        true_positive = false_positive = false_negative = 0
+        for record in analyzed_records:
+            truth = record.ground_truth.get("role") == "spear"
+            predicted = record.spear_brand is not None
+            if truth and predicted:
+                true_positive += 1
+                assert record.spear_brand == record.ground_truth.get("brand")
+            elif predicted and not truth:
+                false_positive += 1
+            elif truth and not predicted:
+                false_negative += 1
+        assert true_positive > 0
+        assert false_positive == 0
+        assert false_negative == 0
+
+    def test_auth_pass_for_every_message(self, analyzed_records):
+        assert all(record.auth is not None and record.auth.all_pass for record in analyzed_records)
+
+    def test_noise_detection_matches_ground_truth(self, analyzed_records):
+        for record in analyzed_records:
+            if record.ground_truth.get("noise_padding"):
+                assert record.noise_padded
+
+    def test_dynamic_discovery_of_redirect_attachment(self, analyzed_records):
+        redirect_records = [
+            record for record in analyzed_records
+            if record.ground_truth.get("category") == "html-attachment-redirect"
+        ]
+        assert redirect_records
+        for record in redirect_records:
+            assert any(crawl.discovered_dynamically for crawl in record.crawls)
+
+    def test_enrichment_attached_for_active(self, analyzed_records):
+        active = [r for r in analyzed_records if r.category == MessageCategory.ACTIVE_PHISHING]
+        enriched = [r for r in active if r.enrichments]
+        assert len(enriched) > len(active) * 0.9
+        sample = next(iter(enriched[0].enrichments.values()))
+        assert sample.whois is not None or sample.first_cert_issued_at is not None
+
+    def test_summary_counts(self, analyzed_records):
+        findings = summarize(analyzed_records)
+        assert findings.total_messages == len(analyzed_records)
+        assert findings.auth_all_pass == len(analyzed_records)
+        assert findings.spear_messages > 0
+        assert findings.category_counts[MessageCategory.ACTIVE_PHISHING] > 0
+
+    def test_pipeline_is_deterministic(self, small_corpus):
+        box_a = CrawlerBox.for_world(small_corpus.world, rng=random.Random(5))
+        box_b = CrawlerBox.for_world(small_corpus.world, rng=random.Random(5))
+        sample = small_corpus.messages[:30]
+        records_a = [box_a.analyze(m, i) for i, m in enumerate(sample)]
+        records_b = [box_b.analyze(m, i) for i, m in enumerate(sample)]
+        assert [r.category for r in records_a] == [r.category for r in records_b]
+        assert [r.spear_brand for r in records_a] == [r.spear_brand for r in records_b]

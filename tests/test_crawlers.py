@@ -1,0 +1,127 @@
+"""Crawler tests: Table I reproduction and NotABot ablation."""
+
+import pytest
+
+from repro.crawlers.assessment import (
+    TABLE1_CRAWLERS,
+    assess_all_crawlers,
+    assess_crawler,
+    run_anonwaf_test,
+    run_botd_test,
+    run_turnstile_test,
+)
+from repro.crawlers.notabot import (
+    NOTABOT_KNOCKOUTS,
+    notabot_profile,
+    notabot_profile_without,
+)
+from repro.crawlers.profiles import CRAWLER_PROFILES, UNDETECTED_CHROMEDRIVER_HEADLESS, crawler_profile
+
+#: The paper's Table I (pass = True), blank cells read as pass.
+PAPER_TABLE1 = {
+    "kangooroo": (False, False, False),
+    "lacus": (True, False, False),
+    "puppeteer-stealth": (True, False, False),
+    "selenium-stealth": (False, False, False),
+    "undetected-chromedriver": (True, False, True),
+    "nodriver": (True, True, True),
+    "selenium-driverless": (True, True, True),
+    "notabot": (True, True, True),
+}
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.crawler: row for row in assess_all_crawlers(seed=7)}
+
+    @pytest.mark.parametrize("crawler", TABLE1_CRAWLERS)
+    def test_matches_paper(self, rows, crawler):
+        row = rows[crawler]
+        expected = PAPER_TABLE1[crawler]
+        assert (row.passes_botd, row.passes_turnstile, row.passes_anonwaf) == expected
+
+    def test_exactly_three_pass_all(self, rows):
+        """"Only three out of eight crawlers, including NotABot, were able
+        to bypass all the bot detection tools"."""
+        passing = [name for name, row in rows.items() if row.passes_all]
+        assert sorted(passing) == ["nodriver", "notabot", "selenium-driverless"]
+
+    def test_deterministic_across_seeds(self):
+        a = assess_crawler("notabot", seed=1)
+        b = assess_crawler("notabot", seed=99)
+        assert (a.passes_botd, a.passes_turnstile, a.passes_anonwaf) == (
+            b.passes_botd,
+            b.passes_turnstile,
+            b.passes_anonwaf,
+        )
+
+    def test_unknown_crawler_rejected(self):
+        with pytest.raises(KeyError):
+            crawler_profile("nonexistent")
+
+
+class TestUndetectedChromedriverFootnote:
+    def test_headless_variant_fails_botd(self):
+        """Table I footnote: BotD passes "only when used in non-headless mode"."""
+        assert run_botd_test(CRAWLER_PROFILES["undetected-chromedriver"])
+        assert not run_botd_test(UNDETECTED_CHROMEDRIVER_HEADLESS)
+
+
+class TestNotABotAblation:
+    """Knocking out any counter-measure re-exposes a detection signal."""
+
+    def test_full_profile_passes_everything(self):
+        profile = notabot_profile()
+        assert run_botd_test(profile)
+        assert run_turnstile_test(profile)
+        assert run_anonwaf_test(profile)[0]
+
+    def test_automation_flag_knockout(self):
+        profile = notabot_profile_without("no-automation-flag-scrub")
+        assert not run_botd_test(profile)
+        assert not run_turnstile_test(profile)
+        assert not run_anonwaf_test(profile)[0]
+
+    def test_headless_knockout(self):
+        profile = notabot_profile_without("headless-mode")
+        assert not run_botd_test(profile)
+        assert not run_turnstile_test(profile)
+
+    def test_interception_knockout_only_waf(self):
+        profile = notabot_profile_without("interception-enabled")
+        assert run_botd_test(profile)
+        assert run_turnstile_test(profile)  # Turnstile ignores headers
+        assert not run_anonwaf_test(profile)[0]
+
+    def test_mouse_knockout(self):
+        profile = notabot_profile_without("no-fake-mouse")
+        assert run_botd_test(profile)  # BotD has no behavioural check
+        assert not run_turnstile_test(profile)
+        assert not run_anonwaf_test(profile)[0]
+
+    def test_vm_knockout_only_turnstile(self):
+        profile = notabot_profile_without("virtual-machine")
+        assert run_botd_test(profile)
+        assert not run_turnstile_test(profile)
+        assert run_anonwaf_test(profile)[0]
+
+    def test_datacenter_ip_knockout(self):
+        profile = notabot_profile_without("datacenter-ip")
+        assert not run_anonwaf_test(profile)[0]
+
+    def test_unknown_knockout_rejected(self):
+        with pytest.raises(KeyError):
+            notabot_profile_without("warp-drive")
+
+    def test_every_knockout_is_detected_somewhere(self):
+        for name in NOTABOT_KNOCKOUTS:
+            if name == "full":
+                continue
+            profile = notabot_profile_without(name)
+            results = (
+                run_botd_test(profile),
+                run_turnstile_test(profile),
+                run_anonwaf_test(profile)[0],
+            )
+            assert not all(results), f"knockout {name} went undetected"

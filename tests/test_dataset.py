@@ -1,0 +1,224 @@
+"""Dataset generator tests: allocation helpers and corpus invariants."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.dataset import allocation, names
+from repro.dataset.calibration import CALIBRATION, scaled
+from repro.dataset.generator import CorpusGenerator, take_exact, take_until
+from repro.web.urls import top_level_domain
+
+
+class TestAllocationHelpers:
+    def test_spear_tiers_sum(self):
+        counts = allocation.expand_tiers(allocation.SPEAR_TIERS)
+        assert len(counts) == 411
+        assert sum(counts) == 1137
+        assert max(counts) == 58
+
+    def test_commodity_tiers_sum(self):
+        counts = allocation.expand_tiers(allocation.COMMODITY_TIERS)
+        assert len(counts) == 96
+        assert sum(counts) == 130
+
+    def test_monthly_quota_exact(self):
+        quota = allocation.monthly_quota(100, (3, 2, 1))
+        assert sum(quota) == 100
+        assert quota[0] > quota[1] > quota[2]
+
+    def test_monthly_quota_zero(self):
+        assert sum(allocation.monthly_quota(0, (1, 1))) == 0
+
+    def test_month_allocator_prefers_open_months(self):
+        allocator = allocation.MonthAllocator([10, 1], 730.0, random.Random(1))
+        month = allocator.take(5)
+        assert month == 0
+        assert allocator.remaining == [5, 1]
+
+    def test_delivery_hour_inside_month(self):
+        allocator = allocation.MonthAllocator([5, 5], 730.0, random.Random(2))
+        hour = allocator.delivery_hour(1)
+        assert 730.0 < hour < 1460.0
+
+    def test_bulk_timedelta_sampling(self):
+        samples = allocation.sample_bulk_timedeltas(100, 10, random.Random(3))
+        assert len(samples) == 100
+        tail = [a for a, _ in samples if a > 2160.0]
+        assert len(tail) == 10  # exactly the forced tail
+        for delta_a, delta_b in samples:
+            assert delta_b < delta_a
+            assert delta_b <= 1050.0
+
+    def test_outlier_sampling_classes(self):
+        fresh = allocation.sample_outlier_timedeltas("fresh-outlier", 0, random.Random(4))
+        assert fresh[0] > 6552.0 and fresh[1] <= 1050.0
+        compromised_old_cert = allocation.sample_outlier_timedeltas("compromised", 0, random.Random(5))
+        assert compromised_old_cert[1] > 2160.0
+        compromised_newer = allocation.sample_outlier_timedeltas("compromised", 7, random.Random(6))
+        assert 1080.0 <= compromised_newer[1] <= 2160.0
+        with pytest.raises(ValueError):
+            allocation.sample_outlier_timedeltas("martian", 0, random.Random(7))
+
+    def test_tld_labels_full_scale(self):
+        labels = allocation.tld_labels(CALIBRATION, 522, random.Random(8))
+        counts = Counter(labels)
+        assert counts[".com"] == 262
+        assert counts[".ru"] == 48
+        assert counts[".dev"] == 45
+
+    def test_tld_labels_subsampled_keeps_dominance(self):
+        labels = allocation.tld_labels(CALIBRATION, 50, random.Random(9))
+        counts = Counter(labels)
+        assert counts.most_common(1)[0][0] == ".com"
+
+    def test_scaled_helper(self):
+        assert scaled(100, 1.0) == 100
+        assert scaled(100, 0.1) == 10
+        assert scaled(3, 0.1, minimum=1) == 1
+        assert scaled(0, 0.1) == 0
+
+
+class TestNameGenerators:
+    def test_neutral_names_are_dns_safe(self, rng):
+        for _ in range(50):
+            name = names.neutral_domain(rng)
+            assert name.replace("-", "").isalnum()
+
+    def test_combosquatting_contains_brand(self, rng):
+        assert "amatravel" in names.combosquatting_domain("amatravel", rng)
+
+    def test_target_embedding_structure(self, rng):
+        host = names.target_embedding_host("amatravel", rng)
+        assert host.startswith("amatravel.")
+        assert host.count(".") >= 1
+
+    def test_homoglyph_differs_but_resembles(self, rng):
+        for _ in range(20):
+            fake = names.homoglyph_domain("amatravel", rng)
+            assert fake != "amatravel"
+
+    def test_keyword_stuffing_uses_keywords(self, rng):
+        host = names.keyword_stuffing_domain(rng)
+        parts = host.split("-")
+        assert sum(1 for part in parts if part in names.PHISHY_KEYWORDS) >= 3
+
+    def test_typosquatting_edit_distance(self, rng):
+        for _ in range(20):
+            fake = names.typosquatting_domain("skybooker", rng)
+            assert fake != "skybooker"
+            assert abs(len(fake) - len("skybooker")) <= 1
+
+    def test_deceptive_host_dispatch(self, rng):
+        for technique in names.DECEPTIVE_TECHNIQUES:
+            host = names.deceptive_host(technique, "payroute", rng, ".com")
+            assert host.endswith(".com")
+        with pytest.raises(ValueError):
+            names.deceptive_host("quantum", "x", rng, ".com")
+
+    def test_employee_email_shape(self, rng):
+        email = names.employee_email(rng, "corp.amatravel.example")
+        assert email.endswith("@corp.amatravel.example")
+        assert "." in email.split("@")[0]
+
+
+class TestTakeHelpers:
+    def _plans(self, counts):
+        from repro.dataset.generator import DomainPlan
+        from repro.kits.brands import COMPANY_BRANDS
+
+        return [
+            DomainPlan(host=f"d{i}.example", tld=".com", klass="fresh", role="spear",
+                       brand=COMPANY_BRANDS[0], message_count=count)
+            for i, count in enumerate(counts)
+        ]
+
+    def test_take_exact_finds_solution(self):
+        pool = self._plans([58, 31, 15, 15, 9, 5] + [2] * 20 + [1] * 50)
+        chosen = take_exact(pool, 10, 75)
+        assert chosen is not None
+        assert len(chosen) == 10
+        assert sum(plan.message_count for plan in chosen) == 75
+
+    def test_take_exact_infeasible_returns_none(self):
+        pool = self._plans([5, 5])
+        assert take_exact(pool, 3, 100) is None
+
+    def test_take_until_reaches_target(self):
+        pool = self._plans([10, 5, 3, 2, 1, 1, 1])
+        chosen = take_until(pool, 17)
+        assert sum(plan.message_count for plan in chosen) == 17
+
+
+class TestGeneratedCorpusInvariants:
+    def test_total_and_categories(self, small_corpus):
+        truth = Counter(m.ground_truth.get("category") for m in small_corpus.messages)
+        assert sum(truth.values()) == len(small_corpus.messages)
+        # Every paper bucket is represented even at small scale.
+        for category in (
+            "fraud-no-resources", "credential-phishing", "error-nxdomain",
+            "error-unreachable", "interaction", "download",
+            "html-attachment-local", "html-attachment-redirect",
+        ):
+            assert truth[category] >= 1, category
+
+    def test_messages_sorted_by_delivery(self, small_corpus):
+        times = [m.delivered_at for m in small_corpus.messages]
+        assert times == sorted(times)
+
+    def test_every_message_authenticates(self, small_corpus):
+        from repro.mail.auth import evaluate_authentication
+
+        for message in small_corpus.messages[:200]:
+            assert evaluate_authentication(message, small_corpus.world.mail_dns).all_pass
+
+    def test_landing_domains_unique_hosts(self, small_corpus):
+        hosts = [plan.host for plan in small_corpus.domain_plans]
+        assert len(hosts) == len(set(hosts))
+
+    def test_credential_deployments_live(self, small_corpus):
+        for plan in small_corpus.domain_plans:
+            assert plan.deployment is not None
+            assert small_corpus.world.network.website(plan.host) is not None
+
+    def test_whois_and_ct_registered(self, small_corpus):
+        from repro.web.urls import registered_domain
+
+        network = small_corpus.world.network
+        for plan in small_corpus.domain_plans:
+            assert network.whois.lookup(registered_domain(plan.host)) is not None
+            assert network.ct_log.lookup(plan.host) or network.ct_log.lookup(registered_domain(plan.host))
+
+    def test_registration_precedes_certificate(self, small_corpus):
+        from repro.web.urls import registered_domain
+
+        network = small_corpus.world.network
+        for plan in small_corpus.domain_plans:
+            whois = network.whois.lookup(registered_domain(plan.host))
+            cert = network.ct_log.earliest_issuance(plan.host)
+            if cert is None:
+                cert = network.ct_log.earliest_issuance(registered_domain(plan.host))
+            assert whois.created < cert
+
+    def test_determinism(self):
+        a = CorpusGenerator(seed=77, scale=0.03).generate()
+        b = CorpusGenerator(seed=77, scale=0.03).generate()
+        assert len(a.messages) == len(b.messages)
+        assert [m.subject for m in a.messages] == [m.subject for m in b.messages]
+        assert [p.host for p in a.domain_plans] == [p.host for p in b.domain_plans]
+
+    def test_different_seeds_differ(self):
+        a = CorpusGenerator(seed=1, scale=0.03).generate()
+        b = CorpusGenerator(seed=2, scale=0.03).generate()
+        assert [p.host for p in a.domain_plans] != [p.host for p in b.domain_plans]
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(scale=0.0)
+        with pytest.raises(ValueError):
+            CorpusGenerator(scale=1.5)
+
+    def test_tld_distribution_dominated_by_com(self, small_corpus):
+        counts = Counter(top_level_domain(plan.host) for plan in small_corpus.domain_plans)
+        assert counts.most_common(1)[0][0] == ".com"

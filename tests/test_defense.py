@@ -1,0 +1,153 @@
+"""Defender-side tests: referral monitoring and the modeled email filters."""
+
+import random
+
+import pytest
+
+from repro.defense.emailfilters import ModeledEmailFilter, REFERENCE_FILTERS
+from repro.defense.referral import ReferralMonitor
+from repro.kits.brands import COMPANY_BRANDS
+from repro.kits.credential import CredentialKit, CredentialKitOptions
+from repro.kits.lures import build_credential_lure
+from repro.mail.message import EmailMessage, MessagePart
+
+
+def _hotlinked_brand(corpus):
+    """A brand whose campaigns hotlink its assets in this corpus."""
+    for plan in corpus.domain_plans:
+        if plan.options.hotlink_brand_resources:
+            return plan.brand.name
+    raise AssertionError("no hotlinking campaigns in the corpus")
+
+
+def _brand_token(brand_name: str) -> str:
+    return brand_name.lower().replace(" ", "") + ".example"
+
+
+class TestReferralMonitor:
+    def test_hotlinking_kit_triggers_alert(self, small_corpus, analyzed_records):
+        # The pipeline already crawled everything; the brand portals'
+        # access logs now contain the hotlinked asset requests.
+        brand = _hotlinked_brand(small_corpus)
+        portal = small_corpus.world.portals[brand]
+        monitor = ReferralMonitor(portal, own_domains=(_brand_token(brand),))
+        alerts = monitor.scan()
+        assert alerts, "hotlinking campaigns must surface"
+        hotlink_domains = {
+            plan.host
+            for plan in small_corpus.domain_plans
+            if plan.options.hotlink_brand_resources and plan.brand.name == brand
+        }
+        assert monitor.alert_domains() & hotlink_domains
+
+    def test_alert_carries_first_seen_and_hits(self, small_corpus, analyzed_records):
+        brand = _hotlinked_brand(small_corpus)
+        portal = small_corpus.world.portals[brand]
+        alerts = ReferralMonitor(portal, own_domains=(_brand_token(brand),)).scan()
+        for alert in alerts:
+            assert alert.hits >= 1
+            assert alert.asset_path.startswith("/assets/")
+            assert alert.first_seen >= 0.0
+
+    def test_own_referrers_ignored(self, small_corpus, analyzed_records):
+        portal = small_corpus.world.portals["SkyBooker"]
+        monitor = ReferralMonitor(portal, own_domains=("skybooker.example",))
+        for alert in monitor.scan():
+            assert "skybooker.example" not in alert.phishing_domain
+
+    def test_alerts_precede_or_match_reports(self, small_corpus, analyzed_records):
+        """The referral fires at crawl/victim time — early detection."""
+        brand = _hotlinked_brand(small_corpus)
+        portal = small_corpus.world.portals[brand]
+        alerts = ReferralMonitor(portal, own_domains=(_brand_token(brand),)).scan()
+        by_domain = {}
+        for record in analyzed_records:
+            for domain in record.landing_domains:
+                by_domain.setdefault(domain, record.delivered_at)
+        for alert in alerts:
+            if alert.phishing_domain in by_domain:
+                # analysis_delay_hours after delivery is when the crawler hit it
+                assert alert.first_seen <= by_domain[alert.phishing_domain] + 48.0
+
+
+class TestEmailFilters:
+    @pytest.fixture(scope="class")
+    def deployment_and_network(self):
+        from repro.web.network import Network
+        from repro.web.whois import WhoisRecord
+
+        network = Network()
+        kit = CredentialKit(COMPANY_BRANDS[0], CredentialKitOptions(block_cloud_ips=False))
+        deployment = kit.deploy(network, "filter-test.example", ip="185.7.7.7", cert_issued_at=0.0)
+        # Registered 24 days (the paper's median) before delivery at t=600h.
+        network.whois.register(
+            WhoisRecord("filter-test.example", "NameCheap", created=600.0 - 575.0, expires=99999.0)
+        )
+        return deployment, network
+
+    def _lure(self, deployment, embed, **kwargs):
+        return build_credential_lure(
+            deployment, "v@corp.example", f"tok-{embed}", 600.0, random.Random(3),
+            embed_as=embed, **kwargs
+        )
+
+    def test_strict_filter_misses_faulty_qr(self, deployment_and_network):
+        deployment, network = deployment_and_network
+        message = self._lure(deployment, "faulty_qr")
+        strict = ModeledEmailFilter(name="strict", lenient_qr=False, max_domain_age_flag_days=90.0)
+        lenient = ModeledEmailFilter(name="lenient", lenient_qr=True, max_domain_age_flag_days=90.0)
+        assert not strict.scan(message, network).extracted_urls
+        assert lenient.scan(message, network).extracted_urls
+
+    def test_no_image_scanning_misses_all_qr(self, deployment_and_network):
+        deployment, network = deployment_and_network
+        message = self._lure(deployment, "qr")
+        blind = ModeledEmailFilter(name="blind", lenient_qr=True, scan_images=False)
+        assert not blind.scan(message, network).extracted_urls
+
+    def test_base64_blindness(self, deployment_and_network):
+        deployment, network = deployment_and_network
+        message = EmailMessage(delivered_at=600.0)
+        message.add_part(MessagePart.text("https://filter-test.example/x", base64_encode=True))
+        no_decode = ModeledEmailFilter(name="nodecode", decode_base64=False,
+                                       max_domain_age_flag_days=90.0)
+        decode = ModeledEmailFilter(name="decode", max_domain_age_flag_days=90.0)
+        assert not no_decode.scan(message, network).malicious
+        assert decode.scan(message, network).malicious
+
+    def test_preregistration_defeats_age_flag(self, deployment_and_network):
+        """The paper's core timeline finding: 24-day-old domains pass
+        everything but an (unusably aggressive) 90-day rule."""
+        deployment, network = deployment_and_network
+        message = self._lure(deployment, "link")
+        conservative = ModeledEmailFilter(name="2d", lenient_qr=True, max_domain_age_flag_days=2.0)
+        aggressive = ModeledEmailFilter(name="90d", lenient_qr=True, max_domain_age_flag_days=90.0)
+        assert not conservative.scan(message, network).malicious  # evaded
+        verdict = aggressive.scan(message, network)
+        assert verdict.malicious and any(r.startswith("new-domain") for r in verdict.reasons)
+
+    def test_denylist_catches_known_domains_only(self, deployment_and_network):
+        deployment, network = deployment_and_network
+        message = self._lure(deployment, "link")
+        listed = ModeledEmailFilter(name="listed", lenient_qr=True,
+                                    denylist=frozenset({"filter-test.example"}))
+        unlisted = ModeledEmailFilter(name="unlisted", lenient_qr=True,
+                                      denylist=frozenset({"other.example"}))
+        assert listed.scan(message, network).malicious
+        assert not unlisted.scan(message, network).malicious
+
+    def test_fraud_messages_evade_everything(self):
+        """No URL, no attachment: nothing for URL-centric filters to flag."""
+        from repro.kits.fraud import build_fraud_message
+
+        message = build_fraud_message("v@corp.example", 10.0, random.Random(2))
+        for gateway in REFERENCE_FILTERS:
+            assert not gateway.scan(message).malicious
+
+    def test_catch_rate_bounds(self, deployment_and_network):
+        deployment, network = deployment_and_network
+        messages = [self._lure(deployment, "link"), self._lure(deployment, "faulty_qr")]
+        gateway = ModeledEmailFilter(name="g", lenient_qr=False, max_domain_age_flag_days=90.0)
+        rate = gateway.catch_rate(messages, network)
+        assert 0.0 <= rate <= 1.0
+        assert ModeledEmailFilter(name="empty").catch_rate([]) == 0.0

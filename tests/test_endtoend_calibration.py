@@ -1,0 +1,190 @@
+"""End-to-end study reproduction at reduced scale.
+
+Runs generate -> analyze -> measure and checks that every headline
+*shape* from the paper holds: the outcome mix, the spear-phishing
+majority, Turnstile's ~3/4 dominance, the faulty-QR bug, the timeline
+ordering, and the fat tails.  (Exact full-scale numbers are produced by
+the benchmarks and recorded in EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from repro.analysis import figures
+from repro.core.outcomes import MessageCategory
+
+
+@pytest.fixture(scope="module")
+def measured(small_corpus, analyzed_records):
+    return {
+        "breakdown": figures.outcome_breakdown(analyzed_records),
+        "table2": figures.table2(analyzed_records),
+        "figure2": figures.figure2(analyzed_records),
+        "figure3": figures.figure3(analyzed_records, small_corpus.world.network),
+        "spear": figures.section5a_spear(analyzed_records, small_corpus.world),
+        "nontargeted": figures.section5b_nontargeted(analyzed_records, small_corpus.world),
+        "evasion": figures.section5c_evasion(analyzed_records),
+    }
+
+
+class TestOutcomeShape:
+    """Section V: 49.6% / 15.9% / 4.5% / 0.1% / 29.9%."""
+
+    def test_ordering_of_buckets(self, measured):
+        breakdown = measured["breakdown"]
+        assert (
+            breakdown.count(MessageCategory.NO_RESOURCES)
+            > breakdown.count(MessageCategory.ACTIVE_PHISHING)
+            > breakdown.count(MessageCategory.ERROR)
+            > breakdown.count(MessageCategory.INTERACTION)
+            > breakdown.count(MessageCategory.DOWNLOAD)
+        )
+
+    def test_fractions_roughly_match(self, measured):
+        breakdown = measured["breakdown"]
+        # Small-scale minimum-count rounding shifts ratios; generous bands.
+        assert 0.30 <= breakdown.fraction(MessageCategory.NO_RESOURCES) <= 0.60
+        assert 0.20 <= breakdown.fraction(MessageCategory.ACTIVE_PHISHING) <= 0.45
+        assert 0.08 <= breakdown.fraction(MessageCategory.ERROR) <= 0.25
+
+    def test_nothing_unclassified(self, measured):
+        assert measured["breakdown"].count(MessageCategory.OTHER) == 0
+
+
+class TestSpearShape:
+    """Section V-A: 73.3% spear; low medians; .com then .ru."""
+
+    def test_spear_majority(self, measured):
+        assert measured["spear"].spear_fraction > 0.6
+
+    def test_median_one_message_per_domain(self, measured):
+        assert measured["spear"].messages_per_domain_median <= 2.0
+
+    def test_heavy_tail_campaign_exists(self, measured):
+        assert measured["spear"].messages_per_domain_max >= 30
+
+    def test_com_dominates_tlds(self, measured):
+        assert measured["table2"].rows[0][0] == ".com"
+        assert measured["table2"].rows[0][1] > measured["table2"].total_domains * 0.3
+
+    def test_hotlink_minority_but_present(self, measured):
+        spear = measured["spear"]
+        assert 0 < spear.hotlink_messages < spear.spear_messages
+
+    def test_most_domains_not_deceptive(self, measured):
+        syntax = measured["spear"].domain_syntax
+        assert syntax.deceptive_fraction < 0.35
+        assert syntax.punycode == 0
+
+    def test_ru_uses_ru_registrars(self, measured):
+        from repro.web.whois import RU_REGISTRARS
+
+        for registrar in measured["spear"].ru_registrars:
+            assert registrar in RU_REGISTRARS
+
+
+class TestDnsVolumeShape:
+    def test_low_volume_majority(self, measured):
+        volumes = measured["spear"].dns_volumes
+        assert volumes.single_median_total < 200
+        assert volumes.multi_median_total >= volumes.single_median_total
+
+    def test_top_domain_is_huge_outlier(self, measured):
+        volumes = measured["spear"].dns_volumes
+        top_domain, top_messages, top_total = volumes.top_domains[0]
+        assert top_total > 1_000_000
+        # The paper's top-volume domain is also the most-reported one.
+        assert top_messages == max(count for _, count, _ in volumes.top_domains)
+
+
+class TestTimelineShape:
+    """Figure 3: medians ~575h/185h, fat tails, A >= B."""
+
+    def test_median_ordering(self, measured):
+        figure = measured["figure3"]
+        assert figure.median_timedelta_a > figure.median_timedelta_b > 24.0
+
+    def test_median_ballpark(self, measured):
+        figure = measured["figure3"]
+        assert 250 <= figure.median_timedelta_a <= 1200
+        assert 60 <= figure.median_timedelta_b <= 500
+
+    def test_fat_tails(self, measured):
+        figure = measured["figure3"]
+        assert figure.kurtosis_a > 2.0
+        assert figure.kurtosis_b > 2.0
+
+    def test_over_90d_counts(self, measured):
+        figure = measured["figure3"]
+        assert figure.over_90d_a > figure.over_90d_b
+        assert figure.over_90d_b >= figure.over_90d_b_compromised
+
+    def test_outlier_composition(self, measured):
+        figure = measured["figure3"]
+        assert figure.outliers > 0
+        assert figure.outlier_compromised >= 1
+        assert figure.outlier_abused_services >= 1
+
+
+class TestMonthlyVolumes:
+    def test_2023_higher_and_significant(self, measured):
+        figure = measured["figure2"]
+        assert figure.mean_2023 > figure.mean_2024
+        assert figure.t_test.significant(alpha=0.05)
+
+
+class TestEvasionShape:
+    def test_turnstile_three_quarters(self, measured):
+        assert 0.65 <= measured["evasion"].turnstile_fraction <= 0.85
+
+    def test_recaptcha_quarter(self, measured):
+        assert 0.15 <= measured["evasion"].recaptcha_fraction <= 0.35
+
+    def test_recaptcha_runs_behind_turnstile(self, analyzed_records):
+        """"Google reCaptcha is run in the background following Turnstile"."""
+        from repro.analysis.evasion import _uses_recaptcha, _uses_turnstile
+
+        both = sum(
+            1
+            for record in analyzed_records
+            for crawl in [record.crawls]
+            if any(_uses_recaptcha(c) for c in crawl) and any(_uses_turnstile(c) for c in crawl)
+        )
+        only_recaptcha = sum(
+            1
+            for record in analyzed_records
+            for crawl in [record.crawls]
+            if any(_uses_recaptcha(c) for c in crawl) and not any(_uses_turnstile(c) for c in crawl)
+        )
+        assert both > only_recaptcha
+
+    def test_all_messages_authenticate(self, measured, analyzed_records):
+        assert measured["evasion"].auth_all_pass == len(analyzed_records)
+
+    def test_faulty_qr_present_and_lenient_recovers(self, analyzed_records):
+        from repro.qr.scanner import extract_url_strict
+
+        faulty = [
+            record
+            for record in analyzed_records
+            if record.qr_payloads
+            and any(extract_url_strict(payload) is None for _, payload in record.qr_payloads)
+        ]
+        assert faulty
+        # CrawlerBox (lenient) still crawled and classified them active.
+        assert all(record.category == MessageCategory.ACTIVE_PHISHING for record in faulty)
+
+    def test_victim_check_clusters_span_domains(self, measured):
+        clusters = [c for c in measured["evasion"].shared_script_clusters if c.kind == "victim-check"]
+        assert len(clusters) >= 2
+        assert all(cluster.n_domains >= 2 for cluster in clusters)
+
+    def test_hue_rotate_pages_gte_messages(self, measured):
+        evasion = measured["evasion"]
+        assert evasion.hue_rotate_pages >= evasion.hue_rotate_messages >= 1
+
+    def test_exfiltration_subset_relation(self, measured):
+        evasion = measured["evasion"]
+        assert evasion.httpbin >= evasion.ipapi >= 1
+
+    def test_local_html_attachments_active(self, measured):
+        assert measured["nontargeted"].html_attachment_local >= 1

@@ -1,0 +1,70 @@
+"""Artifact export/reload tests: a saved run re-yields the statistics."""
+
+import json
+
+import pytest
+
+from repro.analysis.evasion import measure_evasion_prevalence
+from repro.analysis.figures import outcome_breakdown, table2
+from repro.core.export import export_records, load_records, record_from_dict, record_to_dict, save_records
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def reloaded(self, analyzed_records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("artifacts") / "run.json"
+        save_records(analyzed_records, path)
+        return load_records(path), path
+
+    def test_counts_preserved(self, analyzed_records, reloaded):
+        records, _ = reloaded
+        assert len(records) == len(analyzed_records)
+
+    def test_single_record_fields(self, analyzed_records):
+        original = next(record for record in analyzed_records if record.crawls)
+        clone = record_from_dict(json.loads(json.dumps(record_to_dict(original))))
+        assert clone.category == original.category
+        assert clone.spear_brand == original.spear_brand
+        assert clone.auth == original.auth
+        assert clone.noise_padded == original.noise_padded
+        assert [crawl.url for crawl in clone.crawls] == [crawl.url for crawl in original.crawls]
+        assert clone.landing_domains == original.landing_domains
+        first_original, first_clone = original.crawls[0], clone.crawls[0]
+        assert first_clone.signals == first_original.signals
+        assert first_clone.screenshot_phash == first_original.screenshot_phash
+
+    def test_outcome_breakdown_survives_reload(self, analyzed_records, reloaded):
+        records, _ = reloaded
+        assert outcome_breakdown(records).counts == outcome_breakdown(analyzed_records).counts
+
+    def test_table2_survives_reload(self, analyzed_records, reloaded):
+        records, _ = reloaded
+        assert table2(records).rows == table2(analyzed_records).rows
+
+    def test_evasion_prevalence_survives_reload(self, analyzed_records, reloaded):
+        records, _ = reloaded
+        original = measure_evasion_prevalence(analyzed_records)
+        recomputed = measure_evasion_prevalence(records)
+        assert recomputed.turnstile == original.turnstile
+        assert recomputed.recaptcha == original.recaptcha
+        assert recomputed.console_hijack == original.console_hijack
+        assert recomputed.hue_rotate_pages == original.hue_rotate_pages
+        assert recomputed.faulty_qr == original.faulty_qr
+        assert len(recomputed.shared_script_clusters) == len(original.shared_script_clusters)
+
+    def test_file_is_plain_json(self, reloaded):
+        _, path = reloaded
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+        assert document["n_records"] == len(document["records"])
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "records": []}))
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_export_document_shape(self, analyzed_records):
+        document = export_records(analyzed_records[:3])
+        assert document["n_records"] == 3
+        json.dumps(document)  # fully serializable

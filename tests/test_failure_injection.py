@@ -1,0 +1,174 @@
+"""Failure injection: the pipeline must survive hostile or broken inputs.
+
+The paper's infrastructure analyzed live attacker content for ten
+months; robustness against malformed and adversarial inputs is part of
+the contract ("errors should never pass silently" — but hostile pages
+must not kill the run either).
+"""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.profile import human_chrome_profile
+from repro.core import CrawlerBox
+from repro.imaging.image import Image
+from repro.mail.attachments import ArchiveFile, FileBlob
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+from repro.mail.parser import EmailParser
+from repro.web.http import HttpResponse
+from repro.web.network import Network
+from repro.web.site import Page, Website
+from repro.web.tls import TLSCertificate
+
+
+def _network_with(html, domain="hostile.example"):
+    network = Network()
+    site = Website(domain, ip="66.66.66.66")
+    site.add_page("/", Page(html=html))
+    network.host_website(site)
+    network.issue_certificate(TLSCertificate(domain, "CA", float("-inf"), float("inf")))
+    return network, site
+
+
+def _visit(network, url="https://hostile.example/"):
+    browser = Browser(network, human_chrome_profile(), rng=random.Random(1))
+    return browser.visit(url)
+
+
+class TestHostileScripts:
+    def test_infinite_loop_hits_step_budget_not_hang(self):
+        network, _ = _network_with(
+            "<html><head><script>while(true){var x = 1;}</script></head><body>alive</body></html>"
+        )
+        result = _visit(network)
+        session = result.final_session
+        assert session is not None
+        assert any("step budget" in error for error in session.signals().script_errors)
+
+    def test_syntax_error_recorded_not_raised(self):
+        network, _ = _network_with(
+            "<html><head><script>this is not javascript {{{</script></head><body></body></html>"
+        )
+        result = _visit(network)
+        assert result.final_session.signals().script_errors
+
+    def test_throwing_script_does_not_stop_later_scripts(self):
+        network, _ = _network_with(
+            "<html><head><script>throw 'bomb';</script>"
+            "<script>window.__second = 'ran';</script></head><body></body></html>"
+        )
+        result = _visit(network)
+        assert result.final_session.window.get("__second") == "ran"
+
+    def test_recursive_timer_bounded(self):
+        network, _ = _network_with(
+            "<html><head><script>"
+            "function again(){ setTimeout(again, 1); } again();"
+            "</script></head><body></body></html>"
+        )
+        result = _visit(network)  # terminates because timer rounds are bounded
+        assert result.final_session is not None
+
+    def test_xhr_to_dead_host_signals_error_branch(self):
+        network, _ = _network_with(
+            """<html><head><script>
+            var xhr = new XMLHttpRequest();
+            xhr.open('GET', 'https://no-such-host.invalid-zone/collect');
+            xhr.onerror = function(){ window.__failed = true; };
+            xhr.send();
+            </script></head><body></body></html>"""
+        )
+        result = _visit(network)
+        assert result.final_session.window.get("__failed") is True
+
+    def test_broken_atob_payload_caught(self):
+        network, _ = _network_with(
+            "<html><head><script>try { atob('!!not-base64!!'); } catch (e) { window.__caught = true; }"
+            "</script></head><body></body></html>"
+        )
+        result = _visit(network)
+        assert result.final_session.window.get("__caught") is True
+
+
+class TestMalformedContent:
+    def test_garbage_html_still_parses(self):
+        network, _ = _network_with("<<<>>><html><body><div<<<p>text</html>")
+        result = _visit(network)
+        assert result.final_session is not None
+
+    def test_empty_response_body(self):
+        network, site = _network_with("<html></html>")
+        site.add_handler("/empty", lambda r, c: HttpResponse(status=200, body=""))
+        result = _visit(network, "https://hostile.example/empty")
+        assert result.outcome == "ok"
+
+    def test_malformed_parts_in_message(self):
+        message = EmailMessage()
+        message.add_part(MessagePart(ContentType.IMAGE, "not an image object"))
+        message.add_part(MessagePart(ContentType.PDF, 12345))
+        message.add_part(MessagePart(ContentType.ZIP, None))
+        message.add_part(MessagePart(ContentType.EML, "not a message"))
+        report = EmailParser().parse(message)  # must not raise
+        assert report.unique_urls() == []
+
+    def test_undecodable_base64_text_part(self):
+        # Invalid characters are dropped by non-validating base64 decode;
+        # the part degrades to empty text and the parser survives.
+        part = MessagePart(ContentType.TEXT, "!!!", transfer_encoding="base64")
+        message = EmailMessage(parts=[part])
+        assert part.decoded_text() == ""
+        report = EmailParser().parse(message)
+        assert report.unique_urls() == []
+
+    def test_tiny_image_attachment(self):
+        message = EmailMessage().add_part(MessagePart(ContentType.IMAGE, Image.new(3, 3)))
+        assert EmailParser().parse(message).unique_urls() == []
+
+    def test_deep_zip_nesting_bounded_by_structure(self):
+        archive = ArchiveFile()
+        inner = archive
+        for depth in range(12):
+            nested = ArchiveFile()
+            inner.add(f"level{depth}.zip", nested)
+            inner = nested
+        inner.add("payload.txt", "https://deep.example/final")
+        message = EmailMessage().add_part(MessagePart(ContentType.ZIP, archive))
+        report = EmailParser().parse(message)
+        assert report.unique_urls() == ["https://deep.example/final"]
+
+    def test_blob_lies_about_its_magic(self):
+        blob = FileBlob("fake.pdf", b"%PDF-1.7", payload="just a string, not a PdfDocument")
+        message = EmailMessage().add_part(MessagePart(ContentType.OCTET_STREAM, blob))
+        report = EmailParser().parse(message)  # dispatches, finds nothing, survives
+        assert report.unique_urls() == []
+
+
+class TestPipelineResilience:
+    def test_message_with_hostile_page_still_classified(self, small_corpus):
+        network = small_corpus.world.network
+        site = Website("tarpit.example", ip="66.1.1.1")
+        site.add_page(
+            "/",
+            Page(html="<html><head><script>while(true){}</script></head>"
+                      "<body><form action='/c'><input type='password' name='p'/></form></body></html>"),
+        )
+        network.host_website(site)
+        network.issue_certificate(TLSCertificate("tarpit.example", "CA", float("-inf"), float("inf")))
+
+        message = EmailMessage(subject="tarpit")
+        message.add_part(MessagePart.text("see https://tarpit.example/"))
+        box = CrawlerBox.for_world(small_corpus.world)
+        record = box.analyze(message)
+        # The page never "revealed" anything, but the visible password form
+        # is there and the pipeline classified despite the hostile script.
+        assert record.category in ("active_phishing", "error_page")
+
+    def test_many_urls_capped(self, small_corpus):
+        message = EmailMessage()
+        body = "\n".join(f"https://u{i}.example/x" for i in range(40))
+        message.add_part(MessagePart.text(body))
+        box = CrawlerBox.for_world(small_corpus.world)
+        record = box.analyze(message)
+        assert len(record.crawls) <= box.config.max_urls_per_message

@@ -1,0 +1,109 @@
+"""Unit tests for the figure/table builder dataclasses and edge cases."""
+
+import pytest
+
+from repro.analysis.figures import (
+    Figure2,
+    OutcomeBreakdown,
+    Table2,
+    figure2,
+    outcome_breakdown,
+    table2,
+)
+from repro.core.artifacts import MessageRecord, UrlCrawl
+from repro.core.outcomes import MessageCategory
+
+
+def _record(index, category, domains=(), delivered_at=10.0):
+    record = MessageRecord(
+        message_index=index, delivered_at=delivered_at, recipient="v@corp.example",
+        sender_domain="s.example",
+    )
+    record.category = category
+    record.crawls = [
+        UrlCrawl(
+            url=f"https://{domain}/t{index}",
+            outcome="ok",
+            page_class="login_form",
+            final_url=f"https://{domain}/t{index}",
+            landing_domain=domain,
+        )
+        for domain in domains
+    ]
+    return record
+
+
+class TestOutcomeBreakdown:
+    def test_empty(self):
+        breakdown = outcome_breakdown([])
+        assert breakdown.total == 0
+        assert breakdown.fraction(MessageCategory.ERROR) == 0.0
+        assert breakdown.count("anything") == 0
+
+    def test_counts_and_fractions(self):
+        records = [
+            _record(0, MessageCategory.ACTIVE_PHISHING),
+            _record(1, MessageCategory.ACTIVE_PHISHING),
+            _record(2, MessageCategory.ERROR),
+            _record(3, MessageCategory.NO_RESOURCES),
+        ]
+        breakdown = outcome_breakdown(records)
+        assert breakdown.count(MessageCategory.ACTIVE_PHISHING) == 2
+        assert breakdown.fraction(MessageCategory.ERROR) == 0.25
+
+
+class TestTable2:
+    def test_counts_only_active_domains(self):
+        records = [
+            _record(0, MessageCategory.ACTIVE_PHISHING, ("a.com", "b.ru")),
+            _record(1, MessageCategory.ACTIVE_PHISHING, ("c.com",)),
+            _record(2, MessageCategory.ERROR, ("dead.xyz",)),  # excluded
+        ]
+        table = table2(records)
+        assert table.total_domains == 3
+        assert dict(table.rows) == {".com": 2, ".ru": 1}
+
+    def test_duplicate_domains_counted_once(self):
+        records = [
+            _record(0, MessageCategory.ACTIVE_PHISHING, ("a.com",)),
+            _record(1, MessageCategory.ACTIVE_PHISHING, ("a.com",)),
+        ]
+        assert table2(records).total_domains == 1
+
+
+class TestFigure2:
+    def test_monthly_bucketing(self):
+        records = [
+            _record(0, MessageCategory.ERROR, delivered_at=5.0),      # month 0
+            _record(1, MessageCategory.ERROR, delivered_at=735.0),    # month 1
+            _record(2, MessageCategory.ERROR, delivered_at=736.0),    # month 1
+        ]
+        figure = figure2(records)
+        assert figure.monthly_2024[0] == 1
+        assert figure.monthly_2024[1] == 2
+        assert sum(figure.monthly_2024) == 3
+
+    def test_out_of_window_ignored(self):
+        figure = figure2([_record(0, MessageCategory.ERROR, delivered_at=10 * 730.0 + 5)])
+        assert sum(figure.monthly_2024) == 0
+
+    def test_paper_constants_passthrough(self):
+        figure = figure2([])
+        assert figure.monthly_2023[-3:] == (1959, 1533, 1249)
+        assert figure.mean_2023 == pytest.approx(885.2)
+
+
+class TestMessageRecordAccessors:
+    def test_landing_filters_benign_crawls(self):
+        record = _record(0, MessageCategory.ACTIVE_PHISHING, ("evil.com",))
+        record.crawls.append(
+            UrlCrawl(url="https://cdn.example/a", outcome="ok", page_class="benign",
+                     final_url="https://cdn.example/a", landing_domain="cdn.example")
+        )
+        assert record.landing_domains == ["evil.com"]
+        assert record.attempted_domains == ["evil.com", "cdn.example"]
+
+    def test_landing_urls_prefer_final(self):
+        record = _record(0, MessageCategory.ACTIVE_PHISHING, ("evil.com",))
+        record.crawls[0].final_url = "https://evil.com/after-redirect"
+        assert record.landing_urls == ["https://evil.com/after-redirect"]

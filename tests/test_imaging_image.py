@@ -1,0 +1,123 @@
+"""Unit tests for the raster Image class."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import BLACK, WHITE, Image
+
+
+class TestConstruction:
+    def test_new_dimensions(self):
+        image = Image.new(10, 6)
+        assert image.width == 10
+        assert image.height == 6
+        assert image.size == (10, 6)
+
+    def test_new_fill_color(self):
+        image = Image.new(4, 4, (10, 20, 30))
+        assert image.get_pixel(0, 0) == (10, 20, 30)
+        assert image.get_pixel(3, 3) == (10, 20, 30)
+
+    def test_new_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            Image.new(0, 5)
+        with pytest.raises(ValueError):
+            Image.new(5, -1)
+
+    def test_pixels_must_be_3d(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_from_bool_matrix(self):
+        matrix = np.array([[True, False], [False, True]])
+        image = Image.from_bool_matrix(matrix, scale=2)
+        assert image.size == (4, 4)
+        assert image.get_pixel(0, 0) == BLACK
+        assert image.get_pixel(2, 0) == WHITE
+        assert image.get_pixel(2, 2) == BLACK
+
+    def test_from_bool_matrix_border(self):
+        matrix = np.array([[True]])
+        image = Image.from_bool_matrix(matrix, scale=1, border=2)
+        assert image.size == (5, 5)
+        assert image.get_pixel(0, 0) == WHITE
+        assert image.get_pixel(2, 2) == BLACK
+
+    def test_from_bool_matrix_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            Image.from_bool_matrix(np.array([[True]]), scale=0)
+
+
+class TestPixelOps:
+    def test_put_get_pixel(self):
+        image = Image.new(3, 3)
+        image.put_pixel(1, 2, (5, 6, 7))
+        assert image.get_pixel(1, 2) == (5, 6, 7)
+
+    def test_paste_basic(self):
+        base = Image.new(10, 10, WHITE)
+        stamp = Image.new(2, 2, BLACK)
+        base.paste(stamp, 4, 4)
+        assert base.get_pixel(4, 4) == BLACK
+        assert base.get_pixel(5, 5) == BLACK
+        assert base.get_pixel(6, 6) == WHITE
+
+    def test_paste_clips_at_edges(self):
+        base = Image.new(4, 4, WHITE)
+        stamp = Image.new(3, 3, BLACK)
+        base.paste(stamp, 3, 3)  # only 1x1 lands inside
+        assert base.get_pixel(3, 3) == BLACK
+        assert base.get_pixel(2, 2) == WHITE
+
+    def test_paste_fully_outside_is_noop(self):
+        base = Image.new(4, 4, WHITE)
+        stamp = Image.new(2, 2, BLACK)
+        base.paste(stamp, 10, 10)
+        assert base.mean_color() == (255.0, 255.0, 255.0)
+
+    def test_fill_rect(self):
+        image = Image.new(6, 6, WHITE)
+        image.fill_rect(1, 1, 2, 3, BLACK)
+        assert image.get_pixel(1, 1) == BLACK
+        assert image.get_pixel(2, 3) == BLACK
+        assert image.get_pixel(3, 1) == WHITE
+
+    def test_crop(self):
+        image = Image.new(6, 6, WHITE)
+        image.put_pixel(2, 3, BLACK)
+        cropped = image.crop(2, 3, 2, 2)
+        assert cropped.size == (2, 2)
+        assert cropped.get_pixel(0, 0) == BLACK
+
+    def test_crop_out_of_bounds(self):
+        image = Image.new(4, 4)
+        with pytest.raises(ValueError):
+            image.crop(2, 2, 5, 5)
+
+
+class TestTransforms:
+    def test_grayscale_weights(self):
+        image = Image.new(1, 1, (255, 0, 0))
+        assert abs(image.to_grayscale()[0, 0] - 0.299 * 255) < 1e-6
+
+    def test_resize_dimensions(self):
+        image = Image.new(8, 8)
+        assert image.resize(4, 2).size == (4, 2)
+        assert image.resize(16, 16).size == (16, 16)
+
+    def test_resize_preserves_solid_color(self):
+        image = Image.new(8, 8, (3, 4, 5))
+        small = image.resize(2, 2)
+        assert small.get_pixel(0, 0) == (3, 4, 5)
+
+    def test_equality_and_copy(self):
+        image = Image.new(3, 3, (1, 2, 3))
+        duplicate = image.copy()
+        assert image == duplicate
+        duplicate.put_pixel(0, 0, (9, 9, 9))
+        assert image != duplicate
+
+    def test_hash_consistency(self):
+        a = Image.new(3, 3, (1, 2, 3))
+        b = Image.new(3, 3, (1, 2, 3))
+        assert hash(a) == hash(b)

@@ -1,0 +1,102 @@
+"""OCR round-trip tests, including property-based ones."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.effects import add_gaussian_noise, crop_border
+from repro.imaging.font import GLYPHS, normalize_char, supported_characters
+from repro.imaging.image import Image
+from repro.imaging.ocr import ocr_image
+from repro.imaging.render import render_lines, render_text
+
+
+class TestFont:
+    def test_all_glyphs_are_7x5(self):
+        for char, glyph in GLYPHS.items():
+            assert glyph.shape == (7, 5), char
+
+    def test_glyphs_are_distinct(self):
+        seen = {}
+        for char, glyph in GLYPHS.items():
+            key = glyph.tobytes()
+            assert key not in seen, f"{char!r} duplicates {seen.get(key)!r}"
+            seen[key] = char
+
+    def test_lowercase_folds_to_uppercase(self):
+        assert normalize_char("a") == "A"
+        assert normalize_char("z") == "Z"
+
+    def test_unknown_char_falls_back(self):
+        assert normalize_char("é") == "?"
+
+    def test_supported_characters_cover_urls(self):
+        chars = supported_characters()
+        for needed in "HTTPS://A-B.COM/PATH?X=1&Y=2":
+            assert needed in chars
+
+
+class TestOcrRoundTrip:
+    @pytest.mark.parametrize("scale", [1, 2, 3, 4])
+    def test_single_line_scales(self, scale):
+        text = "HELLO WORLD 123"
+        result = ocr_image(render_text(text, scale=scale))
+        assert result.text == text
+
+    def test_url_roundtrip(self):
+        url = "HTTPS://EVIL-SITE.COM/DHFYWFH?TOKEN=ABC123"
+        assert ocr_image(render_text(url, scale=2)).text == url
+
+    def test_multiline(self):
+        lines = ["DEAR USER,", "PLEASE SIGN IN AT", "HTTP://LOGIN.EXAMPLE.RU/A"]
+        assert ocr_image(render_lines(lines, scale=2)).text == "\n".join(lines)
+
+    def test_lowercase_input_reads_as_uppercase(self):
+        assert ocr_image(render_text("hello", scale=2)).text == "HELLO"
+
+    def test_empty_image(self):
+        result = ocr_image(Image.new(50, 20))
+        assert result.text == ""
+        assert result.confidence == 1.0
+
+    def test_noise_robustness(self):
+        image = render_text("SCAN THIS CODE NOW", scale=3)
+        noisy = add_gaussian_noise(image, 30.0, random.Random(5))
+        assert ocr_image(noisy).text == "SCAN THIS CODE NOW"
+
+    def test_inverted_polarity(self):
+        image = render_text("INVERSE", scale=2, fg=(255, 255, 255), bg=(0, 0, 0))
+        assert ocr_image(image).text == "INVERSE"
+
+    def test_cropped_margins(self):
+        image = render_text("MARGINS", scale=3, margin=10)
+        cropped = crop_border(image, 6)
+        assert ocr_image(cropped).text == "MARGINS"
+
+    def test_confidence_high_for_clean_render(self):
+        result = ocr_image(render_text("CLEAN", scale=2))
+        assert result.confidence > 0.95
+
+
+_OCR_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/.-_?=&"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    text=st.text(alphabet=_OCR_ALPHABET, min_size=1, max_size=24),
+    scale=st.integers(min_value=2, max_value=3),
+)
+def test_ocr_roundtrip_property(text, scale):
+    """Any renderable text recovers exactly (modulo trailing spaces).
+
+    Strings made solely of baseline-free strokes ("_", "__") are
+    inherently ambiguous without a reference line and are excluded (see
+    the ocr_image docstring).
+    """
+    from hypothesis import assume
+
+    assume(text.strip("_- ") != "")
+    rendered = render_text(text, scale=scale)
+    assert ocr_image(rendered).text == text.rstrip()

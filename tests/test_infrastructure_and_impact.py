@@ -1,0 +1,82 @@
+"""Tests for the infrastructure pivot graph and the crawler-impact ablation."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.crawler_impact import measure_crawler_impact
+from repro.analysis.infrastructure import (
+    KIND_DOMAIN,
+    build_infrastructure_graph,
+    cluster_campaigns,
+    pivot_from_domain,
+    summarize_infrastructure,
+)
+
+
+class TestInfrastructureGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, analyzed_records):
+        return build_infrastructure_graph(analyzed_records)
+
+    def test_nodes_are_kind_tagged(self, graph):
+        kinds = {data.get("kind") for _, data in graph.nodes(data=True)}
+        assert {"domain", "ip", "sender"} <= kinds
+        assert "script" in kinds  # the shared victim-check droppers
+
+    def test_every_domain_has_a_host_edge(self, graph):
+        for node, data in graph.nodes(data=True):
+            if data.get("kind") == KIND_DOMAIN:
+                vias = {graph.edges[node, neighbour].get("via") for neighbour in graph[node]}
+                assert "hosting" in vias, node
+
+    def test_campaigns_cover_all_domains(self, graph, analyzed_records):
+        campaigns = cluster_campaigns(graph)
+        domains_in_campaigns = {d for campaign in campaigns for d in campaign.domains}
+        graph_domains = {
+            node for node, data in graph.nodes(data=True) if data.get("kind") == KIND_DOMAIN
+        }
+        assert domains_in_campaigns == graph_domains
+
+    def test_most_campaigns_are_singletons(self, analyzed_records):
+        """The low-volume finding, structurally."""
+        summary = summarize_infrastructure(analyzed_records)
+        assert summary.singleton_campaigns > summary.n_campaigns * 0.7
+        assert summary.largest_campaign_domains >= 3
+
+    def test_script_sharing_links_campaigns(self, analyzed_records):
+        summary = summarize_infrastructure(analyzed_records)
+        assert summary.script_linked_campaigns >= 2  # victim-check A and B
+
+    def test_pivot_reaches_script_siblings(self, graph):
+        campaigns = cluster_campaigns(graph)
+        largest = campaigns[0]
+        assert largest.shared_scripts  # glued by a shared script
+        related = pivot_from_domain(graph, largest.domains[0])
+        assert set(related) == set(largest.domains) - {largest.domains[0]}
+
+    def test_pivot_from_unknown_domain(self, graph):
+        assert pivot_from_domain(graph, "ghost.example") == []
+
+    def test_graph_is_undirected_simple(self, graph):
+        assert isinstance(graph, nx.Graph)
+        assert not any(u == v for u, v in graph.edges)
+
+
+class TestCrawlerImpact:
+    @pytest.fixture(scope="class")
+    def impacts(self, small_corpus):
+        results = measure_crawler_impact(
+            small_corpus, crawler_names=("kangooroo", "notabot"), sample_size=60
+        )
+        return {result.crawler: result for result in results}
+
+    def test_notabot_sees_everything(self, impacts):
+        assert impacts["notabot"].recall >= 0.99
+
+    def test_naive_crawler_mostly_cloaked(self, impacts):
+        assert impacts["kangooroo"].recall < 0.5
+        assert impacts["kangooroo"].cloaked_away > 0
+
+    def test_counts_consistent(self, impacts):
+        for result in impacts.values():
+            assert result.detected_active + result.cloaked_away == result.phishing_messages

@@ -1,0 +1,243 @@
+"""Interpreter semantics tests."""
+
+import math
+
+import pytest
+
+from repro.js import Interpreter, JSError, JSTimeoutError
+from repro.js.interp import JSArray, JSObject, NativeFunction, UNDEFINED
+
+
+def run(source: str):
+    return Interpreter().run(source)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("1 + 2 * 3", 7.0),
+            ("(1 + 2) * 3", 9.0),
+            ("10 % 3", 1.0),
+            ("2 ** 10", 1024.0),
+            ("'a' + 1", "a1"),
+            ("1 + '1'", "11"),
+            ("'5' - 2", 3.0),
+            ("-'4'", -4.0),
+            ("!0", True),
+            ("!!'x'", True),
+            ("typeof 'x'", "string"),
+            ("typeof 5", "number"),
+            ("typeof undefined", "undefined"),
+            ("typeof {}", "object"),
+            ("typeof function(){}", "function"),
+            ("1 < 2 && 2 < 3", True),
+            ("false || 'default'", "default"),
+            ("null ?? 'fallback'", "fallback"),
+            ("0 ?? 'fallback'", 0.0),
+            ("true ? 'y' : 'n'", "y"),
+            ("5 & 3", 1.0),
+            ("5 | 2", 7.0),
+            ("1 << 4", 16.0),
+            ("void 0", UNDEFINED),
+        ],
+    )
+    def test_evaluation(self, source, expected):
+        assert run(source) == expected
+
+    def test_division_semantics(self):
+        assert run("1 / 0") == math.inf
+        assert run("-1 / 0") == -math.inf
+        assert math.isnan(run("0 / 0"))
+
+    def test_nan_comparisons(self):
+        assert run("0/0 < 1") is False
+        assert run("0/0 >= 0") is False
+
+
+class TestEquality:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("null == undefined", True),
+            ("null === undefined", False),
+            ("'5' == 5", True),
+            ("'5' === 5", False),
+            ("true == 1", True),
+            ("true === 1", False),
+            ("'' == 0", True),
+            ("'abc' == 'abc'", True),
+            ("[] === []", False),
+        ],
+    )
+    def test_loose_vs_strict(self, source, expected):
+        assert run(source) is expected
+
+    def test_object_identity(self):
+        assert run("var a = {}; var b = a; a === b") is True
+
+
+class TestControlFlow:
+    def test_while_break_continue(self):
+        assert run("var s=''; var i=0; while(i<6){i++; if(i==3)continue; if(i==5)break; s+=i;} s") == "124"
+
+    def test_for_loop(self):
+        assert run("var t=0; for(var i=1;i<=4;i++){t+=i} t") == 10.0
+
+    def test_do_while(self):
+        assert run("var n=0; do { n++; } while (n < 3); n") == 3.0
+
+    def test_for_in_object(self):
+        assert run("var keys=''; for (var k in {a:1,b:2}) { keys+=k; } keys") == "ab"
+
+    def test_for_of_array(self):
+        assert run("var t=0; for (var v of [1,2,3]) { t+=v; } t") == 6.0
+
+    def test_switch_with_fallthrough(self):
+        source = """
+        var out = '';
+        switch (2) {
+          case 1: out += 'one';
+          case 2: out += 'two';
+          case 3: out += 'three'; break;
+          case 4: out += 'four';
+        }
+        out
+        """
+        assert run(source) == "twothree"
+
+    def test_switch_default(self):
+        assert run("var o=''; switch(9){case 1: o='a'; break; default: o='d';} o") == "d"
+
+    def test_throw_and_catch(self):
+        assert run("var r=''; try { throw 'boom' } catch (e) { r = e } r") == "boom"
+
+    def test_finally_always_runs(self):
+        assert run("var r=''; try { r='t' } finally { r+='f' } r") == "tf"
+
+    def test_runtime_error_catchable(self):
+        assert run("var r='no'; try { missing.prop } catch (e) { r='caught' } r") == "caught"
+
+
+class TestFunctions:
+    def test_closures(self):
+        source = """
+        function counter() { var n = 0; return function() { n++; return n; }; }
+        var c = counter();
+        c(); c(); c()
+        """
+        assert run(source) == 3.0
+
+    def test_hoisting(self):
+        assert run("var r = f(); function f() { return 42; } r") == 42.0
+
+    def test_this_binding_on_method_call(self):
+        assert run("var o = { v: 7, get_: function() { return this.v; } }; o.get_()") == 7.0
+
+    def test_arrow_captures_lexical_scope(self):
+        assert run("var add = (a) => (b) => a + b; add(2)(3)") == 5.0
+
+    def test_arguments_object(self):
+        assert run("function f() { return arguments.length; } f(1, 2, 3)") == 3.0
+
+    def test_default_missing_args_undefined(self):
+        assert run("function f(a, b) { return typeof b; } f(1)") == "undefined"
+
+    def test_named_function_expression_self_reference(self):
+        assert run("var f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }; f(5)") == 120.0
+
+    def test_call_apply_bind(self):
+        assert run("function f(a) { return this.x + a; } f.call({x: 1}, 2)") == 3.0
+        assert run("function f(a, b) { return a + b; } f.apply(null, [3, 4])") == 7.0
+        assert run("function f(a, b) { return a * b; } var g = f.bind(null, 6); g(7)") == 42.0
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(JSError):
+            run("var x = 5; x()")
+
+    def test_update_operators(self):
+        assert run("var i = 5; i++") == 5.0
+        assert run("var i = 5; ++i") == 6.0
+        assert run("var i = 5; i--; i") == 4.0
+
+
+class TestObjectsAndArrays:
+    def test_property_assignment(self):
+        assert run("var o = {}; o.a = 1; o['b'] = 2; o.a + o.b") == 3.0
+
+    def test_delete(self):
+        assert run("var o = {a: 1}; delete o.a; typeof o.a") == "undefined"
+
+    def test_in_operator(self):
+        assert run("'a' in {a: 1}") is True
+        assert run("'z' in {a: 1}") is False
+        assert run("1 in [10, 20]") is True
+
+    def test_array_index_write_extends(self):
+        assert run("var a = []; a[3] = 'x'; a.length") == 4.0
+
+    def test_array_length_truncation(self):
+        assert run("var a = [1,2,3,4]; a.length = 2; a.join(',')") == "1,2"
+
+    def test_nested_structures(self):
+        assert run("var o = {list: [{v: 5}]}; o.list[0].v") == 5.0
+
+
+class TestEvalAndSafety:
+    def test_eval_in_current_scope(self):
+        assert run("var x = 10; eval('x + 5')") == 15.0
+
+    def test_eval_can_define(self):
+        assert run("eval('var y = 3;'); y") == 3.0
+
+    def test_step_budget(self):
+        with pytest.raises(JSTimeoutError):
+            Interpreter(step_limit=5000).run("while (true) {}")
+
+    def test_reference_error(self):
+        with pytest.raises(JSError):
+            run("missingVariable")
+
+    def test_property_of_undefined_raises(self):
+        with pytest.raises(JSError):
+            run("undefined.prop")
+
+
+class TestHostInterop:
+    def test_native_function_call(self):
+        interp = Interpreter()
+        captured = []
+        interp.globals.declare(
+            "report", NativeFunction(lambda _i, _t, args: captured.append(args[0]), "report")
+        )
+        interp.run("report('hello from script')")
+        assert captured == ["hello from script"]
+
+    def test_host_object_roundtrip(self):
+        interp = Interpreter()
+        host = JSObject({"value": 10.0})
+        interp.globals.declare("host", host)
+        interp.run("host.value = host.value * 2; host.doubled = true;")
+        assert host.get("value") == 20.0
+        assert host.get("doubled") is True
+
+    def test_timers_collected_not_run(self):
+        interp = Interpreter()
+        interp.run("setInterval(function() { ticks = (typeof ticks === 'undefined' ? 0 : ticks) + 1; }, 100)")
+        assert len(interp.timers) == 1
+        interp.run_due_timers()
+        interp.run_due_timers()
+        assert interp.globals.lookup("ticks") == 2.0
+
+    def test_clear_interval(self):
+        interp = Interpreter()
+        interp.run("var id = setInterval(function(){}, 50); clearInterval(id);")
+        interp.run_due_timers()
+        assert not interp.timers
+
+    def test_debugger_hook(self):
+        interp = Interpreter()
+        hits = []
+        interp.on_debugger = lambda: hits.append(1)
+        interp.run("debugger; debugger;")
+        assert len(hits) == 2

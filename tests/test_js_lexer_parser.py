@@ -1,0 +1,139 @@
+"""Lexer and parser tests for the PhishScript engine."""
+
+import pytest
+
+from repro.js import nodes as ast
+from repro.js.lexer import JSSyntaxError, tokenize
+from repro.js.parser import parse, parse_expression_source
+
+
+class TestLexer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.value) for t in tokenize("1 2.5 0x1F 1e3 .5")][:-1]
+        assert kinds == [("num", 1.0), ("num", 2.5), ("num", 31.0), ("num", 1000.0), ("num", 0.5)]
+
+    def test_number_at_end_of_input(self):
+        assert tokenize("3")[0].value == 3.0
+
+    def test_strings_and_escapes(self):
+        tokens = tokenize(r"'a\n' "  + '"b\\x41" ' + r'"B"')
+        assert tokens[0].value == "a\n"
+        assert tokens[1].value == "bA"
+        assert tokens[2].value == "B"
+
+    def test_unterminated_string(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // line\n/* block */ 2")
+        values = [t.value for t in tokens if t.kind == "num"]
+        assert values == [1.0, 2.0]
+
+    def test_multichar_punctuators(self):
+        values = [t.value for t in tokenize("=== !== && || => ++ +=")][:-1]
+        assert values == ["===", "!==", "&&", "||", "=>", "++", "+="]
+
+    def test_template_literal_parts(self):
+        token = tokenize("`a ${x+1} b`")[0]
+        assert token.kind == "template"
+        assert token.value[0] == ("str", "a ")
+        assert token.value[1][0] == "expr"
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("var variable function func")
+        assert [t.kind for t in tokens][:-1] == ["keyword", "ident", "keyword", "ident"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("1\n\n2")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 3
+
+
+class TestParser:
+    def test_var_declarations(self):
+        program = parse("var a = 1, b;")
+        declaration = program.body[0]
+        assert isinstance(declaration, ast.VarDecl)
+        assert [name for name, _ in declaration.declarations] == ["a", "b"]
+
+    def test_function_declaration(self):
+        program = parse("function f(a, b) { return a; }")
+        fn = program.body[0]
+        assert isinstance(fn, ast.FunctionDecl)
+        assert fn.params == ["a", "b"]
+
+    def test_arrow_functions(self):
+        expr = parse_expression_source("x => x + 1")
+        assert isinstance(expr, ast.FunctionExpr) and expr.is_arrow
+        expr2 = parse_expression_source("(a, b) => { return a; }")
+        assert isinstance(expr2, ast.FunctionExpr) and expr2.params == ["a", "b"]
+
+    def test_parenthesized_expression_is_not_arrow(self):
+        expr = parse_expression_source("(1 + 2) * 3")
+        assert isinstance(expr, ast.Binary)
+
+    def test_precedence(self):
+        expr = parse_expression_source("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_member_chains(self):
+        expr = parse_expression_source("a.b.c['d']")
+        assert isinstance(expr, ast.Member) and expr.computed
+        assert isinstance(expr.obj, ast.Member)
+
+    def test_new_expression(self):
+        expr = parse_expression_source("new XMLHttpRequest()")
+        assert isinstance(expr, ast.New)
+
+    def test_conditional(self):
+        expr = parse_expression_source("a ? b : c")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_if_else_chain(self):
+        program = parse("if (a) {} else if (b) {} else {}")
+        statement = program.body[0]
+        assert isinstance(statement, ast.If)
+        assert isinstance(statement.alternate, ast.If)
+
+    def test_for_classic(self):
+        program = parse("for (var i = 0; i < 3; i++) { }")
+        assert isinstance(program.body[0], ast.For)
+
+    def test_for_in_and_of(self):
+        for_in = parse("for (var k in obj) {}").body[0]
+        assert isinstance(for_in, ast.ForIn) and not for_in.of
+        for_of = parse("for (var v of list) {}").body[0]
+        assert isinstance(for_of, ast.ForIn) and for_of.of
+
+    def test_try_catch_finally(self):
+        statement = parse("try { a(); } catch (e) { b(); } finally { c(); }").body[0]
+        assert isinstance(statement, ast.Try)
+        assert statement.param == "e"
+        assert statement.finalizer is not None
+
+    def test_try_without_handler_rejected(self):
+        with pytest.raises(JSSyntaxError):
+            parse("try { a(); }")
+
+    def test_object_literal_variants(self):
+        expr = parse_expression_source("{a: 1, 'b': 2, c, d() { return 1; }}")
+        assert isinstance(expr, ast.ObjectLiteral)
+        assert [key for key, _ in expr.entries] == ["a", "b", "c", "d"]
+
+    def test_switch(self):
+        statement = parse("switch (x) { case 1: a(); break; default: b(); }").body[0]
+        assert isinstance(statement, ast.Switch)
+        assert len(statement.cases) == 2
+
+    def test_debugger_statement(self):
+        assert isinstance(parse("debugger;").body[0], ast.Debugger)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = 2;")
+
+    def test_unexpected_token(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var = 3;")

@@ -1,0 +1,204 @@
+"""Standard-library tests: strings, arrays, JSON, RegExp, globals."""
+
+import math
+
+import pytest
+
+from repro.js import Interpreter, JSError
+from repro.js.interp import JSArray, JSObject
+from repro.js.obfuscate import base64_eval_wrap, charcode_obfuscate, split_string_obfuscate
+
+
+def run(source: str):
+    return Interpreter().run(source)
+
+
+class TestStringMethods:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("'hello'.length", 5.0),
+            ("'hello'.toUpperCase()", "HELLO"),
+            ("'HELLO'.toLowerCase()", "hello"),
+            ("'hello'.charAt(1)", "e"),
+            ("'hello'.charCodeAt(0)", 104.0),
+            ("'hello'.indexOf('ll')", 2.0),
+            ("'hello'.indexOf('z')", -1.0),
+            ("'hello'.includes('ell')", True),
+            ("'hello'.startsWith('he')", True),
+            ("'hello'.endsWith('lo')", True),
+            ("'hello'.slice(1, 3)", "el"),
+            ("'hello'.slice(-3)", "llo"),
+            ("'hello'.substring(3, 1)", "el"),
+            ("'hello'.substr(1, 2)", "el"),
+            ("'a,b,c'.split(',').length", 3.0),
+            ("''.split(',').length", 1.0),
+            ("'abc'.split('').join('-')", "a-b-c"),
+            ("'  x  '.trim()", "x"),
+            ("'ab'.repeat(3)", "ababab"),
+            ("'a'.padStart(3, '0')", "00a"),
+            ("'a'.padEnd(3, '.')", "a.."),
+            ("'hello'[1]", "e"),
+            ("'abc'.concat('def')", "abcdef"),
+            ("'a-b'.replace('-', '+')", "a+b"),
+            ("'a-b-c'.replaceAll('-', '+')", "a+b+c"),
+        ],
+    )
+    def test_methods(self, source, expected):
+        assert run(source) == expected
+
+    def test_replace_with_regex_global(self):
+        assert run("'a1b2c3'.replace(new RegExp('[0-9]', 'g'), '#')") == "a#b#c#"
+
+    def test_replace_with_function(self):
+        assert run("'abc'.replace('b', function(m) { return m.toUpperCase(); })") == "aBc"
+
+    def test_match(self):
+        assert run("'user@corp.example'.match(new RegExp('@(.+)$'))[1]") == "corp.example"
+        assert run("'no digits'.match(new RegExp('[0-9]')) === null") is True
+
+
+class TestArrayMethods:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("[1,2,3].length", 3.0),
+            ("[1,2,3].join('-')", "1-2-3"),
+            ("[3,1,2].sort().join('')", "123"),
+            ("[1,2,3].indexOf(2)", 1.0),
+            ("[1,2,3].includes(3)", True),
+            ("[1,2,3].slice(1).join('')", "23"),
+            ("[1,2,3].concat([4]).length", 4.0),
+            ("[1,2,3].reverse().join('')", "321"),
+            ("[1,2,3,4].filter(function(x){return x>2}).join('')", "34"),
+            ("[1,2,3].map(function(x){return x*2}).join('')", "246"),
+            ("[1,2,3].reduce(function(a,b){return a+b})", 6.0),
+            ("[1,2,3].reduce(function(a,b){return a+b}, 10)", 16.0),
+            ("[5,6,7].find(function(x){return x>5})", 6.0),
+            ("[5,6,7].findIndex(function(x){return x>5})", 1.0),
+            ("[1,2].some(function(x){return x==2})", True),
+            ("[1,2].every(function(x){return x>0})", True),
+        ],
+    )
+    def test_methods(self, source, expected):
+        assert run(source) == expected
+
+    def test_push_pop_shift_unshift(self):
+        assert run("var a=[2]; a.push(3); a.unshift(1); a.join('')") == "123"
+        assert run("var a=[1,2,3]; a.pop(); a.shift(); a.join('')") == "2"
+
+    def test_splice(self):
+        assert run("var a=[1,2,3,4]; var r=a.splice(1,2); r.join('')+':'+a.join('')") == "23:14"
+
+    def test_sort_with_comparator(self):
+        assert run("[3,1,2].sort(function(a,b){return b-a}).join('')") == "321"
+
+    def test_foreach_accumulates(self):
+        assert run("var t=0; [1,2,3].forEach(function(v){t+=v}); t") == 6.0
+
+    def test_reduce_empty_without_initial_raises(self):
+        with pytest.raises(JSError):
+            run("[].reduce(function(a,b){return a+b})")
+
+
+class TestGlobals:
+    def test_atob_btoa_roundtrip(self):
+        assert run("atob(btoa('secret message'))") == "secret message"
+
+    def test_atob_invalid_raises(self):
+        with pytest.raises(JSError):
+            run("atob('!not base64!')")
+
+    def test_parse_int(self):
+        assert run("parseInt('42')") == 42.0
+        assert run("parseInt('42abc')") == 42.0
+        assert run("parseInt('0x1f')") == 31.0
+        assert run("parseInt('ff', 16)") == 255.0
+        assert math.isnan(run("parseInt('abc')"))
+
+    def test_parse_float(self):
+        assert run("parseFloat('3.14xyz')") == pytest.approx(3.14)
+
+    def test_is_nan(self):
+        assert run("isNaN('abc')") is True
+        assert run("isNaN('42')") is False
+
+    def test_uri_component(self):
+        assert run("encodeURIComponent('a b@c')") == "a%20b%40c"
+        assert run("decodeURIComponent('a%20b')") == "a b"
+
+    def test_math_functions(self):
+        assert run("Math.floor(3.7)") == 3.0
+        assert run("Math.max(1, 5, 3)") == 5.0
+        assert run("Math.min(4, 2)") == 2.0
+        assert run("Math.abs(-9)") == 9.0
+        assert run("Math.round(2.5)") == 3.0
+        assert 0.0 <= run("Math.random()") < 1.0
+
+    def test_json_roundtrip(self):
+        assert run("JSON.parse(JSON.stringify({a: [1, 'x', true, null]})).a[1]") == "x"
+
+    def test_json_parse_error(self):
+        with pytest.raises(JSError):
+            run("JSON.parse('{bad json')")
+
+    def test_string_fromcharcode(self):
+        assert run("String.fromCharCode(104, 105)") == "hi"
+
+    def test_object_keys_values(self):
+        assert run("Object.keys({a:1,b:2}).join('')") == "ab"
+        assert run("Object.values({a:1,b:2}).join('')") == "12"
+
+    def test_object_assign(self):
+        assert run("Object.assign({a:1}, {b:2}).b") == 2.0
+
+    def test_array_isarray(self):
+        assert run("Array.isArray([1])") is True
+        assert run("Array.isArray('no')") is False
+
+    def test_number_tostring_radix(self):
+        assert run("(255).toString(16)") == "ff"
+        assert run("(5).toString(2)") == "101"
+
+    def test_tofixed(self):
+        assert run("(3.14159).toFixed(2)") == "3.14"
+
+    def test_date_now_advances_with_steps(self):
+        assert run("var a = Date.now(); var i=0; while(i<1000){i++}; Date.now() > a") is True
+
+    def test_regexp_test_exec(self):
+        assert run("new RegExp('^a+$').test('aaa')") is True
+        assert run("new RegExp('(b)(c)').exec('abc')[2]") == "c"
+
+    def test_console_returns_undefined_and_logs(self):
+        interp = Interpreter()
+        interp.run("console.log('x', 1); console.warn('y')")
+        assert interp.console_log == [("log", "x 1"), ("warn", "y")]
+
+
+class TestObfuscation:
+    def test_base64_eval_wrap_executes(self):
+        interp = Interpreter()
+        interp.run(base64_eval_wrap("var marker = 'ran';"))
+        assert interp.globals.lookup("marker") == "ran"
+
+    def test_split_string_hides_secret(self):
+        source = "var u = 'https://evil.ru/path';"
+        import random
+
+        obfuscated = split_string_obfuscate(source, "https://evil.ru/path", random.Random(4))
+        assert "https://evil.ru/path" not in obfuscated
+        interp = Interpreter()
+        interp.run(obfuscated)
+        assert interp.globals.lookup("u") == "https://evil.ru/path"
+
+    def test_charcode_obfuscate(self):
+        expression = charcode_obfuscate("hi!")
+        assert run(expression) == "hi!"
+
+    def test_determinism_of_fixed_seed(self):
+        import random
+
+        a = split_string_obfuscate("var x = 'token';", "token", random.Random(7))
+        b = split_string_obfuscate("var x = 'token';", "token", random.Random(7))
+        assert a == b

@@ -1,0 +1,255 @@
+"""Phishing-kit tests: deployments, cloaks, lures, C2 behaviour."""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.profile import (
+    datacenter_scanner_profile,
+    human_chrome_profile,
+    mobile_phone_profile,
+)
+from repro.crawlers.notabot import NotABot
+from repro.kits.attachment import (
+    build_download_lure,
+    build_html_attachment_message,
+    build_zip_hta_message,
+    deploy_download_site,
+)
+from repro.kits.brands import COMPANY_BRANDS, host_legitimate_portals
+from repro.kits.credential import CredentialKit, CredentialKitOptions
+from repro.kits.fraud import build_fraud_message
+from repro.kits.interaction import build_interaction_message, deploy_interaction_site
+from repro.kits.lures import build_credential_lure
+from repro.mail.parser import EmailParser
+from repro.web.network import Network
+
+
+@pytest.fixture()
+def network():
+    net = Network()
+    net.install_ip_services()
+    host_legitimate_portals(net)
+    return net
+
+
+def _deploy(network, options, brand=COMPANY_BRANDS[0], domain="phish-kit.example"):
+    kit = CredentialKit(brand, options)
+    return kit.deploy(network, domain, ip="185.1.1.1", cert_issued_at=0.0)
+
+
+def _human_visit(network, url, seed=5):
+    browser = Browser(network, human_chrome_profile(), rng=random.Random(seed), timestamp=50.0)
+    return browser.visit(url)
+
+
+class TestCredentialKit:
+    def test_token_flow_reveals_form_to_victim(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        url = deployment.register_victim("ana.martin@corp.amatravel.example", "tok42")
+        result = _human_visit(network, url)
+        session = result.final_session
+        assert session.elements["content"].get("style").get("display") == "block"
+
+    def test_missing_token_gets_decoy(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        deployment.register_victim("v@corp.example", "tok42")
+        result = _human_visit(network, f"https://{deployment.domain}/")
+        assert "under construction" in result.final_response.body
+
+    def test_cloud_scanner_blocked_when_configured(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=True))
+        url = deployment.register_victim("v@corp.example", "tok1")
+        browser = Browser(network, datacenter_scanner_profile(), rng=random.Random(1), timestamp=50.0)
+        result = browser.visit(url)
+        assert "under construction" in result.final_response.body
+
+    def test_credentials_harvested_via_collect(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        url = deployment.register_victim("v@corp.example", "tok9")
+        browser = Browser(network, human_chrome_profile(), rng=random.Random(2), timestamp=50.0)
+        browser.visit(url)
+        # Simulate the victim submitting the form.
+        from repro.web.urls import parse_url
+
+        browser.subrequest("POST", parse_url(f"https://{deployment.domain}/collect"),
+                           body='{"email": "v@corp.example", "password": "hunter2"}')
+        assert deployment.harvested_credentials
+        assert deployment.harvested_credentials[0]["password"] == "hunter2"
+
+    def test_victim_check_gates_on_database(self, network):
+        options = CredentialKitOptions(victim_check_variant="a", block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        url = deployment.register_victim("known@corp.amatravel.example", "tokA")
+        result = _human_visit(network, url)
+        assert result.final_session.elements["content"].get("style").get("display") == "block"
+
+    def test_victim_check_rejects_unknown_email(self, network):
+        import base64
+
+        options = CredentialKitOptions(victim_check_variant="a", block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        deployment.register_victim("known@corp.example", "tokA")
+        encoded = base64.b64encode(b"stranger@other.example").decode()
+        url = f"https://{deployment.domain}/tokA#e={encoded}"
+        result = _human_visit(network, url)
+        # Redirected to the decoy instead of revealing.
+        assert result.url_chain[-1] != url or result.final_session.elements["content"].get("style").get("display") != "block"
+
+    def test_hue_rotate_kit_applies_filter(self, network):
+        options = CredentialKitOptions(hue_rotate=True, block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        url = deployment.register_victim("v@corp.example", "tokH")
+        signals = _human_visit(network, url).final_session.signals()
+        assert signals.hue_rotation_deg == 4.0
+
+    def test_console_hijack_kit(self, network):
+        options = CredentialKitOptions(console_hijack=True, block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        url = deployment.register_victim("v@corp.example", "tokC")
+        assert _human_visit(network, url).final_session.signals().console_hijacked
+
+    def test_ip_exfiltration_reaches_c2(self, network):
+        options = CredentialKitOptions(ip_exfiltration="httpbin+ipapi", block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        url = deployment.register_victim("v@corp.example", "tokE")
+        result = _human_visit(network, url)
+        assert deployment.exfiltrated_client_data
+        exfiltrated = deployment.exfiltrated_client_data[0]
+        assert exfiltrated["ip"] == human_chrome_profile().ip
+        assert "country" in exfiltrated
+        ajax_targets = [call.url for call in result.final_session.ajax_log]
+        assert any("httpbin.org" in u for u in ajax_targets)
+        assert any("ipapi.co" in u for u in ajax_targets)
+
+    def test_turnstile_kit_clears_for_stealth_crawler(self, network):
+        options = CredentialKitOptions(use_turnstile=True, block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        url = deployment.register_victim("v@corp.example", "tokT")
+        crawler = NotABot(network, rng=random.Random(3))
+        result = crawler.crawl_url(url, timestamp=50.0)
+        assert result.final_session.elements["content"].get("style").get("display") == "block"
+
+    def test_otp_gate_page(self, network):
+        options = CredentialKitOptions(otp_gate=True, block_cloud_ips=False, tokenized_urls=False)
+        deployment = _deploy(network, options)
+        result = _human_visit(network, f"https://{deployment.domain}/view")
+        assert "one-time password" in result.final_session.parsed.text.lower()
+
+    def test_mobile_only_kit(self, network):
+        options = CredentialKitOptions(mobile_only=True, tokenized_urls=False, error_on_deny=True, block_cloud_ips=False)
+        deployment = _deploy(network, options)
+        desktop = _human_visit(network, f"https://{deployment.domain}/x")
+        assert desktop.final_response.status >= 400
+        mobile_browser = Browser(network, mobile_phone_profile(), rng=random.Random(4), timestamp=50.0)
+        mobile = mobile_browser.visit(f"https://{deployment.domain}/x")
+        assert mobile.final_response.status == 200
+
+
+class TestLures:
+    def test_link_lure_contains_tokenized_url(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        message = build_credential_lure(
+            deployment, "v@corp.example", "tokL", 10.0, random.Random(1), embed_as="link"
+        )
+        report = EmailParser().parse(message)
+        assert any("tokL" in url for url in report.unique_urls())
+
+    def test_qr_lure_decodes(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        message = build_credential_lure(
+            deployment, "v@corp.example", "tokQ", 10.0, random.Random(2), embed_as="qr"
+        )
+        report = EmailParser().parse(message)
+        assert any("tokQ" in url for url in report.unique_urls())
+        assert report.qr_payloads
+
+    def test_faulty_qr_lure_defeats_strict_parser(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        message = build_credential_lure(
+            deployment, "v@corp.example", "tokF", 10.0, random.Random(3), embed_as="faulty_qr"
+        )
+        assert not any("tokF" in u for u in EmailParser(lenient_qr=False).parse(message).unique_urls())
+        assert any("tokF" in u for u in EmailParser(lenient_qr=True).parse(message).unique_urls())
+
+    def test_pdf_lure_extractable_both_strategies(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        for seed in range(4):  # half carry an embedded QR as well
+            message = build_credential_lure(
+                deployment, "v@corp.example", f"tokp{seed}", 10.0, random.Random(seed),
+                embed_as="pdf",
+            )
+            report = EmailParser().parse(message)
+            assert any(f"tokp{seed}" in url for url in report.unique_urls())
+            methods = {item.method for item in report.urls}
+            assert "pdf-annotation" in methods and "pdf-text" in methods
+
+    def test_image_text_lure_needs_ocr(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        message = build_credential_lure(
+            deployment, "v@corp.example", "toki1", 10.0, random.Random(5), embed_as="image_text"
+        )
+        report = EmailParser().parse(message)
+        ocr_urls = [item.url for item in report.urls if item.method == "ocr"]
+        assert any("toki1" in url for url in ocr_urls)
+        # Without image scanning, the URL is invisible.
+        from repro.mail.message import ContentType
+
+        stripped = [p for p in message.parts if not p.content_type.startswith("image/")]
+        message.parts = stripped
+        assert not EmailParser().parse(message).unique_urls()
+
+    def test_noise_padding(self, network):
+        deployment = _deploy(network, CredentialKitOptions(block_cloud_ips=False))
+        message = build_credential_lure(
+            deployment, "v@corp.example", "tokN", 10.0, random.Random(4), noise_padding=True
+        )
+        assert "\n" * 25 in message.body_text()
+
+
+class TestOtherKits:
+    def test_fraud_message_has_no_urls(self):
+        message = build_fraud_message("v@corp.example", 5.0, random.Random(1))
+        assert EmailParser().parse(message).unique_urls() == []
+        assert "reply" in message.body_text().lower() or "respond" in message.body_text().lower()
+
+    def test_interaction_site_kinds(self, network):
+        for kind in ("dropbox-document", "gdrive-page", "classic-captcha"):
+            domain = f"{kind.replace('-', '')}.example"
+            deploy_interaction_site(network, domain, "185.2.2.2", kind, 0.0)
+            result = _human_visit(network, f"https://{domain}/")
+            assert result.final_response.status == 200
+
+    def test_interaction_message(self):
+        message = build_interaction_message(
+            "v@corp.example", 5.0, "https://share.example/doc", "dropbox-document", random.Random(1)
+        )
+        assert "https://share.example/doc" in EmailParser().parse(message).unique_urls()
+
+    def test_download_site_serves_zip(self, network):
+        deploy_download_site(network, "dl.example", "185.3.3.3", "evil-js.example", 0.0, random.Random(1))
+        result = _human_visit(network, "https://dl.example/x.zip")
+        assert result.final_response.content_type == "application/zip"
+        assert getattr(result.final_response, "archive", None) is not None
+
+    def test_zip_hta_message_parses(self):
+        message = build_zip_hta_message("v@corp.example", 5.0, random.Random(1), "evil-js.example")
+        report = EmailParser().parse(message)
+        assert report.hta_files
+        assert any("evil-js.example" in url for url in report.unique_urls())
+
+    def test_local_html_attachment(self):
+        message = build_html_attachment_message("v@corp.example", 5.0, random.Random(2), local_loading=True)
+        report = EmailParser().parse(message)
+        assert report.html_attachment_paths
+
+    def test_redirect_html_attachment_hides_url_statically(self):
+        message = build_html_attachment_message(
+            "v@corp.example", 5.0, random.Random(3), local_loading=False,
+            landing_url="https://landing.example/token",
+        )
+        report = EmailParser().parse(message)
+        # The landing URL is base64-obfuscated: static parsing misses it.
+        assert "https://landing.example/token" not in report.unique_urls()
+        assert report.html_attachment_paths

@@ -1,0 +1,147 @@
+"""Unit tests for the individual kit script snippets (Section V-C)."""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.profile import datacenter_scanner_profile, human_chrome_profile
+from repro.js import Interpreter
+from repro.kits import scripts
+from repro.web.network import Network
+from repro.web.site import Page, Website
+from repro.web.tls import TLSCertificate
+
+
+def _run_in_page(page_scripts, profile=None, extra_body=""):
+    network = Network()
+    site = Website("snippet.example", ip="2.2.2.2")
+    script_tags = "\n".join(f"<script>{source}</script>" for source in page_scripts)
+    site.add_page(
+        "/",
+        Page(html=f"<html><head>{script_tags}</head><body>{extra_body}</body></html>"),
+    )
+    network.host_website(site)
+    network.issue_certificate(TLSCertificate("snippet.example", "CA", float("-inf"), float("inf")))
+    browser = Browser(network, profile or human_chrome_profile(), rng=random.Random(3))
+    return browser.visit("https://snippet.example/").final_session
+
+
+class TestConsoleHijack:
+    def test_suppresses_logging(self):
+        session = _run_in_page([scripts.console_hijack_script(), "console.log('secret')"])
+        assert session.interp.console_log == []
+        assert session.signals().console_hijacked
+
+    def test_without_hijack_logs_flow(self):
+        session = _run_in_page(["console.log('visible')"])
+        assert ("log", "visible") in session.interp.console_log
+        assert not session.signals().console_hijacked
+
+
+class TestDebuggerTimer:
+    def test_fires_every_timer_round(self):
+        session = _run_in_page([scripts.debugger_timer_script()])
+        signals = session.signals()
+        assert signals.uses_debugger_timer
+        assert signals.debugger_hits >= 1
+
+
+class TestContextMenuBlock:
+    def test_registers_blocking_listeners(self):
+        session = _run_in_page([scripts.context_menu_block_script()])
+        signals = session.signals()
+        assert signals.context_menu_blocked
+        assert signals.devtools_keys_blocked
+
+
+class TestUaTimezoneCloak:
+    def test_reveals_for_human(self):
+        cloak = scripts.ua_timezone_language_cloak(
+            "window.__state = 'revealed';", "https://decoy-landing.example/"
+        )
+        session = _run_in_page([cloak])
+        assert session.window.get("__state") == "revealed"
+
+    def test_redirects_scanner(self):
+        cloak = scripts.ua_timezone_language_cloak(
+            "window.__state = 'revealed';", "https://decoy-landing.example/"
+        )
+        session = _run_in_page([cloak], profile=datacenter_scanner_profile())
+        assert session.window.get("__state") != "revealed"
+        assert session.navigation_target == "https://decoy-landing.example/"
+
+
+class TestFingerprintLibraryGate:
+    def test_human_passes_and_gets_visitor_id(self):
+        gate = scripts.fingerprint_library_gate(
+            "window.__state = 'in';", "https://decoy-landing.example/"
+        )
+        session = _run_in_page([gate])
+        assert session.window.get("__state") == "in"
+        assert session.window.get("__fpjs_visitor_id")
+
+    def test_visitor_id_is_stable_per_profile(self):
+        gate = scripts.fingerprint_library_gate("var x=1;", "https://d.example/")
+        first = _run_in_page([gate]).window.get("__fpjs_visitor_id")
+        second = _run_in_page([gate]).window.get("__fpjs_visitor_id")
+        assert first == second
+
+    def test_scanner_redirected(self):
+        gate = scripts.fingerprint_library_gate(
+            "window.__state = 'in';", "https://decoy-landing.example/"
+        )
+        session = _run_in_page([gate], profile=datacenter_scanner_profile())
+        assert session.navigation_target == "https://decoy-landing.example/"
+
+
+class TestHueRotateScript:
+    def test_is_base64_dropper(self):
+        source = scripts.hue_rotate_head_script(4.0)
+        assert source.startswith("eval(atob(")
+        assert "hue-rotate" not in source  # hidden from static inspection
+
+    def test_applies_filter_dynamically(self):
+        session = _run_in_page([scripts.hue_rotate_head_script(4.0)])
+        assert session.signals().hue_rotation_deg == 4.0
+
+    def test_custom_degrees(self):
+        session = _run_in_page([scripts.hue_rotate_head_script(12.0)])
+        assert session.signals().hue_rotation_deg == 12.0
+
+
+class TestVictimCheckScript:
+    def test_variants_are_distinct_and_deterministic(self):
+        assert scripts.victim_check_script("a") == scripts.victim_check_script("a")
+        assert scripts.victim_check_script("a") != scripts.victim_check_script("b")
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            scripts.victim_check_script("c")
+
+    def test_script_is_obfuscated(self):
+        source = scripts.victim_check_script("a")
+        assert source.startswith("eval(atob(")
+        assert "XMLHttpRequest" not in source  # only visible after decoding
+
+    def test_console_hijack_inside(self):
+        """The shared script hijacks the console, per the paper."""
+        import base64
+        import re
+
+        source = scripts.victim_check_script("a")
+        payload = base64.b64decode(re.search(r'atob\("([^"]+)"\)', source).group(1)).decode("latin-1")
+        assert "console.log = noop" in payload
+        assert "sleep" in payload
+
+
+class TestIpExfiltration:
+    def test_parses_and_runs(self):
+        interp = Interpreter()
+        # Without XHR hosts it fails at runtime, but must parse cleanly.
+        source = scripts.ip_exfiltration_script("/c2/collect", use_ipapi=True)
+        from repro.js.parser import parse
+
+        parse(source)  # no SyntaxError
+        source_plain = scripts.ip_exfiltration_script("/c2/collect", use_ipapi=False)
+        parse(source_plain)

@@ -1,0 +1,218 @@
+"""Mail substrate tests: messages, authentication, recursive parsing."""
+
+import random
+
+import pytest
+
+from repro.imaging.render import render_lines, render_text
+from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
+from repro.mail.auth import DomainMailPolicy, MailAuthDns, evaluate_authentication
+from repro.mail.message import ContentType, EmailMessage, MessagePart
+from repro.mail.parser import EmailParser
+from repro.mail.textscan import extract_urls_from_markup, extract_urls_from_text, normalize_url
+from repro.pdfdoc import PdfDocument, PdfPage
+from repro.qr.encoder import qr_image
+
+
+class TestMessageModel:
+    def test_base64_transfer_encoding(self):
+        part = MessagePart.text("click https://evil.example/x", base64_encode=True)
+        assert "https://" not in part.content  # hidden on the wire
+        assert part.decoded_text() == "click https://evil.example/x"
+
+    def test_body_text_concatenates_text_parts(self):
+        message = EmailMessage()
+        message.add_part(MessagePart.text("one"))
+        message.add_part(MessagePart.html("<p>ignored</p>"))
+        message.add_part(MessagePart.text("two", base64_encode=True))
+        assert message.body_text() == "one\ntwo"
+
+    def test_sender_domain(self):
+        assert EmailMessage(sender="a@B.Example").sender_domain == "b.example"
+
+
+class TestAuthentication:
+    def _dns(self):
+        dns = MailAuthDns()
+        dns.publish(DomainMailPolicy("vendor.example", spf_allowed_ips=frozenset({"1.2.3.4"})))
+        return dns
+
+    def test_all_pass_for_compliant_sender(self):
+        message = EmailMessage(
+            sender="billing@vendor.example", sending_domain="vendor.example",
+            sending_ip="1.2.3.4", dkim_signed=True,
+        )
+        results = evaluate_authentication(message, self._dns())
+        assert results.all_pass
+
+    def test_spf_fails_for_wrong_ip(self):
+        message = EmailMessage(
+            sender="billing@vendor.example", sending_domain="vendor.example",
+            sending_ip="9.9.9.9", dkim_signed=True,
+        )
+        results = evaluate_authentication(message, self._dns())
+        assert results.spf == "fail"
+
+    def test_dkim_fails_without_signature(self):
+        message = EmailMessage(
+            sender="billing@vendor.example", sending_domain="vendor.example",
+            sending_ip="1.2.3.4", dkim_signed=False,
+        )
+        assert evaluate_authentication(message, self._dns()).dkim == "fail"
+
+    def test_dmarc_requires_alignment(self):
+        dns = self._dns()
+        dns.publish(DomainMailPolicy("other.example", spf_allowed_ips=frozenset({"1.2.3.4"})))
+        message = EmailMessage(
+            sender="ceo@vendor.example", sending_domain="other.example",
+            sending_ip="1.2.3.4", dkim_signed=True,
+        )
+        results = evaluate_authentication(message, dns)
+        assert results.spf == "pass"
+        assert results.dmarc == "fail"
+
+    def test_unknown_domain_yields_none(self):
+        message = EmailMessage(sender="x@stranger.example", sending_domain="stranger.example")
+        results = evaluate_authentication(message, self._dns())
+        assert results.spf == "none"
+
+
+class TestTextScan:
+    def test_extracts_and_normalizes(self):
+        urls = extract_urls_from_text("go to HTTPS://Evil.Example/Path now, or http://two.example.")
+        assert urls == ["https://evil.example/Path", "http://two.example"]
+
+    def test_ignores_invalid(self):
+        assert extract_urls_from_text("ftp://x.example and just text") == []
+
+    def test_markup_attributes(self):
+        urls = extract_urls_from_markup('<a href="https://a.example/1">x</a><img src="https://b.example/2"/>')
+        assert urls == ["https://a.example/1", "https://b.example/2"]
+
+    def test_dedup(self):
+        assert len(extract_urls_from_text("https://a.example/x https://a.example/x")) == 1
+
+    def test_normalize_preserves_path_case(self):
+        assert normalize_url("HTTPS://A.Example/CaseSensitive") == "https://a.example/CaseSensitive"
+
+
+class TestRecursiveParsing:
+    def test_text_part(self):
+        message = EmailMessage().add_part(MessagePart.text("visit https://a.example/x"))
+        report = EmailParser().parse(message)
+        assert report.unique_urls() == ["https://a.example/x"]
+        assert report.urls[0].method == "text"
+
+    def test_base64_encoded_body_decoded(self):
+        message = EmailMessage().add_part(MessagePart.text("https://hidden.example/y", base64_encode=True))
+        report = EmailParser().parse(message)
+        assert "https://hidden.example/y" in report.unique_urls()
+
+    def test_naive_parser_misses_base64(self):
+        message = EmailMessage().add_part(MessagePart.text("https://hidden.example/y", base64_encode=True))
+        report = EmailParser(decode_base64_text=False).parse(message)
+        assert report.unique_urls() == []
+
+    def test_html_static_and_queued_for_dynamic(self):
+        message = EmailMessage().add_part(MessagePart.html('<a href="https://h.example/z">z</a>'))
+        report = EmailParser().parse(message)
+        assert report.unique_urls() == ["https://h.example/z"]
+        assert len(report.html_documents) == 1
+
+    def test_html_attachment_flagged(self):
+        message = EmailMessage().add_part(
+            MessagePart(ContentType.HTML, "<html></html>", filename="invoice.html", inline=False)
+        )
+        report = EmailParser().parse(message)
+        assert report.html_attachment_paths == {"part[0]"}
+
+    def test_image_ocr(self):
+        image = render_lines(["PAY NOW AT", "HTTPS://OCR.EXAMPLE/PAY"], scale=2)
+        message = EmailMessage().add_part(MessagePart(ContentType.IMAGE, image))
+        report = EmailParser().parse(message)
+        assert "https://ocr.example/PAY".lower() in [u.lower() for u in report.unique_urls()]
+        assert report.urls[0].method == "ocr"
+
+    def test_image_qr(self):
+        message = EmailMessage().add_part(
+            MessagePart(ContentType.IMAGE, qr_image("https://qr.example/t", scale=3))
+        )
+        report = EmailParser().parse(message)
+        assert "https://qr.example/t" in report.unique_urls()
+        assert report.qr_payloads[0][1] == "https://qr.example/t"
+
+    def test_faulty_qr_lenient_vs_strict(self):
+        message = EmailMessage().add_part(
+            MessagePart(ContentType.IMAGE, qr_image("xxx https://quish.example/1", scale=3))
+        )
+        lenient = EmailParser(lenient_qr=True).parse(message)
+        strict = EmailParser(lenient_qr=False).parse(message)
+        assert "https://quish.example/1" in lenient.unique_urls()
+        assert "https://quish.example/1" not in strict.unique_urls()
+        # Both still observe the payload itself.
+        assert strict.qr_payloads
+
+    def test_pdf_both_strategies(self):
+        pdf = PdfDocument().add_page(
+            PdfPage(
+                text_lines=["INVOICE AT HTTPS://PDF.EXAMPLE/INV"],
+                uri_annotations=["https://annot.example/link"],
+                images=[qr_image("https://pdfqr.example/q", scale=3)],
+            )
+        )
+        message = EmailMessage().add_part(MessagePart(ContentType.PDF, pdf, filename="i.pdf"))
+        report = EmailParser().parse(message)
+        methods = {item.method for item in report.urls}
+        assert {"pdf-annotation", "pdf-text", "ocr", "qr"} <= methods
+        assert "https://pdfqr.example/q" in report.unique_urls()
+
+    def test_zip_recursion(self):
+        archive = ArchiveFile().add("page.html", '<html><a href="https://zip.example/h">x</a></html>')
+        archive.add("note.txt", "see https://txt.example/n")
+        message = EmailMessage().add_part(MessagePart(ContentType.ZIP, archive, filename="a.zip"))
+        report = EmailParser().parse(message)
+        assert {"https://zip.example/h", "https://txt.example/n"} <= set(report.unique_urls())
+
+    def test_hta_recorded_never_executed(self):
+        hta = HtaFile("drop.hta", "https://evil-js.example/payload.js")
+        archive = ArchiveFile().add("drop.hta", hta)
+        message = EmailMessage().add_part(MessagePart(ContentType.ZIP, archive))
+        report = EmailParser().parse(message)
+        assert report.hta_files[0][1].remote_script_url == "https://evil-js.example/payload.js"
+        assert any(item.method == "hta-reference" for item in report.urls)
+
+    def test_eml_recursion(self):
+        inner = EmailMessage().add_part(MessagePart.text("inner https://nested.example/n"))
+        outer = EmailMessage().add_part(MessagePart(ContentType.EML, inner, filename="fwd.eml"))
+        report = EmailParser().parse(outer)
+        assert report.unique_urls() == ["https://nested.example/n"]
+        assert "eml:" in report.urls[0].part_path
+
+    def test_octet_stream_magic_sniffing(self):
+        pdf = PdfDocument().add_page(PdfPage(text_lines=["GO HTTPS://BLOB.EXAMPLE/B"]))
+        blob = FileBlob.wrapping("mystery.bin", pdf)
+        assert blob.sniffed_kind() == "pdf"
+        message = EmailMessage().add_part(MessagePart(ContentType.OCTET_STREAM, blob))
+        report = EmailParser().parse(message)
+        assert "https://blob.example/B".lower() in [u.lower() for u in report.unique_urls()]
+
+    def test_unknown_blob_skipped(self):
+        blob = FileBlob("junk.bin", b"\x00\x01\x02", payload=b"gibberish")
+        message = EmailMessage().add_part(MessagePart(ContentType.OCTET_STREAM, blob))
+        assert EmailParser().parse(message).unique_urls() == []
+
+    def test_deep_nesting(self):
+        leaf = EmailMessage().add_part(MessagePart.text("bottom https://deep.example/d"))
+        archive = ArchiveFile().add("fwd.eml", leaf)
+        inner = EmailMessage().add_part(MessagePart(ContentType.ZIP, archive))
+        outer = EmailMessage().add_part(MessagePart(ContentType.EML, inner))
+        report = EmailParser().parse(outer)
+        assert report.unique_urls() == ["https://deep.example/d"]
+
+    def test_provenance_paths(self):
+        message = EmailMessage()
+        message.add_part(MessagePart.text("https://first.example/1"))
+        message.add_part(MessagePart.text("https://second.example/2"))
+        report = EmailParser().parse(message)
+        assert report.urls[0].part_path == "part[0]"
+        assert report.urls[1].part_path == "part[1]"

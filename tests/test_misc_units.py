@@ -1,0 +1,192 @@
+"""Miscellaneous unit coverage: bit buffers, sessions, world, JS corners."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.js import Interpreter, JSError
+from repro.js.lexer import JSSyntaxError
+from repro.qr.bits import BitBuffer
+
+
+class TestBitBuffer:
+    def test_append_and_pack(self):
+        buffer = BitBuffer()
+        buffer.append_bits(0b1011, 4)
+        buffer.append_bits(0b0001, 4)
+        assert buffer.to_bytes() == [0b10110001]
+
+    def test_partial_byte_zero_padded(self):
+        buffer = BitBuffer()
+        buffer.append_bits(0b101, 3)
+        assert buffer.to_bytes() == [0b10100000]
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            BitBuffer().append_bits(16, 4)
+
+    def test_read_cursor(self):
+        buffer = BitBuffer()
+        buffer.append_bits(0b110101, 6)
+        assert buffer.read_bits(3) == 0b110
+        assert buffer.read_bits(3) == 0b101
+        assert buffer.remaining == 0
+        buffer.rewind()
+        assert buffer.read_bits(6) == 0b110101
+
+    def test_read_past_end(self):
+        buffer = BitBuffer()
+        buffer.append_bit(1)
+        with pytest.raises(ValueError):
+            buffer.read_bits(2)
+
+
+class TestSessionExtras:
+    def _session(self, html):
+        from repro.browser.browser import Browser
+        from repro.browser.profile import human_chrome_profile
+        from repro.web.network import Network
+
+        browser = Browser(Network(), human_chrome_profile(), rng=random.Random(1))
+        return browser.load_local_html(html), browser
+
+    def test_window_open_records_popup(self):
+        session, _ = self._session(
+            "<html><head><script>window.open('https://popup.example/');</script></head><body></body></html>"
+        )
+        assert session.popups == ["https://popup.example/"]
+        assert "https://popup.example/" in session.signals().popups
+
+    def test_document_write_captured(self):
+        session, _ = self._session(
+            "<html><head><script>document.write('<b>injected</b>');</script></head><body></body></html>"
+        )
+        assert session.document_writes == ["<b>injected</b>"]
+
+    def test_local_storage_persists_across_pages(self):
+        from repro.browser.browser import Browser
+        from repro.browser.profile import human_chrome_profile
+        from repro.web.network import Network
+        from repro.web.site import Page, Website
+        from repro.web.tls import TLSCertificate
+
+        network = Network()
+        site = Website("store.example", ip="3.3.3.3")
+        site.add_page("/a", Page(html="<html><head><script>localStorage.setItem('k', 'v1');</script></head><body></body></html>"))
+        site.add_page("/b", Page(html="<html><head><script>window.__got = localStorage.getItem('k');</script></head><body></body></html>"))
+        network.host_website(site)
+        network.issue_certificate(TLSCertificate("store.example", "CA", float("-inf"), float("inf")))
+        browser = Browser(network, human_chrome_profile(), rng=random.Random(2))
+        browser.visit("https://store.example/a")
+        result = browser.visit("https://store.example/b")
+        assert result.final_session.window.get("__got") == "v1"
+
+    def test_create_element_and_append(self):
+        session, _ = self._session(
+            """<html><head><script>
+            var node = document.createElement('script');
+            node.src = 'https://cdn.example/x.js';
+            document.head.appendChild(node);
+            </script></head><body></body></html>"""
+        )
+        assert session.appended_nodes
+        assert session.appended_nodes[0].get("src") == "https://cdn.example/x.js"
+
+
+class TestWorldHelpers:
+    def test_publish_sender_merges_ips(self):
+        from repro.dataset.world import World
+
+        world = World(seed=3)
+        world.publish_sender("sender.example", "1.1.1.1")
+        world.publish_sender("sender.example", "2.2.2.2")
+        policy = world.mail_dns.lookup("sender.example")
+        assert policy.spf_allowed_ips == frozenset({"1.1.1.1", "2.2.2.2"})
+
+    def test_world_hosts_shared_services(self):
+        from repro.dataset.world import World
+
+        world = World(seed=4)
+        for domain in ("httpbin.org", "ipapi.co", "decoy-landing.example", "gyazo-cdn.example"):
+            assert world.network.website(domain) is not None
+
+
+class TestJsCorners:
+    def test_switch_default_only(self):
+        assert Interpreter().run("var r; switch (5) { default: r = 'd'; } r") == "d"
+
+    def test_nested_template_expressions(self):
+        assert Interpreter().run("var a = 2; `x${a + 1}y${'z'}`") == "x3yz"
+
+    def test_object_define_property(self):
+        source = "var o = {}; Object.defineProperty(o, 'k', {value: 7}); o.k"
+        assert Interpreter().run(source) == 7.0
+
+    def test_object_entries(self):
+        assert Interpreter().run("Object.entries({a: 1})[0][0]") == "a"
+
+    def test_for_without_clauses_bounded_by_budget(self):
+        from repro.js import JSTimeoutError
+
+        with pytest.raises(JSTimeoutError):
+            Interpreter(step_limit=5000).run("for (;;) {}")
+
+    def test_string_conversion_function(self):
+        assert Interpreter().run("String(42)") == "42"
+        assert Interpreter().run("String(true)") == "true"
+        assert Interpreter().run("String([1,2])") == "1,2"
+
+    def test_uncaught_throw_is_jserror(self):
+        with pytest.raises(JSError, match="Uncaught boom"):
+            Interpreter().run("throw 'boom';")
+
+    def test_throw_object_message(self):
+        with pytest.raises(JSError, match="Uncaught"):
+            Interpreter().run("throw new Error('kaput');")
+
+    def test_catch_rethrow(self):
+        with pytest.raises(JSError):
+            Interpreter().run("try { throw 'x'; } catch (e) { throw e; }")
+
+    def test_sequence_expression(self):
+        assert Interpreter().run("var a = (1, 2, 3); a") == 3.0
+
+    def test_nan_propagation(self):
+        assert math.isnan(Interpreter().run("undefined + 1"))
+
+    # Regressions found by fuzzing:
+    def test_dangling_exponent_is_syntax_error(self):
+        with pytest.raises(JSSyntaxError):
+            Interpreter().run("var x = 1e;")
+
+    def test_valid_exponents_still_work(self):
+        assert Interpreter().run("1e3") == 1000.0
+        assert Interpreter().run("2.5e-2") == 0.025
+
+    def test_top_level_return_is_js_error(self):
+        with pytest.raises(JSError):
+            Interpreter().run("return 5;")
+
+    def test_stray_break_is_js_error(self):
+        with pytest.raises(JSError):
+            Interpreter().run("break;")
+
+
+_FUZZ_SOURCE = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=0, max_size=60
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(source=_FUZZ_SOURCE)
+def test_js_engine_never_crashes_unexpectedly(source):
+    """Arbitrary input yields a value, a JS-level error, or a syntax error
+    — never an internal Python exception leaking out."""
+    interp = Interpreter(step_limit=20_000)
+    try:
+        interp.run(source)
+    except (JSError, JSSyntaxError, SyntaxError, RecursionError):
+        pass

@@ -1,0 +1,102 @@
+"""PDF substrate and enrichment-source tests."""
+
+import pytest
+
+from repro.enrichment.enricher import Enricher
+from repro.enrichment.shodan import ServiceBanner, ShodanDatabase
+from repro.enrichment.umbrella import PassiveDnsDatabase
+from repro.imaging.ocr import ocr_image
+from repro.pdfdoc import PdfDocument, PdfPage
+from repro.web.network import Network
+from repro.web.tls import TLSCertificate
+from repro.web.whois import WhoisRecord
+
+
+class TestPdfDocument:
+    def test_text_and_annotations(self):
+        document = PdfDocument(title="Invoice")
+        document.add_page(PdfPage(text_lines=["LINE ONE"], uri_annotations=["https://a.example/1"]))
+        document.add_page(PdfPage(text_lines=["LINE TWO"], uri_annotations=["https://b.example/2"]))
+        assert document.all_text() == "LINE ONE\nLINE TWO"
+        assert document.all_uri_annotations() == ["https://a.example/1", "https://b.example/2"]
+
+    def test_rasterized_page_is_ocr_readable(self):
+        page = PdfPage(text_lines=["PAY AT HTTPS://PDF.EXAMPLE/X"])
+        raster = page.rasterize(scale=2)
+        assert "HTTPS://PDF.EXAMPLE/X" in ocr_image(raster).text
+
+    def test_raster_includes_images(self):
+        from repro.imaging.image import Image
+
+        page = PdfPage(text_lines=["HEADER"], images=[Image.new(40, 40, (0, 0, 0))])
+        raster = page.rasterize()
+        assert raster.height > 40
+
+    def test_magic_bytes(self):
+        assert PdfDocument().magic_bytes == b"%PDF-"
+
+
+class TestPassiveDns:
+    def test_volume_window(self):
+        db = PassiveDnsDatabase()
+        db.record_volume("evil.example", day=10, queries=40)
+        db.record_volume("evil.example", day=11, queries=10)
+        db.record_volume("evil.example", day=50, queries=999)  # outside window
+        stats = db.volume_stats("evil.example", before_hour=12 * 24.0, window_days=30)
+        assert stats.total == 50
+        assert stats.max_daily == 40
+
+    def test_unknown_domain(self):
+        db = PassiveDnsDatabase()
+        stats = db.volume_stats("ghost.example", before_hour=100.0)
+        assert stats.total == 0 and stats.max_daily == 0
+        assert not db.knows("ghost.example")
+
+    def test_ingest_resolver_log(self):
+        db = PassiveDnsDatabase()
+        db.ingest_resolver_log([(25.0, "a.example"), (26.0, "a.example"), (30.0, "b.example")])
+        stats = db.volume_stats("a.example", before_hour=48.0, window_days=2)
+        assert stats.total == 2
+
+
+class TestShodan:
+    def test_banners(self):
+        db = ShodanDatabase()
+        db.add_https_host("1.2.3.4", server_software="nginx/1.24")
+        banners = db.lookup("1.2.3.4")
+        assert len(banners) == 2
+        assert any(b.port == 443 for b in banners)
+        assert db.lookup("9.9.9.9") == []
+
+
+class TestEnricher:
+    def test_full_join(self):
+        network = Network()
+        network.whois.register(WhoisRecord("evil.example", "NameCheap", created=100.0, expires=9999.0))
+        network.ct_log.submit(TLSCertificate("evil.example", "LE", 400.0, 9000.0))
+        passive = PassiveDnsDatabase()
+        passive.record_volume("evil.example", day=20, queries=42)
+        shodan = ShodanDatabase()
+        shodan.add_https_host("5.5.5.5")
+        enricher = Enricher(network, passive, shodan)
+        record = enricher.enrich("evil.example", at_time=600.0, server_ip="5.5.5.5")
+        assert record.whois.registrar == "NameCheap"
+        assert record.first_cert_issued_at == 400.0
+        assert record.dns_volumes.total == 42
+        assert len(record.shodan_banners) == 2
+
+    def test_subdomain_falls_back_to_registrable(self):
+        network = Network()
+        network.whois.register(WhoisRecord("evil.example", "GoDaddy", created=10.0, expires=9999.0))
+        network.ct_log.submit(TLSCertificate("evil.example", "LE", 20.0, 9000.0, sans=("*.evil.example",)))
+        enricher = Enricher(network)
+        record = enricher.enrich("login.evil.example", at_time=100.0)
+        assert record.registrable_domain == "evil.example"
+        assert record.whois is not None
+        assert record.first_cert_issued_at == 20.0
+
+    def test_unknown_domain_graceful(self):
+        record = Enricher(Network()).enrich("mystery.example", at_time=5.0)
+        assert record.whois is None
+        assert record.first_cert_issued_at is None
+        assert record.dns_volumes is None

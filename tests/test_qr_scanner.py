@@ -1,0 +1,152 @@
+"""Locator + payload-extraction tests, including the faulty-QR bug."""
+
+import random
+
+import pytest
+
+from repro.imaging.effects import add_gaussian_noise
+from repro.imaging.image import Image
+from repro.imaging.render import render_lines
+from repro.qr.encoder import qr_image
+from repro.qr.locator import QRLocateError, locate_qr_matrix
+from repro.qr.scanner import (
+    decode_qr_image,
+    extract_url_lenient,
+    extract_url_strict,
+    scan_image_for_urls,
+)
+from repro.qr.tables import ECLevel
+
+
+class TestLocator:
+    def test_locate_plain_symbol(self):
+        image = qr_image("LOCATE ME", scale=4)
+        assert decode_qr_image(image) == "LOCATE ME"
+
+    @pytest.mark.parametrize("scale", [2, 3, 5, 7])
+    def test_various_scales(self, scale):
+        image = qr_image("SCALE", scale=scale)
+        assert decode_qr_image(image) == "SCALE"
+
+    def test_embedded_with_offset(self):
+        symbol = qr_image("OFFSET", scale=3)
+        canvas = Image.new(400, 300)
+        canvas.paste(symbol, 211, 87)
+        assert decode_qr_image(canvas) == "OFFSET"
+
+    def test_embedded_next_to_text(self):
+        symbol = qr_image("WITH TEXT", scale=3)
+        text = render_lines(["SCAN THE CODE BELOW", "TO RE-ENROLL MFA"], scale=2)
+        canvas = Image.new(max(text.width, symbol.width) + 20, text.height + symbol.height + 30)
+        canvas.paste(text, 10, 5)
+        canvas.paste(symbol, 10, text.height + 15)
+        assert decode_qr_image(canvas) == "WITH TEXT"
+
+    def test_noisy_symbol(self):
+        image = qr_image("NOISY", scale=4)
+        noisy = add_gaussian_noise(image, 30.0, random.Random(8))
+        assert decode_qr_image(noisy) == "NOISY"
+
+    def test_data_region_finder_mimics(self):
+        """Regression: a data region forming a 1:1:3:1:1 run must not
+        contaminate a real finder's centre estimate (grid drift)."""
+        payload = "https://secure-auth-webmail.io/t000239ae1c"
+        image = qr_image(payload, ec_level=ECLevel.L, scale=3)
+        assert decode_qr_image(image) == payload
+
+    def test_scale_one_symbols(self):
+        payload = "https://tiny.example/1px"
+        assert decode_qr_image(qr_image(payload, scale=1)) == payload
+
+    def test_random_payload_sweep(self):
+        import string
+
+        rng = random.Random(42)
+        for _ in range(40):
+            length = rng.randint(5, 100)
+            payload = "".join(
+                rng.choice(string.ascii_letters + string.digits + ":/.#?=-_ ")
+                for _ in range(length)
+            )
+            level = rng.choice(list(ECLevel))
+            scale = rng.choice([2, 3, 4])
+            try:
+                image = qr_image(payload, ec_level=level, scale=scale)
+            except Exception:
+                continue
+            assert decode_qr_image(image) == payload, (length, level, scale)
+
+    def test_blank_image_raises(self):
+        with pytest.raises(QRLocateError):
+            locate_qr_matrix(Image.new(100, 100))
+
+    def test_text_only_image_raises(self):
+        with pytest.raises(QRLocateError):
+            locate_qr_matrix(render_lines(["JUST SOME TEXT", "NO CODE HERE"], scale=2))
+
+
+class TestStrictExtraction:
+    """The email-filter behaviour: the payload must BE a URL."""
+
+    def test_valid_url_accepted(self):
+        assert extract_url_strict("https://evil.com/a?b=1#f") == "https://evil.com/a?b=1#f"
+
+    def test_http_accepted(self):
+        assert extract_url_strict("http://evil.com/") == "http://evil.com/"
+
+    def test_whitespace_trimmed(self):
+        assert extract_url_strict("  https://evil.com/  ") == "https://evil.com/"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "xxx https://evil.com/",
+            "[https://evil.com/",
+            "** https://evil.com/t/1",
+            "qr:https://evil.com/x",
+            "https://evil.com/a https://other.com/b",
+            "not a url at all",
+            "ftp://evil.com/",
+        ],
+    )
+    def test_faulty_payloads_rejected(self, payload):
+        assert extract_url_strict(payload) is None
+
+
+class TestLenientExtraction:
+    """The mobile-camera behaviour: carve the URL out of garbage."""
+
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            ("xxx https://evil.com/", "https://evil.com/"),
+            ("[https://evil.com/t", "https://evil.com/t"),
+            ("scan me: HTTPS://EVIL.COM/T", "HTTPS://EVIL.COM/T"),
+            ("https://evil.com/a.", "https://evil.com/a"),
+            ("https://clean.example/x", "https://clean.example/x"),
+        ],
+    )
+    def test_carves_url(self, payload, expected):
+        assert extract_url_lenient(payload) == expected
+
+    def test_no_url_returns_none(self):
+        assert extract_url_lenient("nothing here") is None
+
+
+class TestFaultyQrBug:
+    """The exploited mismatch: filters reject, mobile cameras extract."""
+
+    @pytest.mark.parametrize("prefix", ["xxx ", "[", "** ", ")) "])
+    def test_divergence_end_to_end(self, prefix):
+        payload = prefix + "https://evil-site.com/dhfYWfH"
+        image = qr_image(payload, ec_level=ECLevel.L, scale=3)
+        assert scan_image_for_urls(image, lenient=False) == []
+        assert scan_image_for_urls(image, lenient=True) == ["https://evil-site.com/dhfYWfH"]
+
+    def test_clean_payload_both_extract(self):
+        image = qr_image("https://evil-site.com/x", scale=3)
+        assert scan_image_for_urls(image, lenient=False) == ["https://evil-site.com/x"]
+        assert scan_image_for_urls(image, lenient=True) == ["https://evil-site.com/x"]
+
+    def test_undecodable_image_returns_empty(self):
+        assert scan_image_for_urls(Image.new(60, 60)) == []

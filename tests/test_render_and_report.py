@@ -1,0 +1,81 @@
+"""Tests for page rendering (visual specs) and key-findings reporting."""
+
+import pytest
+
+from repro.browser.render import render_visual
+from repro.core.outcomes import MessageCategory
+from repro.core.report import summarize
+from repro.imaging.phash import dhash, hamming_distance, phash
+from repro.kits.brands import COMMODITY_BRANDS, COMPANY_BRANDS, brand_by_name
+from repro.web.site import VisualSpec, benign_decoy_page
+
+
+class TestRenderVisual:
+    def test_deterministic(self):
+        spec = COMPANY_BRANDS[0].spec
+        assert render_visual(spec) == render_visual(spec)
+
+    def test_layout_variants_differ_structurally(self):
+        base = VisualSpec(brand="X", title="Sign in", layout_variant=0)
+        shifted = VisualSpec(brand="X", title="Sign in", layout_variant=5)
+        a, b = render_visual(base), render_visual(shifted)
+        assert hamming_distance(phash(a), phash(b)) + hamming_distance(dhash(a), dhash(b)) > 8
+
+    def test_all_brand_pairs_are_separable(self):
+        """No two portals hash within the classifier threshold of each other."""
+        brands = list(COMPANY_BRANDS) + [brand for brand, _ in COMMODITY_BRANDS]
+        renders = [(brand.name, render_visual(brand.spec)) for brand in brands]
+        for i, (name_a, image_a) in enumerate(renders):
+            for name_b, image_b in renders[i + 1 :]:
+                p_distance = hamming_distance(phash(image_a), phash(image_b))
+                d_distance = hamming_distance(dhash(image_a), dhash(image_b))
+                assert max(p_distance, d_distance) > 10, (name_a, name_b)
+
+    def test_overlay_text_changes_pixels_not_hash_class(self):
+        spec = COMPANY_BRANDS[0].spec
+        plain = render_visual(spec)
+        stamped = render_visual(spec, overlay_text="victim@corp.example")
+        assert plain != stamped
+        assert hamming_distance(phash(plain), phash(stamped)) <= 10
+
+    def test_hue_rotation_in_spec(self):
+        spec = COMPANY_BRANDS[0].spec.with_hue_rotation(4.0)
+        rotated = render_visual(spec)
+        plain = render_visual(COMPANY_BRANDS[0].spec)
+        assert rotated != plain
+        assert hamming_distance(phash(rotated), phash(plain)) <= 2
+
+    def test_logo_text_rendered(self):
+        with_logo = render_visual(VisualSpec(brand="B", logo_text="BRAND"))
+        without = render_visual(VisualSpec(brand="B"))
+        assert with_logo != without
+
+    def test_decoy_page_renders(self):
+        page = benign_decoy_page("Nothing here")
+        image = render_visual(page.visual)
+        assert image.width > 0
+
+    def test_brand_lookup(self):
+        assert brand_by_name("Amatravel").login_domain == "login.amatravel.example"
+        assert brand_by_name("DocuSign").name == "DocuSign"
+        with pytest.raises(KeyError):
+            brand_by_name("Nonexistent Corp")
+
+
+class TestKeyFindings:
+    def test_summary_over_analyzed_corpus(self, analyzed_records):
+        findings = summarize(analyzed_records)
+        assert findings.total_messages == len(analyzed_records)
+        assert findings.spear_fraction_of_active > 0.5
+        assert findings.distinct_landing_domains > 0
+        assert findings.qr_messages >= findings.faulty_qr_messages >= 1
+        assert findings.local_login_form_messages >= 1
+
+    def test_category_fraction_empty(self):
+        findings = summarize([])
+        assert findings.category_fraction(MessageCategory.ACTIVE_PHISHING) == 0.0
+        assert findings.spear_fraction_of_active == 0.0
+
+    def test_hotlink_subset_of_spear(self, analyzed_records):
+        findings = summarize(analyzed_records)
+        assert 0 < findings.hotlink_spear_messages <= findings.spear_messages

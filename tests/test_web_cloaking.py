@@ -1,0 +1,115 @@
+"""Server-side cloaking guard tests (Section III-B.2)."""
+
+import pytest
+
+from repro.web.cloaking import (
+    ActivationWindowGuard,
+    GeoGuard,
+    IPBlocklistGuard,
+    TokenGuard,
+    UserAgentGuard,
+)
+from repro.web.context import ClientContext, IP_DATACENTER, IP_MOBILE
+from repro.web.http import HttpRequest
+
+
+def _request(url="https://evil.example/tok123", user_agent="", timestamp=0.0):
+    request = HttpRequest.get(url, timestamp=timestamp)
+    if user_agent:
+        request.headers.set("User-Agent", user_agent)
+    return request
+
+
+class TestActivationWindow:
+    def test_denies_before_activation(self):
+        guard = ActivationWindowGuard(activate_at=100.0)
+        assert not guard.evaluate(_request(timestamp=50.0), ClientContext()).allowed
+
+    def test_allows_inside_window(self):
+        guard = ActivationWindowGuard(activate_at=100.0, deactivate_at=200.0)
+        assert guard.evaluate(_request(timestamp=150.0), ClientContext()).allowed
+
+    def test_denies_after_deactivation(self):
+        guard = ActivationWindowGuard(activate_at=100.0, deactivate_at=200.0)
+        assert not guard.evaluate(_request(timestamp=250.0), ClientContext()).allowed
+
+
+class TestUserAgentGuard:
+    def test_mobile_only_blocks_desktop(self):
+        guard = UserAgentGuard.mobile_only()
+        desktop = _request(user_agent="Mozilla/5.0 (Windows NT 10.0) Chrome/120")
+        mobile = _request(user_agent="Mozilla/5.0 (iPhone; CPU iPhone OS 17_0) Mobile Safari")
+        assert not guard.evaluate(desktop, ClientContext()).allowed
+        assert guard.evaluate(mobile, ClientContext()).allowed
+
+    def test_block_substrings(self):
+        guard = UserAgentGuard(block_substrings=("HeadlessChrome",))
+        headless = _request(user_agent="HeadlessChrome/120")
+        assert not guard.evaluate(headless, ClientContext()).allowed
+
+    def test_no_constraints_allows(self):
+        assert UserAgentGuard().evaluate(_request(user_agent="anything"), ClientContext()).allowed
+
+
+class TestIPBlocklistGuard:
+    def test_blocks_known_scanner(self):
+        guard = IPBlocklistGuard()
+        context = ClientContext(ip="52.1.2.3", known_scanner=True)
+        assert not guard.evaluate(_request(), context).allowed
+
+    def test_blocks_explicit_ip(self):
+        guard = IPBlocklistGuard(blocked_ips=frozenset({"9.9.9.9"}))
+        request = _request()
+        request.client_ip = "9.9.9.9"
+        assert not guard.evaluate(request, ClientContext()).allowed
+
+    def test_blocks_cloud_types(self):
+        guard = IPBlocklistGuard(block_cloud=True)
+        assert not guard.evaluate(_request(), ClientContext(ip_type=IP_DATACENTER)).allowed
+        assert guard.evaluate(_request(), ClientContext(ip_type=IP_MOBILE)).allowed
+
+    def test_cloud_allowed_when_disabled(self):
+        guard = IPBlocklistGuard(block_cloud=False)
+        assert guard.evaluate(_request(), ClientContext(ip_type=IP_DATACENTER)).allowed
+
+
+class TestGeoGuard:
+    def test_country_filter(self):
+        guard = GeoGuard(("BR", "IN"))
+        assert guard.evaluate(_request(), ClientContext(country="br")).allowed
+        assert not guard.evaluate(_request(), ClientContext(country="FR")).allowed
+
+
+class TestTokenGuard:
+    def test_path_token_flow(self):
+        guard = TokenGuard()
+        guard.issue("dhfYWfH", "victim@corp.example")
+        good = _request("https://evil.example/dhfYWfH")
+        assert guard.evaluate(good, ClientContext()).allowed
+        assert guard.token_owner["dhfYWfH"] == "victim@corp.example"
+
+    def test_unknown_token_denied(self):
+        guard = TokenGuard()
+        guard.issue("valid")
+        assert not guard.evaluate(_request("https://evil.example/other"), ClientContext()).allowed
+
+    def test_disabled_token_denied(self):
+        """"Attackers can disable individual tokens"."""
+        guard = TokenGuard()
+        guard.issue("one-shot")
+        request = _request("https://evil.example/one-shot")
+        assert guard.evaluate(request, ClientContext()).allowed
+        guard.disable("one-shot")
+        assert not guard.evaluate(request, ClientContext()).allowed
+
+    def test_query_parameter_token(self):
+        guard = TokenGuard(parameter="t")
+        guard.issue("abc")
+        assert guard.evaluate(_request("https://evil.example/page?t=abc"), ClientContext()).allowed
+        assert not guard.evaluate(_request("https://evil.example/page?t=zzz"), ClientContext()).allowed
+        assert not guard.evaluate(_request("https://evil.example/page"), ClientContext()).allowed
+
+    def test_no_token_in_bare_path(self):
+        guard = TokenGuard()
+        guard.issue("x")
+        assert not guard.evaluate(_request("https://evil.example/"), ClientContext()).allowed

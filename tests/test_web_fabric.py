@@ -1,0 +1,178 @@
+"""Network fabric tests: HTTP, DNS, TLS, WHOIS, dispatch."""
+
+import pytest
+
+from repro.web.context import ClientContext
+from repro.web.dns import DnsResolver, NxDomainError
+from repro.web.http import Headers, HttpRequest, HttpResponse
+from repro.web.network import ConnectionFailed, Network, TLSValidationError
+from repro.web.site import Page, Website, benign_decoy_page
+from repro.web.tls import CertificateTransparencyLog, TLSCertificate
+from repro.web.whois import WhoisRecord, WhoisRegistry
+
+
+class TestHeaders:
+    def test_case_insensitive(self):
+        headers = Headers({"User-Agent": "x"})
+        assert headers.get("user-agent") == "x"
+        assert "USER-AGENT" in headers
+
+    def test_set_overwrites(self):
+        headers = Headers()
+        headers.set("X-Test", "1")
+        headers.set("x-test", "2")
+        assert headers.get("X-Test") == "2"
+        assert len(headers.items()) == 1
+
+    def test_copy_is_independent(self):
+        headers = Headers({"A": "1"})
+        clone = headers.copy()
+        clone.set("A", "2")
+        assert headers.get("A") == "1"
+
+
+class TestHttpTypes:
+    def test_request_get_helper(self):
+        request = HttpRequest.get("https://a.example/x?q=1")
+        assert request.method == "GET"
+        assert request.url.host == "a.example"
+
+    def test_redirect_response(self):
+        response = HttpResponse.redirect("https://b.example/")
+        assert response.is_redirect
+        assert response.location == "https://b.example/"
+
+    def test_plain_200_is_not_redirect(self):
+        assert not HttpResponse(status=200).is_redirect
+
+
+class TestDns:
+    def test_resolve_and_log(self):
+        resolver = DnsResolver()
+        resolver.add_record("a.example", "1.2.3.4")
+        assert resolver.resolve("A.EXAMPLE", timestamp=5.0) == "1.2.3.4"
+        assert resolver.query_log == [(5.0, "a.example")]
+
+    def test_nxdomain(self):
+        with pytest.raises(NxDomainError):
+            DnsResolver().resolve("missing.example")
+
+    def test_time_windowed_records(self):
+        resolver = DnsResolver()
+        resolver.add_record("a.example", "1.1.1.1", active_from=10.0, active_until=20.0)
+        with pytest.raises(NxDomainError):
+            resolver.resolve("a.example", timestamp=5.0)
+        assert resolver.resolve("a.example", timestamp=15.0) == "1.1.1.1"
+        with pytest.raises(NxDomainError):
+            resolver.resolve("a.example", timestamp=25.0)
+
+    def test_queries_for(self):
+        resolver = DnsResolver()
+        resolver.add_record("a.example", "1.1.1.1")
+        resolver.resolve("a.example", timestamp=1.0)
+        resolver.resolve("a.example", timestamp=2.0)
+        assert resolver.queries_for("a.example") == [1.0, 2.0]
+
+
+class TestTls:
+    def test_covers_exact_and_wildcard(self):
+        cert = TLSCertificate("evil.com", "CA", 0.0, 100.0, sans=("*.evil.com",))
+        assert cert.covers("evil.com")
+        assert cert.covers("login.evil.com")
+        assert not cert.covers("deep.login.evil.com")
+        assert not cert.covers("other.com")
+
+    def test_validity_window(self):
+        cert = TLSCertificate("a.com", "CA", 10.0, 20.0)
+        assert not cert.valid_at(5.0)
+        assert cert.valid_at(15.0)
+        assert not cert.valid_at(25.0)
+
+    def test_ct_log_earliest(self):
+        log = CertificateTransparencyLog()
+        log.submit(TLSCertificate("a.com", "CA", 50.0, 100.0))
+        log.submit(TLSCertificate("a.com", "CA", 10.0, 60.0))
+        assert log.earliest_issuance("a.com") == 10.0
+        assert log.earliest_issuance("other.com") is None
+
+    def test_fingerprint_stable(self):
+        a = TLSCertificate("a.com", "CA", 0.0, 1.0)
+        b = TLSCertificate("a.com", "CA", 0.0, 1.0)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestWhois:
+    def test_register_lookup(self):
+        registry = WhoisRegistry()
+        registry.register(WhoisRecord("evil.com", "NameCheap", created=100.0, expires=9000.0))
+        record = registry.lookup("EVIL.COM")
+        assert record is not None and record.registrar == "NameCheap"
+        assert record.age_at(124.0) == 24.0
+
+    def test_missing_domain(self):
+        assert WhoisRegistry().lookup("none.example") is None
+
+
+class TestNetworkDispatch:
+    def _network_with_site(self):
+        network = Network()
+        site = Website("a.example", ip="9.9.9.9")
+        site.add_page("/", Page(html="<html><body>home</body></html>"))
+        network.host_website(site)
+        network.issue_certificate(TLSCertificate("a.example", "CA", 0.0, 1000.0))
+        return network
+
+    def test_basic_request(self):
+        network = self._network_with_site()
+        response = network.request(HttpRequest.get("https://a.example/", timestamp=5.0), ClientContext())
+        assert response.status == 200 and "home" in response.body
+
+    def test_unknown_path_404(self):
+        network = self._network_with_site()
+        response = network.request(HttpRequest.get("https://a.example/missing", timestamp=5.0), ClientContext())
+        assert response.status == 404
+
+    def test_nxdomain_raises(self):
+        network = self._network_with_site()
+        with pytest.raises(NxDomainError):
+            network.request(HttpRequest.get("https://other.example/"), ClientContext())
+
+    def test_take_down_leaves_dns(self):
+        network = self._network_with_site()
+        network.take_down("a.example")
+        with pytest.raises(ConnectionFailed):
+            network.request(HttpRequest.get("https://a.example/", timestamp=5.0), ClientContext())
+
+    def test_expired_certificate(self):
+        network = self._network_with_site()
+        with pytest.raises(TLSValidationError):
+            network.request(HttpRequest.get("https://a.example/", timestamp=5000.0), ClientContext())
+
+    def test_http_skips_tls_validation(self):
+        network = self._network_with_site()
+        response = network.request(HttpRequest.get("http://a.example/", timestamp=5000.0), ClientContext())
+        assert response.status == 200
+
+    def test_ip_services(self):
+        network = Network()
+        network.install_ip_services()
+        context = ClientContext(ip="5.6.7.8", country="DE", asn="AS111")
+        response = network.request(HttpRequest.get("https://httpbin.org/ip"), context)
+        assert '"origin": "5.6.7.8"' in response.body
+        enriched = network.request(HttpRequest.get("https://ipapi.co/json"), context)
+        assert '"country": "DE"' in enriched.body
+
+    def test_access_log_records_decoy(self):
+        network = Network()
+        site = Website("guarded.example", ip="8.8.8.8")
+        from repro.web.cloaking import UserAgentGuard
+
+        page = Page(html="<html><body>secret</body></html>", guards=[UserAgentGuard.mobile_only()], decoy=benign_decoy_page())
+        site.add_page("/", page)
+        network.host_website(site)
+        network.issue_certificate(TLSCertificate("guarded.example", "CA", 0.0, 1000.0))
+        request = HttpRequest.get("https://guarded.example/", timestamp=1.0)
+        request.headers.set("User-Agent", "DesktopBot/1.0")
+        response = network.request(request, ClientContext())
+        assert "secret" not in response.body
+        assert site.access_log[0].served_decoy

@@ -1,0 +1,99 @@
+"""URL parsing and domain helper tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.web.urls import (
+    ParsedUrl,
+    UrlError,
+    is_punycode,
+    is_valid_url,
+    parse_url,
+    registered_domain,
+    top_level_domain,
+)
+
+
+class TestParseUrl:
+    def test_basic(self):
+        url = parse_url("https://login.evil-site.com/path?a=1&b=2#frag")
+        assert url.scheme == "https"
+        assert url.host == "login.evil-site.com"
+        assert url.port == 443
+        assert url.path == "/path"
+        assert url.query == "a=1&b=2"
+        assert url.fragment == "frag"
+        assert url.query_params == (("a", "1"), ("b", "2"))
+
+    def test_default_ports(self):
+        assert parse_url("http://a.example/").port == 80
+        assert parse_url("https://a.example/").port == 443
+        assert parse_url("https://a.example:8443/").port == 8443
+
+    def test_origin(self):
+        assert parse_url("https://a.example/x").origin == "https://a.example"
+        assert parse_url("https://a.example:444/x").origin == "https://a.example:444"
+
+    def test_missing_path_becomes_slash(self):
+        assert parse_url("https://a.example").path == "/"
+
+    def test_host_lowercased(self):
+        assert parse_url("https://EVIL.Example/A").host == "evil.example"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["ftp://a.example/", "not a url", "https://", "http:///path", "https://bad..host/"],
+    )
+    def test_invalid_urls(self, bad):
+        with pytest.raises(UrlError):
+            parse_url(bad)
+        assert not is_valid_url(bad)
+
+    def test_with_path(self):
+        url = parse_url("https://a.example/x").with_path("/y?z=1")
+        assert url.path == "/y"
+        assert url.query == "z=1"
+
+
+class TestRegisteredDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("evil-site.com", "evil-site.com"),
+            ("login.portal.evil-site.com", "evil-site.com"),
+            ("a.co.uk", "a.co.uk"),
+            ("login.a.co.uk", "a.co.uk"),
+            ("tenant.workers.dev", "tenant.workers.dev"),
+            ("deep.tenant.workers.dev", "tenant.workers.dev"),
+            ("phish.vercel.app", "phish.vercel.app"),
+            ("x.y.cloudfront.net", "y.cloudfront.net"),
+            ("single", "single"),
+        ],
+    )
+    def test_cases(self, host, expected):
+        assert registered_domain(host) == expected
+
+
+class TestTld:
+    def test_tld_extraction(self):
+        assert top_level_domain("evil.com") == ".com"
+        assert top_level_domain("a.b.ru") == ".ru"
+        assert top_level_domain("localhost") == ".localhost"
+
+    def test_punycode_detection(self):
+        assert is_punycode("xn--mazon-wqa.com")
+        assert is_punycode("login.xn--80ak6aa92e.com")
+        assert not is_punycode("amazon.com")
+
+
+_LABEL = st.from_regex(r"[a-z][a-z0-9\-]{0,10}[a-z0-9]", fullmatch=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labels=st.lists(_LABEL, min_size=2, max_size=4), scheme=st.sampled_from(["http", "https"]))
+def test_parse_url_roundtrip_property(labels, scheme):
+    host = ".".join(labels)
+    url = parse_url(f"{scheme}://{host}/path")
+    assert url.host == host
+    assert registered_domain(url.host).endswith(top_level_domain(host).lstrip("."))
