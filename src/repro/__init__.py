@@ -27,8 +27,9 @@ from repro.core.report import KeyFindings, summarize
 from repro.crawlers import NotABot, assess_all_crawlers
 from repro.dataset import CALIBRATION, CorpusGenerator, World
 from repro.mail import EmailMessage, EmailParser
+from repro.runner import CheckpointStore, CorpusRunner, RetryPolicy, RunningStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CrawlerBox",
@@ -38,6 +39,10 @@ __all__ = [
     "CorpusGenerator",
     "World",
     "CALIBRATION",
+    "CheckpointStore",
+    "CorpusRunner",
+    "RetryPolicy",
+    "RunningStats",
     "EmailMessage",
     "EmailParser",
     "KeyFindings",

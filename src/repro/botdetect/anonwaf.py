@@ -13,6 +13,7 @@ log the authors consulted.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
 from repro.botdetect import signals
@@ -62,6 +63,9 @@ class AnonWafProtection:
     verdict_log: list[WafVerdict] = field(default_factory=list)
     _clearances: dict[str, str] = field(default_factory=dict)
     _counter: int = 0
+    #: See TurnstileProtection: concurrent workers share this site's
+    #: clearance state, so issuance must be atomic.
+    _issue_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self):
         self._inner_handle = self.website.handle
@@ -159,9 +163,10 @@ class AnonWafProtection:
                 body=json.dumps({"pass": False, "reasons": [d.signal for d in detections]}),
                 content_type="application/json",
             )
-        self._counter += 1
-        token = f"waf-{self._counter:06d}"
-        self._clearances[token] = context.ip
+        with self._issue_lock:
+            self._counter += 1
+            token = f"waf-{self._counter:06d}"
+            self._clearances[token] = context.ip
         response = HttpResponse(
             status=200, body=json.dumps({"pass": True}), content_type="application/json"
         )

@@ -22,6 +22,7 @@ synthetic input is indistinguishable from a human's.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
 from repro.botdetect import signals
@@ -70,6 +71,10 @@ class TurnstileProtection:
     verdict_log: list[TurnstileVerdict] = field(default_factory=list)
     _clearances: dict[str, str] = field(default_factory=dict)  # token -> ip
     _counter: int = 0
+    #: Token issuance is shared state: concurrent runner workers hit the
+    #: same protected site, and a torn counter would hand two clients
+    #: the same clearance token.
+    _issue_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def __post_init__(self):
         self._inner_handle = self.website.handle
@@ -134,9 +139,10 @@ class TurnstileProtection:
                 body=json.dumps({"pass": False, "reasons": [d.signal for d in detections]}),
                 content_type="application/json",
             )
-        self._counter += 1
-        token = f"clearance-{self._counter:06d}"
-        self._clearances[token] = context.ip
+        with self._issue_lock:
+            self._counter += 1
+            token = f"clearance-{self._counter:06d}"
+            self._clearances[token] = context.ip
         response = HttpResponse(
             status=200, body=json.dumps({"pass": True}), content_type="application/json"
         )

@@ -2,8 +2,12 @@
 
 Commands:
 
-- ``run``     generate the calibrated world, analyse the corpus, print
-              the headline statistics (optionally export the artifacts).
+- ``run``     generate the calibrated world, analyse the corpus — with
+              ``--jobs N`` across a sharded worker pool and with
+              ``--checkpoint DIR`` durably — print the headline
+              statistics (optionally export the artifacts).
+- ``resume``  continue an interrupted checkpointed run, skipping the
+              message indices that already have durable records.
 - ``report``  recompute the statistics from a previously exported run.
 - ``table1``  the crawler-vs-detector assessment, computed live.
 """
@@ -13,6 +17,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return jobs
 
 
 def _print_study_report(records, world=None) -> None:
@@ -61,8 +72,43 @@ def _print_study_report(records, world=None) -> None:
           f"{infrastructure.largest_campaign_domains} domains)")
 
 
+def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir):
+    """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes."""
+    from repro import CrawlerBox
+    from repro.runner import CheckpointStore, CorpusRunner
+
+    checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+
+    def progress(stats, completed, total):
+        print(f"  ... {completed}/{total} analysed "
+              f"(active {stats.active}, spear {stats.spear}, "
+              f"retried {stats.retried}, dead-lettered {stats.dead_lettered})")
+
+    return CorpusRunner(
+        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world),
+        jobs=jobs,
+        checkpoint=checkpoint,
+        progress=progress,
+        progress_every=200,
+        run_info={"seed": seed, "scale": scale},
+    )
+
+
+def _finish_run(result, corpus, export_path) -> int:
+    _print_study_report(result.records, corpus.world)
+    for letter in result.dead_letters:
+        print(f"DEAD LETTER: message {letter.index} after {letter.attempts} attempts: "
+              f"{letter.error}")
+    if export_path:
+        from repro.core.export import save_records
+
+        save_records(result.records, export_path)
+        print(f"\nArtifacts exported to {export_path}")
+    return 0
+
+
 def cmd_run(args) -> int:
-    from repro import CorpusGenerator, CrawlerBox
+    from repro import CorpusGenerator
 
     print(f"Generating world and corpus (seed={args.seed}, scale={args.scale}) ...")
     started = time.time()
@@ -70,20 +116,47 @@ def cmd_run(args) -> int:
     print(f"  {len(corpus.messages)} messages, {len(corpus.domain_plans)} landing domains "
           f"({time.time() - started:.1f}s)")
 
-    print("Running CrawlerBox over the corpus ...")
+    print(f"Running CrawlerBox over the corpus (jobs={args.jobs}) ...")
     started = time.time()
-    box = CrawlerBox.for_world(corpus.world)
-    records = box.analyze_corpus(corpus.messages)
+    runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint)
+    result = runner.run(corpus.messages)
     print(f"  analysed in {time.time() - started:.1f}s")
 
-    _print_study_report(records, corpus.world)
+    return _finish_run(result, corpus, args.export)
 
-    if args.export:
-        from repro.core.export import save_records
 
-        save_records(records, args.export)
-        print(f"\nArtifacts exported to {args.export}")
-    return 0
+def cmd_resume(args) -> int:
+    from repro import CorpusGenerator
+    from repro.runner import CheckpointStore
+
+    store = CheckpointStore(args.checkpoint)
+    try:
+        manifest = store.read_manifest()
+    except ValueError as exc:
+        print(f"Cannot resume from {args.checkpoint}: {exc}")
+        return 1
+    if manifest is None:
+        print(f"No manifest under {args.checkpoint}; nothing to resume")
+        return 1
+    jobs = args.jobs if args.jobs is not None else manifest.jobs
+    durable = len(store.completed_indices())
+    print(f"Resuming run (seed={manifest.seed}, scale={manifest.scale}, "
+          f"{durable}/{manifest.total_messages} already analysed, jobs={jobs}) ...")
+
+    corpus = CorpusGenerator(seed=manifest.seed, scale=manifest.scale).generate()
+    if len(corpus.messages) != manifest.total_messages:
+        print(f"Corpus mismatch: regenerated {len(corpus.messages)} messages, "
+              f"manifest expects {manifest.total_messages}")
+        return 1
+
+    started = time.time()
+    runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint)
+    result = runner.run(corpus.messages)
+    print(f"  {len(result.resumed_indices)} records reused, "
+          f"{len(result.records) - len(result.resumed_indices)} analysed "
+          f"in {time.time() - started:.1f}s")
+
+    return _finish_run(result, corpus, args.export)
 
 
 def cmd_report(args) -> int:
@@ -121,9 +194,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", type=float, default=0.15,
                             help="corpus scale in (0,1]; 1.0 = the full 5,181 messages")
     run_parser.add_argument("--seed", type=int, default=2024)
+    run_parser.add_argument("--jobs", type=_positive_int, default=1,
+                            help="worker threads, each with a private CrawlerBox "
+                                 "(records are identical for any jobs count)")
+    run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                            help="append finished records to DIR/records.jsonl so the "
+                                 "run can be resumed after an interruption")
     run_parser.add_argument("--export", metavar="PATH", default=None,
                             help="write the analysis artifacts to a JSON file")
     run_parser.set_defaults(handler=cmd_run)
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="continue an interrupted checkpointed run")
+    resume_parser.add_argument("checkpoint", help="checkpoint directory of the interrupted run")
+    resume_parser.add_argument("--jobs", type=_positive_int, default=None,
+                               help="override the manifest's worker count")
+    resume_parser.add_argument("--export", metavar="PATH", default=None,
+                               help="write the completed artifacts to a JSON file")
+    resume_parser.set_defaults(handler=cmd_resume)
 
     report_parser = subparsers.add_parser("report", help="re-derive statistics from exported artifacts")
     report_parser.add_argument("artifacts", help="path produced by 'run --export'")

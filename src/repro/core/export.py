@@ -113,6 +113,18 @@ def save_records(records: list[MessageRecord], path: str | pathlib.Path) -> None
     pathlib.Path(path).write_text(json.dumps(document, separators=(",", ":")))
 
 
+def record_to_line(record: MessageRecord) -> str:
+    """One record as a single compact JSON line (the JSONL checkpoint
+    format of :mod:`repro.runner.checkpoint`); same field layout as the
+    monolithic document, so the two formats stay byte-compatible."""
+    return json.dumps(record_to_dict(record), separators=(",", ":"))
+
+
+def record_from_line(line: str) -> MessageRecord:
+    """Inverse of :func:`record_to_line`."""
+    return record_from_dict(json.loads(line))
+
+
 # ----------------------------------------------------------------------
 # Deserialization
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ producing one :class:`~repro.core.artifacts.MessageRecord`.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import re
 from dataclasses import dataclass
@@ -98,7 +99,14 @@ class CrawlerBox:
         self.mail_dns = mail_dns or MailAuthDns()
         self.config = config or PipelineConfig()
         self.rng = rng or random.Random(7)
-        self.crawler = crawler or Crawler(network, notabot_profile(), rng=self.rng)
+        #: Stable per-run seed material, drawn once: every message's
+        #: crawler stream is derived from (material, message_index), so
+        #: analyzing messages out of order — or a single message in
+        #: isolation — yields the same record as a full serial run.
+        self._seed_material = self.rng.getrandbits(64)
+        self.crawler = crawler or Crawler(
+            network, notabot_profile(), rng=self.rng, retain_results=False
+        )
         self.enricher = enricher or Enricher(network)
         self.parser = EmailParser(lenient_qr=self.config.lenient_qr)
         if spear_classifier is None:
@@ -114,6 +122,19 @@ class CrawlerBox:
         """Wire a CrawlerBox against a generated world."""
         enricher = Enricher(world.network, world.passive_dns, world.shodan)
         return cls(world.network, mail_dns=world.mail_dns, enricher=enricher, **kwargs)
+
+    # ------------------------------------------------------------------
+    def message_seed(self, message_index: int) -> int:
+        """The crawler RNG seed for one message.
+
+        Mixed through BLAKE2 so neighbouring indices produce unrelated
+        streams; depends only on the seed material and the index, never
+        on how many messages were analyzed before this one.
+        """
+        digest = hashlib.blake2b(
+            f"{self._seed_material}:{message_index}".encode("ascii"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
 
     # ------------------------------------------------------------------
     def analyze(self, message: EmailMessage, message_index: int = 0) -> MessageRecord:
@@ -133,7 +154,7 @@ class CrawlerBox:
         record.noise_padded = bool(_NOISE_RE.search(message.body_text()))
 
         analysis_time = message.delivered_at + self.config.analysis_delay_hours
-        self.crawler.rng = random.Random(self.rng.getrandbits(32))
+        self.crawler.rng = random.Random(self.message_seed(message_index))
 
         # Dynamic loading of HTML documents (attachments and bodies).
         from repro.core.outcomes import _password_form_visible
@@ -186,11 +207,17 @@ class CrawlerBox:
         return record
 
     def analyze_corpus(self, messages: list[EmailMessage]) -> list[MessageRecord]:
-        """Analyze a whole corpus, keeping the records."""
-        self.records = [
-            self.analyze(message, message_index=index)
-            for index, message in enumerate(messages)
-        ]
+        """Analyze a whole corpus, keeping the records.
+
+        Delegates to a single-worker :class:`~repro.runner.runner.CorpusRunner`
+        — the same engine the ``--jobs N`` CLI path uses — so serial
+        callers and sharded runs share one code path (and, because each
+        message's RNG stream depends only on its index, one output).
+        """
+        from repro.runner.runner import CorpusRunner
+
+        runner = CorpusRunner(box_factory=lambda worker_id: self, jobs=1)
+        self.records = runner.run(messages).records
         return self.records
 
     # ------------------------------------------------------------------
@@ -252,10 +279,6 @@ class CrawlerBox:
         if session is not None:
             final_title = session.parsed.title
             final_text = (session.parsed.text or "")[:200]
-
-        # The crawler holds onto full VisitResults; drop them to keep a
-        # full-corpus run memory-bounded.
-        self.crawler.crawled.clear()
 
         return UrlCrawl(
             url=url,

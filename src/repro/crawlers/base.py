@@ -24,10 +24,15 @@ class Crawler:
         network: Network,
         profile: BrowserProfile,
         rng: random.Random | None = None,
+        retain_results: bool = True,
     ):
         self.network = network
         self.profile = profile
         self.rng = rng or random.Random(0)
+        #: Keep every VisitResult in :attr:`crawled`.  Pipelines that own
+        #: their crawler disable this so a full-corpus run stays
+        #: memory-bounded; interactive/assessment use keeps the history.
+        self.retain_results = retain_results
         self.crawled: list[VisitResult] = []
 
     @property
@@ -52,7 +57,8 @@ class Crawler:
         """Visit one URL and log everything."""
         browser = self._fresh_browser(timestamp)
         result = browser.visit(url)
-        self.crawled.append(result)
+        if self.retain_results:
+            self.crawled.append(result)
         return result
 
     def crawl_html(self, html: str, timestamp: float = 0.0) -> PageSession:

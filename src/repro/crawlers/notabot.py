@@ -80,5 +80,10 @@ def notabot_profile_without(countermeasure: str) -> BrowserProfile:
 class NotABot(Crawler):
     """The evasive crawler used by the CrawlerBox pipeline."""
 
-    def __init__(self, network: Network, rng: random.Random | None = None):
-        super().__init__(network, notabot_profile(), rng=rng)
+    def __init__(
+        self,
+        network: Network,
+        rng: random.Random | None = None,
+        retain_results: bool = True,
+    ):
+        super().__init__(network, notabot_profile(), rng=rng, retain_results=retain_results)

@@ -19,10 +19,15 @@ or nested EML messages — processed recursively.
 from repro.mail.message import EmailMessage, MessagePart, ContentType
 from repro.mail.auth import AuthResults, evaluate_authentication
 from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
+from repro.mail.ingest import ingest_directory, ingest_eml_bytes, ingest_eml_file, ingest_eml_text
 from repro.mail.parser import EmailParser, ExtractedUrl, ExtractionReport
 from repro.mail.textscan import extract_urls_from_text
 
 __all__ = [
+    "ingest_directory",
+    "ingest_eml_bytes",
+    "ingest_eml_file",
+    "ingest_eml_text",
     "EmailMessage",
     "MessagePart",
     "ContentType",

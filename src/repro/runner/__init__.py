@@ -1,0 +1,47 @@
+"""The analysis engine: CrawlerBox at production scale.
+
+The paper's CrawlerBox is an always-on infrastructure ("analyzes the
+reported emails as soon as they are tagged by experts") that sustained
+a ten-month, 5,181-message measurement window.  This subpackage wraps
+the per-message pipeline in a production-style engine:
+
+- :mod:`~repro.runner.queue` — a bounded in-memory job queue with
+  priorities, per-job attempt tracking, and delayed re-delivery.
+- :mod:`~repro.runner.workers` — N worker threads, each owning a
+  *private* :class:`~repro.core.pipeline.CrawlerBox` so no crawler or
+  RNG state is shared across workers.
+- :mod:`~repro.runner.retry` — exponential backoff with jitter for
+  transient faults, and a dead-letter list for jobs that exhaust their
+  attempts.
+- :mod:`~repro.runner.checkpoint` — an append-only JSONL record store
+  plus a run manifest, so an interrupted run can resume and skip the
+  message indices it already analyzed.
+- :mod:`~repro.runner.stats` — incremental, mergeable running counters
+  so progress reporting never re-scans completed records.
+- :mod:`~repro.runner.runner` — the :class:`CorpusRunner` facade.
+
+Determinism guarantee: the pipeline derives each message's RNG stream
+from ``(corpus seed material, message_index)`` only, so a ``jobs=8``
+run produces byte-identical records to a ``jobs=1`` run regardless of
+scheduling order.
+"""
+
+from repro.runner.checkpoint import CheckpointStore, RunManifest
+from repro.runner.queue import Job, JobQueue, QueueClosed
+from repro.runner.retry import DeadLetter, RetryPolicy, TransientFault
+from repro.runner.runner import CorpusRunner, RunResult
+from repro.runner.stats import RunningStats
+
+__all__ = [
+    "CheckpointStore",
+    "CorpusRunner",
+    "DeadLetter",
+    "Job",
+    "JobQueue",
+    "QueueClosed",
+    "RetryPolicy",
+    "RunManifest",
+    "RunResult",
+    "RunningStats",
+    "TransientFault",
+]

@@ -1,0 +1,153 @@
+"""Durable run state: an append-only JSONL record store + a manifest.
+
+Layout of a checkpoint directory::
+
+    <checkpoint>/
+        records.jsonl   one serialized MessageRecord per line, written
+                        in completion order (NOT message order)
+        manifest.json   run identity (seed, scale, jobs, config) and
+                        progress (total / completed / dead letters)
+
+Records reuse the exact serialization of :mod:`repro.core.export`, so a
+checkpoint can be promoted to the monolithic artifact format (or the
+Section V statistics recomputed) without re-crawling anything.  Appends
+flush per line: a killed run loses at most the line being written, and
+:meth:`CheckpointStore.completed_indices` ignores a torn final line.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.artifacts import MessageRecord
+from repro.core.export import record_from_dict, record_to_line
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to reconstruct and resume a run."""
+
+    seed: int = 0
+    scale: float = 0.0
+    jobs: int = 1
+    total_messages: int = 0
+    completed: int = 0
+    status: str = "running"  # 'running' | 'complete' | 'failed'
+    dead_letters: list[dict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    manifest_version: int = MANIFEST_VERSION
+
+    def as_dict(self) -> dict:
+        return {
+            "manifest_version": self.manifest_version,
+            "seed": self.seed,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "total_messages": self.total_messages,
+            "completed": self.completed,
+            "status": self.status,
+            "dead_letters": self.dead_letters,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        version = data.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(f"unsupported manifest version {version!r}")
+        return cls(
+            seed=data["seed"],
+            scale=data["scale"],
+            jobs=data["jobs"],
+            total_messages=data["total_messages"],
+            completed=data["completed"],
+            status=data["status"],
+            dead_letters=list(data["dead_letters"]),
+            stats=dict(data["stats"]),
+        )
+
+
+class CheckpointStore:
+    """One run's durable state under a single directory."""
+
+    RECORDS_NAME = "records.jsonl"
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.records_path = self.directory / self.RECORDS_NAME
+        self.manifest_path = self.directory / self.MANIFEST_NAME
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def append(self, record: MessageRecord) -> None:
+        """Append one finished record, flushed so a kill loses <= 1 line."""
+        line = record_to_line(record)
+        with self._lock:
+            if self._handle is None:
+                self._handle = self.records_path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def _iter_lines(self):
+        if not self.records_path.exists():
+            return
+        with self.records_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a killed writer: everything
+                    # before it is intact, the interrupted record will
+                    # simply be re-analyzed on resume.
+                    continue
+
+    def completed_indices(self) -> set[int]:
+        """Message indices with a durable record (resume skips these)."""
+        return {data["message_index"] for data in self._iter_lines()}
+
+    def load_records(self) -> list[MessageRecord]:
+        """All durable records, sorted into corpus (message index) order.
+
+        If a record was appended twice (a job finished right as the run
+        was killed, then re-ran on resume), the last append wins.
+        """
+        by_index: dict[int, MessageRecord] = {}
+        for data in self._iter_lines():
+            record = record_from_dict(data)
+            by_index[record.message_index] = record
+        return [by_index[index] for index in sorted(by_index)]
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest: RunManifest) -> None:
+        payload = json.dumps(manifest.as_dict(), indent=2, sort_keys=True)
+        with self._lock:
+            # Atomic replace: readers never observe a half-written manifest.
+            temp = self.manifest_path.with_suffix(".json.tmp")
+            temp.write_text(payload, encoding="utf-8")
+            temp.replace(self.manifest_path)
+
+    def read_manifest(self) -> RunManifest | None:
+        if not self.manifest_path.exists():
+            return None
+        return RunManifest.from_dict(json.loads(self.manifest_path.read_text(encoding="utf-8")))

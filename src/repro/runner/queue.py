@@ -1,0 +1,155 @@
+"""A bounded in-memory job queue with priorities and delayed re-delivery.
+
+The runner's ingestion path: the producer enqueues one :class:`Job` per
+corpus message; workers pull them off in ``(priority, enqueue order)``
+order.  Retried jobs re-enter through :meth:`JobQueue.requeue` with a
+``not-before`` time (the backoff deadline) and bypass the size bound —
+a worker must never block on its own queue or the pool deadlocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class QueueClosed(RuntimeError):
+    """Raised when putting into a queue that was closed."""
+
+
+@dataclass
+class Job:
+    """One unit of work: analyze one corpus message."""
+
+    index: int
+    payload: object = None
+    priority: int = 0
+    #: Completed delivery attempts (incremented by the runner on failure).
+    attempts: int = 0
+    #: Last exception repr, for the dead-letter record.
+    last_error: str = ""
+
+
+@dataclass(order=True)
+class _Entry:
+    priority: int
+    sequence: int
+    job: Job = field(compare=False)
+
+
+class JobQueue:
+    """Priority FIFO with a size bound and a delayed-job shelf."""
+
+    def __init__(self, maxsize: int = 0, clock=time.monotonic):
+        self.maxsize = maxsize
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._ready: list[_Entry] = []
+        #: (not_before, sequence, job) — moved to ready once due.
+        self._delayed: list[tuple[float, int, Job]] = []
+        self._sequence = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ready) + len(self._delayed)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, job: Job, timeout: float | None = None) -> None:
+        """Enqueue a job, blocking while the queue is at capacity."""
+        with self._not_full:
+            if self.maxsize > 0:
+                deadline = None if timeout is None else self._clock() + timeout
+                while not self._closed and len(self._ready) + len(self._delayed) >= self.maxsize:
+                    remaining = None if deadline is None else deadline - self._clock()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError("queue full")
+                    self._not_full.wait(remaining)
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._push(job)
+
+    def requeue(self, job: Job, delay: float = 0.0) -> None:
+        """Re-deliver a job after ``delay`` seconds (backoff path).
+
+        Ignores the size bound: retries come from workers, and a worker
+        blocking on its own queue would deadlock the pool.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if delay <= 0:
+                self._push(job)
+            else:
+                self._sequence += 1
+                heapq.heappush(self._delayed, (self._clock() + delay, self._sequence, job))
+                self._not_empty.notify()
+
+    def _push(self, job: Job) -> None:
+        self._sequence += 1
+        heapq.heappush(self._ready, _Entry(job.priority, self._sequence, job))
+        self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Dequeue the next eligible job.
+
+        Blocks until a job is ready, its backoff deadline passes, or the
+        queue is closed — then returns ``None`` (the worker-exit signal).
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._not_empty:
+            while True:
+                self._promote_due()
+                if self._ready:
+                    entry = heapq.heappop(self._ready)
+                    self._not_full.notify()
+                    return entry.job
+                if self._closed:
+                    return None
+                wait = self._next_wait(deadline)
+                if wait is not None and wait <= 0:
+                    return None
+                self._not_empty.wait(wait)
+
+    def _promote_due(self) -> None:
+        now = self._clock()
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, job = heapq.heappop(self._delayed)
+            self._push(job)
+
+    def _next_wait(self, deadline: float | None) -> float | None:
+        """Seconds to sleep before something could become eligible."""
+        now = self._clock()
+        candidates = []
+        if self._delayed:
+            candidates.append(self._delayed[0][0] - now)
+        if deadline is not None:
+            candidates.append(deadline - now)
+        if not candidates:
+            return None
+        return max(min(candidates), 0.0)
+
+    # ------------------------------------------------------------------
+    def close(self, discard_pending: bool = False) -> None:
+        """Stop accepting jobs and wake every waiter.
+
+        With ``discard_pending`` the backlog is dropped too (the fatal
+        shutdown path); otherwise workers drain what is already queued.
+        """
+        with self._lock:
+            self._closed = True
+            if discard_pending:
+                self._ready.clear()
+                self._delayed.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

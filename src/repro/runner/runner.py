@@ -1,0 +1,215 @@
+"""The CorpusRunner facade: sharded, checkpointed corpus analysis.
+
+Orchestrates the queue, the worker pool, the retry policy, the
+checkpoint store, and the running statistics::
+
+    runner = CorpusRunner(lambda wid: CrawlerBox.for_world(world), jobs=8)
+    result = runner.run(corpus.messages)
+    result.records   # sorted by message_index, identical to jobs=1
+
+Determinism: workers race for jobs, so *completion* order varies —
+but every record depends only on ``(seed material, message_index)``
+(see :meth:`repro.core.pipeline.CrawlerBox.message_seed`), and the
+result list is sorted by index, so the records themselves are
+byte-identical across worker counts and scheduling orders.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.artifacts import MessageRecord
+from repro.runner.checkpoint import CheckpointStore, RunManifest
+from repro.runner.queue import Job, JobQueue, QueueClosed
+from repro.runner.retry import DeadLetter, RetryPolicy
+from repro.runner.stats import RunningStats
+from repro.runner.workers import Worker, spawn_workers
+
+#: fault_injector(message_index, prior_attempts) -> None; raising makes
+#: the delivery attempt fail (tests inject TransientFault here).
+FaultInjector = Callable[[int, int], None]
+
+#: progress(stats, completed, total) -> None.
+ProgressCallback = Callable[[RunningStats, int, int], None]
+
+
+@dataclass
+class RunResult:
+    """What a finished (or dead-letter-degraded) run produced."""
+
+    #: Completed records in corpus order (dead-lettered indices absent).
+    records: list[MessageRecord]
+    stats: RunningStats
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: Indices skipped because the checkpoint already had them.
+    resumed_indices: tuple[int, ...] = ()
+
+
+class CorpusRunner:
+    """Run a message corpus through N sharded CrawlerBox workers."""
+
+    def __init__(
+        self,
+        box_factory: Callable[[int], object],
+        jobs: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        checkpoint: CheckpointStore | None = None,
+        queue_size: int | None = None,
+        fault_injector: FaultInjector | None = None,
+        progress: ProgressCallback | None = None,
+        progress_every: int = 25,
+        run_info: dict | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.box_factory = box_factory
+        self.jobs = jobs
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.checkpoint = checkpoint
+        self.queue_size = queue_size if queue_size is not None else max(4 * jobs, 64)
+        self.fault_injector = fault_injector
+        self.progress = progress
+        self.progress_every = max(1, progress_every)
+        #: Free-form identity recorded in the manifest (seed, scale, ...).
+        self.run_info = dict(run_info or {})
+
+        self._lock = threading.Lock()
+        self._jitter_rng = random.Random(0xB0FF)
+
+    # ------------------------------------------------------------------
+    def run(self, messages: list) -> RunResult:
+        """Analyze ``messages``, resuming from the checkpoint if present."""
+        total = len(messages)
+        self._records: dict[int, MessageRecord] = {}
+        self._stats = RunningStats()
+        self._dead: list[DeadLetter] = []
+        self._fatal: BaseException | None = None
+        self._done = threading.Event()
+
+        resumed: set[int] = set()
+        if self.checkpoint is not None:
+            for record in self.checkpoint.load_records():
+                if 0 <= record.message_index < total:
+                    self._records[record.message_index] = record
+                    self._stats.update(record)
+                    resumed.add(record.message_index)
+
+        pending = [index for index in range(total) if index not in resumed]
+        self._outstanding = len(pending)
+        self._total = total
+        self._write_manifest(status="running")
+
+        if pending:
+            self._queue = JobQueue(maxsize=self.queue_size)
+            workers = spawn_workers(self.jobs, self._queue, self.box_factory, self._handle)
+            try:
+                for index in pending:
+                    self._queue.put(Job(index=index, payload=messages[index]))
+            except QueueClosed:
+                pass  # a fatal failure tore the run down mid-enqueue
+            self._done.wait()
+            for worker in workers:
+                worker.join()
+            if self._fatal is not None:
+                self._write_manifest(status="failed")
+                if self.checkpoint is not None:
+                    self.checkpoint.close()
+                raise self._fatal
+
+        self._write_manifest(status="complete")
+        if self.checkpoint is not None:
+            self.checkpoint.close()
+        records = [self._records[index] for index in sorted(self._records)]
+        return RunResult(
+            records=records,
+            stats=self._stats,
+            dead_letters=sorted(self._dead, key=lambda letter: letter.index),
+            resumed_indices=tuple(sorted(resumed)),
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-side handling (runs on worker threads; must never raise)
+    # ------------------------------------------------------------------
+    def _handle(self, worker: Worker, job: Job) -> None:
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(job.index, job.attempts)
+            record = worker.box.analyze(job.payload, message_index=job.index)
+        except BaseException as error:  # noqa: BLE001 - routed to retry policy
+            self._on_failure(job, error)
+        else:
+            self._on_success(job, record)
+
+    def _on_success(self, job: Job, record: MessageRecord) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.append(record)
+        with self._lock:
+            self._records[job.index] = record
+            self._stats.update(record)
+            completed = len(self._records)
+            report = self.progress is not None and (
+                completed % self.progress_every == 0 or completed == self._total
+            )
+        if report:
+            self.progress(self._stats, completed, self._total)
+        self._finish_one()
+
+    def _on_failure(self, job: Job, error: BaseException) -> None:
+        job.attempts += 1
+        job.last_error = repr(error)
+        policy = self.retry_policy
+        if not policy.is_transient(error):
+            # A pipeline bug, not flaky infrastructure: abort the run.
+            with self._lock:
+                if self._fatal is None:
+                    self._fatal = error
+            self._queue.close(discard_pending=True)
+            self._done.set()
+            return
+        if job.attempts < policy.max_attempts:
+            with self._lock:
+                self._stats.retried += 1
+                delay = policy.backoff_delay(job.attempts, self._jitter_rng)
+            try:
+                self._queue.requeue(job, delay)
+            except QueueClosed:
+                pass  # fatal shutdown raced us; the run is aborting anyway
+            return
+        with self._lock:
+            self._dead.append(DeadLetter(job.index, job.attempts, job.last_error))
+            self._stats.dead_lettered += 1
+        self._finish_one()
+
+    def _finish_one(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            finished = self._outstanding == 0
+            completed = len(self._records)
+            checkpoint_due = (
+                self.checkpoint is not None and completed % self.progress_every == 0
+            )
+        if checkpoint_due and not finished:
+            self._write_manifest(status="running")
+        if finished:
+            self._queue.close()
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self, status: str) -> None:
+        if self.checkpoint is None:
+            return
+        with self._lock:
+            manifest = RunManifest(
+                seed=int(self.run_info.get("seed", 0)),
+                scale=float(self.run_info.get("scale", 0.0)),
+                jobs=self.jobs,
+                total_messages=self._total,
+                completed=len(self._records),
+                status=status,
+                dead_letters=[letter.as_dict() for letter in self._dead],
+                stats=self._stats.as_dict(),
+            )
+        self.checkpoint.write_manifest(manifest)

@@ -1,0 +1,118 @@
+"""Incremental, mergeable running counters for an in-flight run.
+
+Progress reporting must not re-scan completed records: every counter
+here updates in O(1) per finished record and two partial runs (for
+example a checkpointed prefix and a live continuation) merge with
+:meth:`RunningStats.merge`.  The definitions mirror the batch
+aggregations in :mod:`repro.analysis` — ``update`` reuses the same
+per-record predicates, so a finished run's snapshot agrees with the
+Section V figures computed from the full record list.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.evasion import (
+    _is_credential_message,
+    _uses_recaptcha,
+    _uses_turnstile,
+)
+from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+
+
+@dataclass
+class RunningStats:
+    """Counters updated as records complete."""
+
+    analyzed: int = 0
+    categories: Counter = field(default_factory=Counter)
+    spear: int = 0
+    active: int = 0
+    credential_messages: int = 0
+    turnstile: int = 0
+    recaptcha: int = 0
+    faulty_qr: int = 0
+    console_hijack: int = 0
+    dead_lettered: int = 0
+    retried: int = 0
+
+    # ------------------------------------------------------------------
+    def update(self, record: MessageRecord) -> None:
+        """Fold one finished record into the counters."""
+        from repro.qr.scanner import extract_url_strict
+
+        self.analyzed += 1
+        self.categories[record.category] += 1
+        if record.category == MessageCategory.ACTIVE_PHISHING:
+            self.active += 1
+            if record.spear_brand is not None:
+                self.spear += 1
+        if record.qr_payloads and any(
+            extract_url_strict(payload) is None for _, payload in record.qr_payloads
+        ):
+            self.faulty_qr += 1
+        if any(
+            crawl.signals is not None and crawl.signals.console_hijacked
+            for crawl in record.crawls
+        ):
+            self.console_hijack += 1
+        if _is_credential_message(record):
+            self.credential_messages += 1
+            if any(_uses_turnstile(crawl) for crawl in record.crawls):
+                self.turnstile += 1
+            if any(_uses_recaptcha(crawl) for crawl in record.crawls):
+                self.recaptcha += 1
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """A new RunningStats combining two disjoint partial runs."""
+        merged = RunningStats()
+        for name in (
+            "analyzed",
+            "spear",
+            "active",
+            "credential_messages",
+            "turnstile",
+            "recaptcha",
+            "faulty_qr",
+            "console_hijack",
+            "dead_lettered",
+            "retried",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.categories = self.categories + other.categories
+        return merged
+
+    # ------------------------------------------------------------------
+    @property
+    def spear_fraction(self) -> float:
+        return self.spear / self.active if self.active else 0.0
+
+    @property
+    def turnstile_fraction(self) -> float:
+        return self.turnstile / self.credential_messages if self.credential_messages else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "analyzed": self.analyzed,
+            "categories": dict(self.categories),
+            "spear": self.spear,
+            "active": self.active,
+            "credential_messages": self.credential_messages,
+            "turnstile": self.turnstile,
+            "recaptcha": self.recaptcha,
+            "faulty_qr": self.faulty_qr,
+            "console_hijack": self.console_hijack,
+            "dead_lettered": self.dead_lettered,
+            "retried": self.retried,
+        }
+
+    @classmethod
+    def from_records(cls, records: list[MessageRecord]) -> "RunningStats":
+        stats = cls()
+        for record in records:
+            stats.update(record)
+        return stats

@@ -1,0 +1,56 @@
+"""Worker threads: each owns a private CrawlerBox.
+
+A worker is deliberately dumb — pull a job, hand it to the runner's
+handler, repeat until the queue closes.  All retry/checkpoint/stats
+policy lives in :class:`~repro.runner.runner.CorpusRunner`; all
+per-message analysis state (crawler, RNG, parser) lives in the worker's
+own :class:`~repro.core.pipeline.CrawlerBox`, so nothing mutable is
+shared between workers except the read-mostly world fabric.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.runner.queue import Job, JobQueue
+
+#: handler(worker, job) -> None; must never raise.
+JobHandler = Callable[["Worker", Job], None]
+
+
+class Worker(threading.Thread):
+    """One analysis thread with a private pipeline instance."""
+
+    def __init__(self, worker_id: int, queue: JobQueue, box, handler: JobHandler):
+        super().__init__(name=f"repro-worker-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.queue = queue
+        #: The worker-private CrawlerBox (built by the runner's factory).
+        self.box = box
+        self._handler = handler
+        self.processed = 0
+
+    def run(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:  # queue closed and drained
+                return
+            self._handler(self, job)
+            self.processed += 1
+
+
+def spawn_workers(
+    jobs: int,
+    queue: JobQueue,
+    box_factory: Callable[[int], object],
+    handler: JobHandler,
+) -> list[Worker]:
+    """Build and start ``jobs`` workers, each with a fresh CrawlerBox."""
+    workers = [
+        Worker(worker_id, queue, box_factory(worker_id), handler)
+        for worker_id in range(jobs)
+    ]
+    for worker in workers:
+        worker.start()
+    return workers

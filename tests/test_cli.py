@@ -11,10 +11,25 @@ class TestParser:
         assert args.scale == 0.15
         assert args.seed == 2024
         assert args.export is None
+        assert args.jobs == 1
+        assert args.checkpoint is None
 
     def test_run_options(self):
         args = build_parser().parse_args(["run", "--scale", "0.5", "--seed", "7", "--export", "x.json"])
         assert (args.scale, args.seed, args.export) == (0.5, 7, "x.json")
+
+    def test_run_runner_options(self):
+        args = build_parser().parse_args(["run", "--jobs", "8", "--checkpoint", "ckpt"])
+        assert (args.jobs, args.checkpoint) == (8, "ckpt")
+
+    def test_resume_defaults(self):
+        args = build_parser().parse_args(["resume", "ckpt"])
+        assert args.checkpoint == "ckpt"
+        assert args.jobs is None
+
+    def test_resume_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
 
     def test_report_requires_path(self):
         with pytest.raises(SystemExit):
@@ -39,6 +54,26 @@ class TestFlows:
         assert exit_code == 0
         report_output = capsys.readouterr().out
         assert "Outcome breakdown" in report_output
+
+    def test_run_with_jobs_and_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt"
+        exit_code = main(["run", "--scale", "0.02", "--seed", "9", "--jobs", "2",
+                          "--checkpoint", str(checkpoint)])
+        assert exit_code == 0
+        assert (checkpoint / "records.jsonl").exists()
+        assert (checkpoint / "manifest.json").exists()
+        capsys.readouterr()
+
+        # The completed checkpoint resumes as a no-op with the same stats.
+        exit_code = main(["resume", str(checkpoint)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "0 analysed" in output
+        assert "Outcome breakdown" in output
+
+    def test_resume_without_manifest_fails(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nothing")]) == 1
+        assert "nothing to resume" in capsys.readouterr().out
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -1,0 +1,180 @@
+"""Real-world .eml ingestion (the phishing_pot RFC-822 format)."""
+
+from __future__ import annotations
+
+import base64
+import textwrap
+from datetime import datetime, timezone
+
+from repro.mail.ingest import (
+    DEFAULT_EPOCH,
+    ingest_directory,
+    ingest_eml_file,
+    ingest_eml_text,
+)
+from repro.mail.message import ContentType, EmailMessage
+from repro.mail.parser import EmailParser
+
+
+def _sample_eml(body_b64: str) -> str:
+    return textwrap.dedent(f"""\
+        Return-Path: <bounce@spammer.ru>
+        Delivered-To: victim@corp.example
+        Received: from relay.spammer.ru (relay.spammer.ru [203.0.113.9])
+        \tby mx.corp.example with ESMTP id abc123
+        DKIM-Signature: v=1; a=rsa-sha256; d=spammer.ru; s=sel;
+        From: "IT Support" <support@spammer.ru>
+        To: victim@corp.example
+        Subject: Password expires today
+        Date: Tue, 12 Mar 2024 10:30:00 +0000
+        MIME-Version: 1.0
+        Content-Type: multipart/mixed; boundary="BOUND"
+
+        --BOUND
+        Content-Type: text/plain; charset=utf-8
+        Content-Transfer-Encoding: base64
+
+        {body_b64}
+        --BOUND
+        Content-Type: text/html; charset=utf-8
+        Content-Disposition: attachment; filename="invoice.html"
+
+        <html><body><a href="https://phish.example/portal">Open invoice</a></body></html>
+        --BOUND--
+        """)
+
+
+SAMPLE = _sample_eml(
+    base64.b64encode(b"Click https://evil.example/login now").decode("ascii")
+)
+
+
+class TestHeaderMapping:
+    def test_addresses_and_subject(self):
+        message = ingest_eml_text(SAMPLE)
+        assert message.sender == "support@spammer.ru"
+        assert message.sender_domain == "spammer.ru"
+        assert message.recipient == "victim@corp.example"
+        assert message.subject == "Password expires today"
+
+    def test_delivery_time_relative_to_epoch(self):
+        message = ingest_eml_text(SAMPLE)
+        expected = (
+            datetime(2024, 3, 12, 10, 30, tzinfo=timezone.utc) - DEFAULT_EPOCH
+        ).total_seconds() / 3600
+        assert message.delivered_at == expected
+
+    def test_custom_epoch(self):
+        epoch = datetime(2024, 3, 12, 10, 30, tzinfo=timezone.utc)
+        assert ingest_eml_text(SAMPLE, epoch=epoch).delivered_at == 0.0
+
+    def test_sending_infrastructure(self):
+        message = ingest_eml_text(SAMPLE)
+        assert message.sending_domain == "spammer.ru"
+        assert message.sending_ip == "203.0.113.9"
+        assert message.dkim_signed
+
+    def test_missing_headers_fall_back(self):
+        message = ingest_eml_text("Subject: hi\n\nplain body\n")
+        assert message.sender == "unknown@example.com"
+        assert message.recipient == "employee@corp.example"
+        assert message.delivered_at == 0.0
+        assert not message.dkim_signed
+
+
+class TestPartMapping:
+    def test_base64_transfer_encoding_preserved(self):
+        message = ingest_eml_text(SAMPLE)
+        text_part = message.parts[0]
+        assert text_part.content_type == ContentType.TEXT
+        # The base64 evasion must survive ingestion for the filters to miss it.
+        assert text_part.transfer_encoding == "base64"
+        assert "https://evil.example/login" in text_part.decoded_text()
+
+    def test_html_attachment_flagged(self):
+        message = ingest_eml_text(SAMPLE)
+        html_part = message.parts[1]
+        assert html_part.content_type == ContentType.HTML
+        assert html_part.filename == "invoice.html"
+        assert not html_part.inline
+
+    def test_binary_attachment_becomes_sniffable_blob(self):
+        eml = textwrap.dedent("""\
+            From: a@b.example
+            Subject: attachment
+            Content-Type: application/pdf; name="doc.pdf"
+            Content-Disposition: attachment; filename="doc.pdf"
+            Content-Transfer-Encoding: base64
+
+            JVBERi0xLjcgcmVzdA==
+            """)
+        message = ingest_eml_text(eml)
+        (part,) = message.parts
+        assert part.content_type == ContentType.OCTET_STREAM
+        assert part.content.sniffed_kind() == "pdf"
+
+    def test_nested_rfc822_recurses_without_duplication(self):
+        eml = textwrap.dedent("""\
+            From: fwd@corp.example
+            Subject: FW: see attached
+            Content-Type: multipart/mixed; boundary="OUTER"
+
+            --OUTER
+            Content-Type: text/plain
+
+            outer body
+            --OUTER
+            Content-Type: message/rfc822
+
+            From: original@spammer.ru
+            Subject: inner
+            Content-Type: text/plain
+
+            inner body https://inner.example/x
+            --OUTER--
+            """)
+        message = ingest_eml_text(eml)
+        assert [part.content_type for part in message.parts] == [
+            ContentType.TEXT,
+            ContentType.EML,
+        ]
+        inner = message.parts[1].content
+        assert isinstance(inner, EmailMessage)
+        assert inner.sender == "original@spammer.ru"
+        report = EmailParser().parse(message)
+        assert [u.url for u in report.urls] == ["https://inner.example/x"]
+
+
+class TestPipelineIntegration:
+    def test_parser_extracts_urls_from_ingested_message(self):
+        report = EmailParser().parse(ingest_eml_text(SAMPLE))
+        assert {(u.url, u.method) for u in report.urls} == {
+            ("https://evil.example/login", "text"),
+            ("https://phish.example/portal", "html-static"),
+        }
+        assert report.html_attachment_paths  # the invoice opens locally
+
+    def test_directory_ingestion_sorted_and_indexable(self, tmp_path):
+        for name in ("b.eml", "a.eml", "ignored.txt"):
+            (tmp_path / name).write_text(SAMPLE)
+        messages = ingest_directory(tmp_path)
+        assert len(messages) == 2
+        assert messages[0].ground_truth["source"].endswith("a.eml")
+        assert messages[1].ground_truth["source"].endswith("b.eml")
+
+    def test_file_ingestion_records_source(self, tmp_path):
+        path = tmp_path / "sample.eml"
+        path.write_text(SAMPLE)
+        message = ingest_eml_file(path)
+        assert message.ground_truth["source"] == str(path)
+
+    def test_crawlerbox_analyzes_ingested_message(self, small_corpus):
+        from repro.core import CrawlerBox
+
+        box = CrawlerBox.for_world(small_corpus.world)
+        record = box.analyze(ingest_eml_text(SAMPLE), message_index=0)
+        # The phish domains don't exist in the simulated world: every
+        # crawl must surface as an error outcome, not an exception.
+        assert record.extraction is not None
+        assert len(record.crawls) == 2
+        assert all(crawl.outcome == "nxdomain" for crawl in record.crawls)

@@ -1,0 +1,342 @@
+"""The runner subsystem: queue, retry, checkpoint, stats, CorpusRunner.
+
+The headline guarantees under test:
+
+- parallel-equals-serial: ``jobs=4`` produces byte-identical exported
+  records to ``jobs=1`` (and to the plain ``analyze_corpus`` path);
+- resume-from-checkpoint skips already-analyzed indices and finishes
+  with the same records as an uninterrupted run;
+- transient faults retry with backoff and either recover or land on
+  the dead-letter list; non-transient faults abort the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core import CrawlerBox
+from repro.core.export import export_records, record_to_dict
+from repro.dataset import CorpusGenerator
+from repro.runner import (
+    CheckpointStore,
+    CorpusRunner,
+    Job,
+    JobQueue,
+    QueueClosed,
+    RetryPolicy,
+    RunManifest,
+    RunningStats,
+    TransientFault,
+)
+
+
+@pytest.fixture(scope="module")
+def runner_corpus():
+    return CorpusGenerator(seed=31, scale=0.02).generate()
+
+
+@pytest.fixture(scope="module")
+def serial_records(runner_corpus):
+    box = CrawlerBox.for_world(runner_corpus.world)
+    return box.analyze_corpus(runner_corpus.messages)
+
+
+def _box_factory(corpus):
+    return lambda worker_id: CrawlerBox.for_world(corpus.world)
+
+
+# ----------------------------------------------------------------------
+# JobQueue
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        queue.put(Job(index=0, priority=5))
+        queue.put(Job(index=1, priority=0))
+        queue.put(Job(index=2, priority=5))
+        queue.put(Job(index=3, priority=-1))
+        order = [queue.get().index for _ in range(4)]
+        assert order == [3, 1, 0, 2]
+
+    def test_bounded_put_times_out(self):
+        queue = JobQueue(maxsize=1)
+        queue.put(Job(index=0))
+        with pytest.raises(TimeoutError):
+            queue.put(Job(index=1), timeout=0.02)
+
+    def test_requeue_ignores_bound_and_delay_orders_delivery(self):
+        queue = JobQueue(maxsize=1)
+        queue.put(Job(index=0))
+        queue.requeue(Job(index=1), delay=0.0)  # over capacity, must not block
+        queue.requeue(Job(index=2), delay=0.05)
+        assert queue.get().index in (0, 1)
+        assert queue.get().index in (0, 1)
+        assert queue.get().index == 2  # waits out the backoff delay
+
+    def test_close_drains_then_signals(self):
+        queue = JobQueue()
+        queue.put(Job(index=0))
+        queue.close()
+        assert queue.get().index == 0
+        assert queue.get() is None
+        with pytest.raises(QueueClosed):
+            queue.put(Job(index=1))
+
+    def test_close_discard_pending(self):
+        queue = JobQueue()
+        queue.put(Job(index=0))
+        queue.close(discard_pending=True)
+        assert queue.get() is None
+
+    def test_close_wakes_blocked_getter(self):
+        queue = JobQueue()
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.get()))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        delays = [policy.backoff_delay(attempt) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounded(self, rng):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25)
+        for _ in range(50):
+            delay = policy.backoff_delay(1, rng)
+            assert 1.0 <= delay <= 1.25
+
+    def test_transient_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientFault("flaky"))
+        assert not policy.is_transient(ValueError("bug"))
+
+
+# ----------------------------------------------------------------------
+# RunningStats
+# ----------------------------------------------------------------------
+class TestRunningStats:
+    def test_incremental_equals_batch(self, serial_records):
+        incremental = RunningStats()
+        for record in serial_records:
+            incremental.update(record)
+        assert incremental.as_dict() == RunningStats.from_records(serial_records).as_dict()
+
+    def test_merge_of_partials_equals_whole(self, serial_records):
+        half = len(serial_records) // 2
+        left = RunningStats.from_records(serial_records[:half])
+        right = RunningStats.from_records(serial_records[half:])
+        assert left.merge(right).as_dict() == RunningStats.from_records(serial_records).as_dict()
+
+    def test_agrees_with_batch_figures(self, serial_records):
+        from repro.analysis import figures
+
+        stats = RunningStats.from_records(serial_records)
+        breakdown = figures.outcome_breakdown(serial_records)
+        assert stats.analyzed == breakdown.total
+        assert dict(stats.categories) == dict(breakdown.counts)
+        evasion = figures.section5c_evasion(serial_records)
+        assert stats.turnstile == evasion.turnstile
+        assert stats.recaptcha == evasion.recaptcha
+        assert stats.faulty_qr == evasion.faulty_qr
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore
+# ----------------------------------------------------------------------
+class TestCheckpointStore:
+    def test_append_load_roundtrip_sorted(self, tmp_path, serial_records):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for record in reversed(serial_records[:5]):  # completion order != index order
+            store.append(record)
+        store.close()
+        loaded = store.load_records()
+        assert [record.message_index for record in loaded] == [0, 1, 2, 3, 4]
+        assert [record_to_dict(r) for r in loaded] == [
+            record_to_dict(r) for r in serial_records[:5]
+        ]
+        assert store.completed_indices() == {0, 1, 2, 3, 4}
+
+    def test_torn_final_line_ignored(self, tmp_path, serial_records):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for record in serial_records[:3]:
+            store.append(record)
+        store.close()
+        with store.records_path.open("a") as handle:
+            handle.write('{"message_index": 99, "truncated')  # killed mid-write
+        assert store.completed_indices() == {0, 1, 2}
+
+    def test_duplicate_append_last_wins(self, tmp_path, serial_records):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.append(serial_records[0])
+        store.append(serial_records[0])
+        store.close()
+        assert len(store.load_records()) == 1
+
+    def test_manifest_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        manifest = RunManifest(
+            seed=5, scale=0.03, jobs=4, total_messages=290, completed=144,
+            status="running", dead_letters=[{"index": 7, "attempts": 3, "error": "x"}],
+            stats={"analyzed": 144},
+        )
+        store.write_manifest(manifest)
+        assert store.read_manifest() == manifest
+
+    def test_unsupported_manifest_version(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.manifest_path.write_text('{"manifest_version": 99}')
+        with pytest.raises(ValueError, match="manifest version"):
+            store.read_manifest()
+
+
+# ----------------------------------------------------------------------
+# CorpusRunner: determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_parallel_equals_serial(self, runner_corpus, serial_records):
+        runner = CorpusRunner(_box_factory(runner_corpus), jobs=4)
+        result = runner.run(runner_corpus.messages)
+        serial_doc = json.dumps(export_records(serial_records))
+        parallel_doc = json.dumps(export_records(result.records))
+        assert parallel_doc == serial_doc
+
+    def test_single_message_in_isolation_matches_corpus_run(
+        self, runner_corpus, serial_records
+    ):
+        index = len(serial_records) // 2
+        box = CrawlerBox.for_world(runner_corpus.world)
+        record = box.analyze(runner_corpus.messages[index], message_index=index)
+        assert record_to_dict(record) == record_to_dict(serial_records[index])
+
+    def test_pipeline_owned_crawler_does_not_accumulate(self, runner_corpus):
+        box = CrawlerBox.for_world(runner_corpus.world)
+        box.analyze_corpus(runner_corpus.messages[:10])
+        assert box.crawler.crawled == []
+
+    def test_standalone_crawler_retains_results(self, runner_corpus):
+        from repro.crawlers.notabot import NotABot
+
+        crawler = NotABot(runner_corpus.world.network)
+        assert crawler.retain_results
+        crawler.crawl_url("https://nonexistent-domain.example/")
+        assert len(crawler.crawled) == 1
+
+
+# ----------------------------------------------------------------------
+# CorpusRunner: resume
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_skips_completed_indices(self, tmp_path, runner_corpus, serial_records):
+        store = CheckpointStore(tmp_path / "ckpt")
+        prefix = len(serial_records) // 3
+        for record in serial_records[:prefix]:  # the "interrupted" run's output
+            store.append(record)
+        store.close()
+
+        analyzed: list[int] = []
+        runner = CorpusRunner(
+            _box_factory(runner_corpus),
+            jobs=2,
+            checkpoint=CheckpointStore(tmp_path / "ckpt"),
+            fault_injector=lambda index, attempts: analyzed.append(index),
+        )
+        result = runner.run(runner_corpus.messages)
+
+        assert result.resumed_indices == tuple(range(prefix))
+        assert not (set(analyzed) & set(range(prefix)))  # skipped, not re-run
+        assert [record_to_dict(r) for r in result.records] == [
+            record_to_dict(r) for r in serial_records
+        ]
+        assert result.stats.analyzed == len(serial_records)
+
+        manifest = store.read_manifest()
+        assert manifest.status == "complete"
+        assert manifest.completed == len(serial_records)
+
+    def test_completed_checkpoint_resumes_to_noop(self, tmp_path, runner_corpus, serial_records):
+        store = CheckpointStore(tmp_path / "ckpt")
+        for record in serial_records:
+            store.append(record)
+        store.close()
+        runner = CorpusRunner(
+            _box_factory(runner_corpus),
+            checkpoint=CheckpointStore(tmp_path / "ckpt"),
+            fault_injector=lambda index, attempts: pytest.fail("nothing should run"),
+        )
+        result = runner.run(runner_corpus.messages)
+        assert len(result.resumed_indices) == len(serial_records)
+
+
+# ----------------------------------------------------------------------
+# CorpusRunner: retry and dead letters
+# ----------------------------------------------------------------------
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01, jitter=0.0)
+
+
+class TestRetries:
+    def test_twice_failing_job_recovers(self, runner_corpus, serial_records):
+        target = 3
+        failures: list[int] = []
+
+        def flaky(index, attempts):
+            if index == target and attempts < 2:
+                failures.append(attempts)
+                raise TransientFault(f"flaky attempt {attempts}")
+
+        runner = CorpusRunner(
+            _box_factory(runner_corpus), jobs=2, retry_policy=FAST_RETRY,
+            fault_injector=flaky,
+        )
+        result = runner.run(runner_corpus.messages[:8])
+        assert failures == [0, 1]
+        assert result.stats.retried == 2
+        assert not result.dead_letters
+        assert [r.message_index for r in result.records] == list(range(8))
+        # The retried record is STILL byte-identical to the serial run.
+        assert record_to_dict(result.records[target]) == record_to_dict(serial_records[target])
+
+    def test_always_failing_job_dead_letters(self, runner_corpus):
+        def doomed(index, attempts):
+            if index == 2:
+                raise TransientFault("permanently flaky")
+
+        runner = CorpusRunner(
+            _box_factory(runner_corpus), jobs=2, retry_policy=FAST_RETRY,
+            fault_injector=doomed,
+        )
+        result = runner.run(runner_corpus.messages[:6])
+        assert len(result.dead_letters) == 1
+        letter = result.dead_letters[0]
+        assert letter.index == 2
+        assert letter.attempts == FAST_RETRY.max_attempts
+        assert "permanently flaky" in letter.error
+        assert result.stats.dead_lettered == 1
+        assert [r.message_index for r in result.records] == [0, 1, 3, 4, 5]
+
+    def test_non_transient_fault_aborts_run(self, runner_corpus):
+        def buggy(index, attempts):
+            if index == 1:
+                raise ValueError("pipeline bug")
+
+        runner = CorpusRunner(
+            _box_factory(runner_corpus), jobs=2, retry_policy=FAST_RETRY,
+            fault_injector=buggy,
+        )
+        with pytest.raises(ValueError, match="pipeline bug"):
+            runner.run(runner_corpus.messages[:6])
+
+    def test_jobs_must_be_positive(self, runner_corpus):
+        with pytest.raises(ValueError):
+            CorpusRunner(_box_factory(runner_corpus), jobs=0)
