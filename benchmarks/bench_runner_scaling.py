@@ -1,60 +1,171 @@
 """Runner scaling: messages/sec through the sharded worker pool.
 
 Measures CorpusRunner throughput over a representative corpus slice at
-``jobs`` = 1, 2, 4, 8 and verifies the determinism guarantee (every
-worker count exports byte-identical records).
+``jobs`` = 1, 2, 4, 8 for *both* execution backends and verifies the
+determinism guarantee: every worker count, on either backend, exports
+byte-identical records.
 
 Interpretation note: the analysis pipeline is pure CPython, so the GIL
-serializes the compute — thread sharding buys resilience, bounded
-memory, and checkpointing rather than raw speedup on a stock
-interpreter.  The sharded layout is what free-threaded builds (or a
-future process pool) need to scale; the bench records whatever the
-host interpreter delivers.
+serializes the *thread* backend — thread sharding buys resilience,
+bounded memory, and checkpointing rather than raw speedup on a stock
+interpreter.  The *process* backend rebuilds the world per worker from
+a picklable :class:`RunnerConfig` and is where ``--jobs N`` actually
+scales.  Set ``REPRO_BENCH_MIN_SPEEDUP`` (e.g. ``1.5``) to fail the
+bench when the process backend's jobs=4 throughput falls below that
+multiple of jobs=1; the gate auto-skips on hosts with < 4 CPUs.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runner_scaling.py \
+        --executor process --jobs 1,4
 """
 
+import argparse
 import json
+import os
+import sys
 import time
 
 from repro.core import CrawlerBox
 from repro.core.export import export_records
-from repro.runner import CorpusRunner
+from repro.runner import CorpusRunner, RunnerConfig
 
 JOB_COUNTS = (1, 2, 4, 8)
 SAMPLE_SIZE = 120
 
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+
+#: Minimum process-backend jobs=4 / jobs=1 throughput ratio to enforce
+#: (0 disables the gate; CI sets 1.5 — a generous floor for shared
+#: runners).  Never enforced on hosts with fewer than 4 CPUs.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "0"))
+
+
+def _make_runner(corpus, executor: str, jobs: int, seed: int, scale: float):
+    return CorpusRunner(
+        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world),
+        jobs=jobs,
+        executor=executor,
+        config=RunnerConfig(seed=seed, scale=scale),
+    )
+
+
+def _measure(corpus, sample, executor: str, job_counts, seed: int, scale: float):
+    """{jobs: messages/sec} and {jobs: exported-records JSON} per count."""
+    throughputs: dict[int, float] = {}
+    exports: dict[int, str] = {}
+    for jobs in job_counts:
+        runner = _make_runner(corpus, executor, jobs, seed, scale)
+        started = time.perf_counter()
+        result = runner.run(sample)
+        elapsed = time.perf_counter() - started
+        assert len(result.records) == len(sample)
+        assert not result.dead_letters
+        throughputs[jobs] = len(result.records) / elapsed
+        exports[jobs] = json.dumps(export_records(result.records))
+    return throughputs, exports
+
+
+def _speedup_gate(throughputs: dict[int, float]) -> tuple[bool, str]:
+    """(enforced, verdict) for the process backend's jobs=4 ratio."""
+    if MIN_SPEEDUP <= 0:
+        return False, "gate disabled (REPRO_BENCH_MIN_SPEEDUP unset)"
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        return False, f"gate skipped (host has {cpus} CPU(s), need >= 4)"
+    ratio = throughputs[4] / throughputs[1]
+    return True, (f"jobs=4/jobs=1 = {ratio:.2f}x "
+                  f"(floor {MIN_SPEEDUP:.2f}x): "
+                  f"{'pass' if ratio >= MIN_SPEEDUP else 'FAIL'}")
+
 
 def bench_runner_scaling(benchmark, full_corpus, comparison):
     sample = full_corpus.messages[:SAMPLE_SIZE]
+    results = {}
+    for executor in ("thread", "process"):
+        throughputs, exports = _measure(
+            full_corpus, sample, executor, JOB_COUNTS, BENCH_SEED, BENCH_SCALE)
+        results[executor] = (throughputs, exports)
 
-    def run_with(jobs: int):
-        runner = CorpusRunner(
-            box_factory=lambda worker_id: CrawlerBox.for_world(full_corpus.world),
-            jobs=jobs,
-        )
-        return runner.run(sample)
-
-    throughputs: dict[int, float] = {}
-    exports: dict[int, str] = {}
-    for jobs in JOB_COUNTS:
-        started = time.perf_counter()
-        result = run_with(jobs)
-        elapsed = time.perf_counter() - started
-        throughputs[jobs] = len(result.records) / elapsed
-        exports[jobs] = json.dumps(export_records(result.records))
-        assert len(result.records) == len(sample)
-        assert not result.dead_letters
-
-    # pytest-benchmark timing for the jobs=4 configuration.
-    benchmark.pedantic(run_with, args=(4,), rounds=1, iterations=1)
-
-    base = throughputs[JOB_COUNTS[0]]
-    for jobs in JOB_COUNTS:
+        base = throughputs[JOB_COUNTS[0]]
+        for jobs in JOB_COUNTS:
+            comparison.row(
+                f"[{executor}] messages/sec at jobs={jobs}",
+                "n/a",
+                f"{throughputs[jobs]:.1f} ({throughputs[jobs] / base:.2f}x)",
+            )
+            comparison.metric(f"{executor}_jobs{jobs}_msgs_per_sec",
+                              throughputs[jobs])
+        identical = all(exports[jobs] == exports[JOB_COUNTS[0]]
+                        for jobs in JOB_COUNTS)
         comparison.row(
-            f"messages/sec at jobs={jobs}",
-            "n/a",
-            f"{throughputs[jobs]:.1f} ({throughputs[jobs] / base:.2f}x)",
-        )
-    comparison.note("")
-    identical = all(exports[jobs] == exports[1] for jobs in JOB_COUNTS)
-    comparison.row("records byte-identical across job counts", True, identical)
-    assert identical
+            f"[{executor}] records byte-identical across job counts",
+            True, identical)
+        comparison.metric(f"{executor}_byte_identical", identical)
+        comparison.note("")
+        assert identical
+
+    # The two backends must agree with each other, not just internally.
+    cross = results["thread"][1][JOB_COUNTS[0]] == results["process"][1][JOB_COUNTS[0]]
+    comparison.row("thread and process records byte-identical", True, cross)
+    comparison.metric("cross_executor_byte_identical", cross)
+    assert cross
+
+    enforced, verdict = _speedup_gate(results["process"][0])
+    comparison.note(f"process speedup gate: {verdict}")
+    comparison.metric("speedup_gate_enforced", enforced)
+    comparison.metric("speedup_gate_verdict", verdict)
+    comparison.metric("min_speedup_floor", MIN_SPEEDUP)
+    comparison.metric("cpu_count", os.cpu_count())
+    if enforced:
+        ratio = results["process"][0][4] / results["process"][0][1]
+        assert ratio >= MIN_SPEEDUP, verdict
+
+    # pytest-benchmark timing for the jobs=4 process configuration.
+    benchmark.pedantic(
+        lambda: _make_runner(full_corpus, "process", 4,
+                             BENCH_SEED, BENCH_SCALE).run(sample),
+        rounds=1, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="process")
+    parser.add_argument("--jobs", default="1,2,4,8",
+                        help="comma-separated worker counts (default 1,2,4,8)")
+    parser.add_argument("--sample", type=int, default=SAMPLE_SIZE,
+                        help=f"messages to analyse (default {SAMPLE_SIZE})")
+    args = parser.parse_args(argv)
+    job_counts = tuple(int(part) for part in args.jobs.split(","))
+
+    from repro.dataset import CorpusGenerator
+
+    print(f"Generating corpus (seed={BENCH_SEED}, scale={BENCH_SCALE}) ...")
+    corpus = CorpusGenerator(seed=BENCH_SEED, scale=BENCH_SCALE).generate()
+    sample = corpus.messages[:args.sample]
+    print(f"  {len(sample)} messages, executor={args.executor}, "
+          f"jobs={job_counts}")
+
+    throughputs, exports = _measure(
+        corpus, sample, args.executor, job_counts, BENCH_SEED, BENCH_SCALE)
+    base = throughputs[job_counts[0]]
+    for jobs in job_counts:
+        print(f"  jobs={jobs}: {throughputs[jobs]:.1f} msgs/sec "
+              f"({throughputs[jobs] / base:.2f}x)")
+    identical = all(exports[jobs] == exports[job_counts[0]]
+                    for jobs in job_counts)
+    print(f"  records byte-identical across job counts = {identical}")
+    if not identical:
+        return 1
+    if args.executor == "process" and 1 in job_counts and 4 in job_counts:
+        enforced, verdict = _speedup_gate(throughputs)
+        print(f"  speedup gate: {verdict}")
+        if enforced and throughputs[4] / throughputs[1] < MIN_SPEEDUP:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,13 @@ Set ``REPRO_BENCH_SCALE`` (e.g. ``0.2``) to shrink the corpus for quick
 runs; the default regenerates the paper's full 5,181-message study.
 Every bench writes its paper-vs-measured comparison to
 ``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
-capture.
+capture, and a machine-readable ``benchmarks/results/<name>.json``
+(metrics + seed + scale) so the perf trajectory is diffable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -44,23 +46,47 @@ def full_records(full_corpus, full_box):
 
 
 class ComparisonWriter:
-    """Collects paper-vs-measured rows and persists them per bench."""
+    """Collects paper-vs-measured rows and persists them per bench.
+
+    ``row``/``note`` feed the human-readable ``.txt``; ``metric`` adds
+    raw machine-readable values.  ``flush`` writes both the ``.txt`` and
+    a ``.json`` carrying the rows, the extra metrics, and the bench's
+    seed + scale, so results diff cleanly across PRs.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.lines: list[str] = [f"# {name} (scale={BENCH_SCALE}, seed={BENCH_SEED})", ""]
+        self.rows: list[dict] = []
+        self.metrics: dict = {}
 
     def row(self, metric: str, paper, measured) -> None:
         self.lines.append(f"{metric:<52s} paper={paper!s:<18s} measured={measured!s}")
+        self.rows.append({"metric": metric, "paper": paper, "measured": measured})
+
+    def metric(self, key: str, value) -> None:
+        """Record a raw machine-readable value (JSON output only)."""
+        self.metrics[key] = value
 
     def note(self, text: str) -> None:
         self.lines.append(text)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "rows": self.rows,
+            "metrics": self.metrics,
+        }
 
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.name}.txt"
         content = "\n".join(self.lines) + "\n"
         path.write_text(content)
+        json_path = RESULTS_DIR / f"{self.name}.json"
+        json_path.write_text(json.dumps(self.as_dict(), indent=2, default=str) + "\n")
         print("\n" + content)
 
 

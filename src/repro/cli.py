@@ -3,8 +3,10 @@
 Commands:
 
 - ``run``     generate the calibrated world, analyse the corpus — with
-              ``--jobs N`` across a sharded worker pool and with
-              ``--checkpoint DIR`` durably — print the headline
+              ``--jobs N`` across a sharded worker pool (``--executor
+              thread|process``; process scales past the GIL), with
+              ``--checkpoint DIR`` durably, and with ``--profile``
+              timing every pipeline stage — print the headline
               statistics (optionally export the artifacts).
 - ``resume``  continue an interrupted checkpointed run, skipping the
               message indices that already have durable records.
@@ -72,12 +74,14 @@ def _print_study_report(records, world=None) -> None:
           f"{infrastructure.largest_campaign_domains} domains)")
 
 
-def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir):
+def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
+                  executor: str = "auto", profile: bool = False):
     """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes."""
     from repro import CrawlerBox
-    from repro.runner import CheckpointStore, CorpusRunner
+    from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
 
     checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    profiler = StageProfiler() if profile else None
 
     def progress(stats, completed, total):
         print(f"  ... {completed}/{total} analysed "
@@ -85,16 +89,24 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir):
               f"retried {stats.retried}, dead-lettered {stats.dead_lettered})")
 
     return CorpusRunner(
-        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world),
+        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world, profiler=profiler),
         jobs=jobs,
+        executor=executor,
+        config=RunnerConfig(seed=seed, scale=scale),
         checkpoint=checkpoint,
         progress=progress,
         progress_every=200,
         run_info={"seed": seed, "scale": scale},
+        profiler=profiler,
     )
 
 
 def _finish_run(result, corpus, export_path) -> int:
+    if result.stats.stage_seconds:
+        from repro.runner import format_stage_report
+
+        print("\nPer-stage timing:")
+        print(format_stage_report(result.stats.stage_calls, result.stats.stage_seconds))
     _print_study_report(result.records, corpus.world)
     for letter in result.dead_letters:
         print(f"DEAD LETTER: message {letter.index} after {letter.attempts} attempts: "
@@ -116,9 +128,11 @@ def cmd_run(args) -> int:
     print(f"  {len(corpus.messages)} messages, {len(corpus.domain_plans)} landing domains "
           f"({time.time() - started:.1f}s)")
 
-    print(f"Running CrawlerBox over the corpus (jobs={args.jobs}) ...")
+    runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint,
+                           executor=args.executor, profile=args.profile)
+    print(f"Running CrawlerBox over the corpus "
+          f"(jobs={args.jobs}, executor={runner.resolve_executor()}) ...")
     started = time.time()
-    runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint)
     result = runner.run(corpus.messages)
     print(f"  analysed in {time.time() - started:.1f}s")
 
@@ -150,7 +164,8 @@ def cmd_resume(args) -> int:
         return 1
 
     started = time.time()
-    runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint)
+    runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint,
+                           executor=args.executor, profile=args.profile)
     result = runner.run(corpus.messages)
     print(f"  {len(result.resumed_indices)} records reused, "
           f"{len(result.records) - len(result.resumed_indices)} analysed "
@@ -195,8 +210,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="corpus scale in (0,1]; 1.0 = the full 5,181 messages")
     run_parser.add_argument("--seed", type=int, default=2024)
     run_parser.add_argument("--jobs", type=_positive_int, default=1,
-                            help="worker threads, each with a private CrawlerBox "
+                            help="workers, each with a private CrawlerBox "
                                  "(records are identical for any jobs count)")
+    run_parser.add_argument("--executor", choices=("auto", "thread", "process"),
+                            default="auto",
+                            help="worker backend: 'process' scales past the GIL by "
+                                 "regenerating the corpus per worker; 'thread' starts "
+                                 "instantly but is GIL-bound; 'auto' picks process "
+                                 "when --jobs > 1")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="collect per-stage timings and print the breakdown")
     run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
                             help="append finished records to DIR/records.jsonl so the "
                                  "run can be resumed after an interruption")
@@ -209,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("checkpoint", help="checkpoint directory of the interrupted run")
     resume_parser.add_argument("--jobs", type=_positive_int, default=None,
                                help="override the manifest's worker count")
+    resume_parser.add_argument("--executor", choices=("auto", "thread", "process"),
+                               default="auto", help="worker backend (see 'run --executor')")
+    resume_parser.add_argument("--profile", action="store_true",
+                               help="collect per-stage timings and print the breakdown")
     resume_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the completed artifacts to a JSON file")
     resume_parser.set_defaults(handler=cmd_resume)

@@ -32,6 +32,7 @@ from repro.kits.brands import COMPANY_BRANDS
 from repro.mail.auth import MailAuthDns, evaluate_authentication
 from repro.mail.message import EmailMessage
 from repro.mail.parser import EmailParser
+from repro.runner.profile import NULL_PROFILER
 from repro.web.network import Network
 from repro.web.urls import UrlError, parse_url
 
@@ -94,8 +95,12 @@ class CrawlerBox:
         spear_classifier: SpearPhishClassifier | None = None,
         config: PipelineConfig | None = None,
         rng: random.Random | None = None,
+        profiler=None,
     ):
         self.network = network
+        #: Per-stage timing sink (``repro run --profile``); the null
+        #: profiler makes the instrumentation free when disabled.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.mail_dns = mail_dns or MailAuthDns()
         self.config = config or PipelineConfig()
         self.rng = rng or random.Random(7)
@@ -146,9 +151,11 @@ class CrawlerBox:
             sender_domain=message.sender_domain,
             ground_truth=dict(message.ground_truth),
         )
-        record.auth = evaluate_authentication(message, self.mail_dns)
+        with self.profiler.stage("auth"):
+            record.auth = evaluate_authentication(message, self.mail_dns)
 
-        report = self.parser.parse(message)
+        with self.profiler.stage("parse"):
+            report = self.parser.parse(message)
         record.extraction = report
         record.qr_payloads = tuple(report.qr_payloads)
         record.noise_padded = bool(_NOISE_RE.search(message.body_text()))
@@ -160,17 +167,18 @@ class CrawlerBox:
         from repro.core.outcomes import _password_form_visible
 
         dynamic_urls: list[str] = []
-        for part_path, markup in report.html_documents:
-            session = self.crawler.crawl_html(markup, timestamp=analysis_time)
-            record.local_session_signals.append(session.signals())
-            is_attachment = part_path in report.html_attachment_paths
-            if is_attachment and _password_form_visible(session):
-                record.local_login_form = True
-            target = session.navigation_target
-            if target:
-                resolved = session.resolve_url(target)
-                if resolved is not None:
-                    dynamic_urls.append(resolved.raw)
+        with self.profiler.stage("dynamic-html"):
+            for part_path, markup in report.html_documents:
+                session = self.crawler.crawl_html(markup, timestamp=analysis_time)
+                record.local_session_signals.append(session.signals())
+                is_attachment = part_path in report.html_attachment_paths
+                if is_attachment and _password_form_visible(session):
+                    record.local_login_form = True
+                target = session.navigation_target
+                if target:
+                    resolved = session.resolve_url(target)
+                    if resolved is not None:
+                        dynamic_urls.append(resolved.raw)
 
         urls: list[str] = []
         seen: set[str] = set()
@@ -201,9 +209,11 @@ class CrawlerBox:
             local_login_form=record.local_login_form,
         )
 
-        self._classify_spear(record)
+        with self.profiler.stage("spear"):
+            self._classify_spear(record)
         if self.config.enrich:
-            self._enrich(record, analysis_time)
+            with self.profiler.stage("enrich"):
+                self._enrich(record, analysis_time)
         return record
 
     def analyze_corpus(self, messages: list[EmailMessage]) -> list[MessageRecord]:
@@ -237,7 +247,8 @@ class CrawlerBox:
         discovered_dynamically: bool,
         extraction_method: str,
     ) -> UrlCrawl:
-        result: VisitResult = self.crawler.crawl_url(url, timestamp=analysis_time)
+        with self.profiler.stage("crawl"):
+            result: VisitResult = self.crawler.crawl_url(url, timestamp=analysis_time)
         page_class = classify_visit(result)
         session = result.final_session
 
@@ -256,9 +267,10 @@ class CrawlerBox:
             and session is not None
             and page_class in (PageClass.LOGIN_FORM, PageClass.GATED_LOGIN, PageClass.INTERACTION, PageClass.BENIGN)
         ):
-            screenshot = session.screenshot()
-            screenshot_phash = phash(screenshot)
-            screenshot_dhash = dhash(screenshot)
+            with self.profiler.stage("screenshot-hash"):
+                screenshot = session.screenshot()
+                screenshot_phash = phash(screenshot)
+                screenshot_dhash = dhash(screenshot)
 
         resource_requests = tuple(
             (request.url, request.kind, request.referrer)

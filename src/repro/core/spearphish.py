@@ -56,19 +56,42 @@ class SpearPhishClassifier:
 
     @classmethod
     def from_portals(cls, network, brands, threshold: int = DEFAULT_THRESHOLD) -> "SpearPhishClassifier":
-        """Build references by crawling the legitimate portals."""
+        """Build references by crawling the legitimate portals.
+
+        The reference crawl is deterministic (fixed RNG, fixed brand
+        list), so its pHash/dHash results are memoized on the network
+        object: every worker's CrawlerBox shares one portal crawl per
+        world instead of re-rendering and re-hashing the five portals
+        per worker.
+        """
+        key = tuple((brand.name, brand.login_domain) for brand in brands)
+        cache = network.__dict__.setdefault("_spear_reference_cache", {})
+        references = cache.get(key)
+        if references is None:
+            references = cls._crawl_references(network, brands)
+            cache.setdefault(key, references)
+        classifier = cls(threshold=threshold)
+        classifier.references = list(references)
+        return classifier
+
+    @staticmethod
+    def _crawl_references(network, brands) -> tuple[ReferencePage, ...]:
         import random
 
         from repro.crawlers.notabot import NotABot
 
-        classifier = cls(threshold=threshold)
         crawler = NotABot(network, rng=random.Random(99))
+        references = []
         for brand in brands:
             result = crawler.crawl_url(f"https://{brand.login_domain}/")
             screenshot = result.screenshot()
             if screenshot is not None:
-                classifier.add_reference(brand.name, screenshot)
-        return classifier
+                references.append(
+                    ReferencePage(
+                        brand=brand.name, phash=phash(screenshot), dhash=dhash(screenshot)
+                    )
+                )
+        return tuple(references)
 
     # ------------------------------------------------------------------
     def match(self, screenshot: Image) -> SpearMatch | None:

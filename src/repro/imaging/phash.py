@@ -5,6 +5,13 @@ Section V-A: "we use fuzzy hashes: pHash (perceptual hash) and dHash
 distance between the screenshot's hash and the hash of the real legitimate
 pages."  Both hashes operate on grayscale data, which is why the
 ``hue-rotate(4deg)`` evasion of Section V-C does not defeat them.
+
+The thumbnail reduction is fully vectorized: block sums are computed
+with ``np.add.reduceat`` over *integer* per-mille BT.601 luminance
+(``299·R + 587·G + 114·B``), which is exact in int64 and therefore
+independent of summation order — the vectorized fast path is
+bit-identical to a naive per-block double loop by construction (see
+``tests/test_imaging_phash.py``), not merely close in floating point.
 """
 
 from __future__ import annotations
@@ -17,6 +24,22 @@ from repro.imaging.image import Image
 #: Number of bits in either hash.
 HASH_BITS = 64
 
+#: Integer per-mille ITU-R BT.601 luminance weights (R, G, B).
+_LUMA_WEIGHTS = np.array([299, 587, 114], dtype=np.int64)
+
+
+def _block_edges(src: int, dst: int) -> tuple[np.ndarray, np.ndarray]:
+    """Start indices and pixel counts of ``dst`` blocks covering ``src``.
+
+    Blocks are the half-open `linspace` bins; degenerate bins (possible
+    only when upscaling, ``src < dst``) are widened to a single pixel so
+    every block mean is defined.
+    """
+    edges = np.linspace(0, src, dst + 1).astype(int)
+    starts = edges[:-1]
+    ends = np.maximum(edges[1:], starts + 1)
+    return starts, ends - starts
+
 
 def _resize_gray(image: Image, width: int, height: int) -> np.ndarray:
     """Grayscale + block-mean resize to (height, width).
@@ -24,17 +47,15 @@ def _resize_gray(image: Image, width: int, height: int) -> np.ndarray:
     Block averaging (rather than nearest-neighbour) keeps the hash stable
     under small noise, which is the whole point of a fuzzy hash.
     """
-    gray = image.to_grayscale()
-    src_h, src_w = gray.shape
-    y_edges = np.linspace(0, src_h, height + 1).astype(int)
-    x_edges = np.linspace(0, src_w, width + 1).astype(int)
-    out = np.empty((height, width), dtype=np.float64)
-    for row in range(height):
-        y0, y1 = y_edges[row], max(y_edges[row + 1], y_edges[row] + 1)
-        for col in range(width):
-            x0, x1 = x_edges[col], max(x_edges[col + 1], x_edges[col] + 1)
-            out[row, col] = gray[y0:y1, x0:x1].mean()
-    return out
+    luma = image.pixels.astype(np.int64) @ _LUMA_WEIGHTS  # exact, (H, W)
+    y_starts, y_counts = _block_edges(luma.shape[0], height)
+    x_starts, x_counts = _block_edges(luma.shape[1], width)
+    # reduceat sums [starts[i], starts[i+1]); a non-increasing pair —
+    # a degenerate upscaling bin — yields the single row/col at starts[i],
+    # which matches the one-pixel widening of ``_block_edges``.
+    sums = np.add.reduceat(np.add.reduceat(luma, y_starts, axis=0), x_starts, axis=1)
+    counts = np.outer(y_counts, x_counts)
+    return sums / (counts * 1000.0)
 
 
 def phash(image: Image) -> int:
@@ -65,10 +86,8 @@ def dhash(image: Image) -> int:
 
 
 def _bits_to_int(bits: np.ndarray) -> int:
-    value = 0
-    for bit in bits:
-        value = (value << 1) | int(bit)
-    return value
+    packed = np.packbits(bits.astype(np.uint8))  # MSB-first, like << folding
+    return int.from_bytes(packed.tobytes(), "big")
 
 
 def hamming_distance(hash_a: int, hash_b: int) -> int:

@@ -1,6 +1,19 @@
-"""Recursive-descent parser for the PhishScript JavaScript subset."""
+"""Recursive-descent parser for the PhishScript JavaScript subset.
+
+Parsed programs are cached in a small LRU keyed by a hash of the script
+source: phishing kits deploy the same cloaking/anti-debug scripts on
+every page of a campaign, so a corpus run re-lexes and re-parses the
+same few hundred distinct scripts thousands of times.  The cache
+returns the *same* ``Program`` object for identical sources — safe
+because AST nodes are plain dataclasses that the interpreter never
+mutates (all mutable evaluation state lives in ``Environment``).
+"""
 
 from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
 
 from repro.js import nodes as ast
 from repro.js.lexer import JSSyntaxError, Token, tokenize
@@ -520,9 +533,76 @@ class Parser:
         return ast.ObjectLiteral(entries)
 
 
-def parse(source: str) -> ast.Program:
-    """Parse PhishScript source into a program AST."""
-    return Parser(tokenize(source)).parse_program()
+class _ParseCache:
+    """Thread-safe LRU of parsed programs keyed by source hash."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._programs: OrderedDict[bytes, ast.Program] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(source: str) -> bytes:
+        return hashlib.blake2b(source.encode("utf-8"), digest_size=16).digest()
+
+    def get(self, key: bytes) -> ast.Program | None:
+        with self._lock:
+            program = self._programs.get(key)
+            if program is None:
+                self.misses += 1
+                return None
+            self._programs.move_to_end(key)
+            self.hits += 1
+            return program
+
+    def put(self, key: bytes, program: ast.Program) -> None:
+        with self._lock:
+            self._programs[key] = program
+            self._programs.move_to_end(key)
+            while len(self._programs) > self.maxsize:
+                self._programs.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._programs.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._programs),
+                "maxsize": self.maxsize,
+            }
+
+
+_PARSE_CACHE = _ParseCache()
+
+
+def parse_cache_info() -> dict:
+    """Hit/miss/size counters of the shared parse cache."""
+    return _PARSE_CACHE.info()
+
+
+def clear_parse_cache() -> None:
+    """Drop all cached programs and reset the counters."""
+    _PARSE_CACHE.clear()
+
+
+def parse(source: str, use_cache: bool = True) -> ast.Program:
+    """Parse PhishScript source into a program AST (LRU-cached)."""
+    if not use_cache:
+        return Parser(tokenize(source)).parse_program()
+    key = _ParseCache.key(source)
+    program = _PARSE_CACHE.get(key)
+    if program is None:
+        program = Parser(tokenize(source)).parse_program()
+        _PARSE_CACHE.put(key, program)
+    return program
 
 
 def parse_expression_source(source: str) -> ast.Node:

@@ -18,30 +18,44 @@ the per-message pipeline in a production-style engine:
   message indices it already analyzed.
 - :mod:`~repro.runner.stats` — incremental, mergeable running counters
   so progress reporting never re-scans completed records.
+- :mod:`~repro.runner.executor` — the process-based backend: workers
+  rebuild their world from a picklable :class:`RunnerConfig` and pull
+  message indices, so the CPU-bound analysis scales past the GIL.
+- :mod:`~repro.runner.profile` — per-stage wall-clock timing
+  (``repro run --profile``), mergeable across threads and processes.
 - :mod:`~repro.runner.runner` — the :class:`CorpusRunner` facade.
 
 Determinism guarantee: the pipeline derives each message's RNG stream
 from ``(corpus seed material, message_index)`` only, so a ``jobs=8``
-run produces byte-identical records to a ``jobs=1`` run regardless of
-scheduling order.
+run — on either backend — produces byte-identical records to a
+``jobs=1`` run regardless of scheduling order.
 """
 
 from repro.runner.checkpoint import CheckpointStore, RunManifest
+from repro.runner.executor import ProcessPool, RunnerConfig, WorkerCrash
+from repro.runner.profile import NULL_PROFILER, StageProfiler, format_stage_report
 from repro.runner.queue import Job, JobQueue, QueueClosed
 from repro.runner.retry import DeadLetter, RetryPolicy, TransientFault
-from repro.runner.runner import CorpusRunner, RunResult
+from repro.runner.runner import EXECUTORS, CorpusRunner, RunResult
 from repro.runner.stats import RunningStats
 
 __all__ = [
     "CheckpointStore",
     "CorpusRunner",
     "DeadLetter",
+    "EXECUTORS",
     "Job",
     "JobQueue",
+    "NULL_PROFILER",
+    "ProcessPool",
     "QueueClosed",
     "RetryPolicy",
     "RunManifest",
+    "RunnerConfig",
     "RunResult",
     "RunningStats",
+    "StageProfiler",
     "TransientFault",
+    "WorkerCrash",
+    "format_stage_report",
 ]

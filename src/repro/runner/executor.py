@@ -1,0 +1,357 @@
+"""Process-based execution backend: scale past the GIL.
+
+The per-message analysis (JS interpretation, QR decoding, DCT hashing,
+DOM rendering) is CPU-bound pure Python, so the thread backend cannot
+exceed one core on a stock interpreter.  This module runs the same
+sharded-worker design across *processes*:
+
+- Nothing live crosses the process boundary.  Workers receive a
+  picklable :class:`RunnerConfig` (seed material, scale, crawler profile
+  name), regenerate the corpus and build a private
+  :class:`~repro.core.pipeline.CrawlerBox` locally, and then pull
+  message *indices* in batches — full MIME trees are never pickled.
+- Finished records stream back to the parent as the plain dicts of
+  :mod:`repro.core.export`, the same serialization the JSONL checkpoint
+  uses, so the parent (which owns the checkpoint, manifest, retry and
+  dead-letter bookkeeping, and the stats merge) reconstructs records
+  losslessly.
+- Determinism is inherited from the pipeline: every record depends only
+  on ``(seed material, message_index)``, so ``jobs=N`` process runs are
+  byte-identical to ``jobs=1`` thread runs.
+
+A worker process that dies (OOM-killed, segfaulted native code, or the
+test fault injector's hard exit) is detected by the parent's liveness
+poll: its in-flight indices are charged one failed attempt each and
+re-queued or dead-lettered per the retry policy, and a replacement
+worker is spawned.  The *thread* backend remains the default for
+``jobs=1`` and for spawn-unfriendly environments (Windows, frozen
+binaries): it needs no picklable config and starts instantly, at the
+price of GIL-serialized throughput.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as stdlib_queue
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.runner.retry import TransientFault
+
+#: Seconds between liveness polls while waiting for worker results.
+_POLL_INTERVAL = 0.25
+
+#: Seconds to wait for workers to acknowledge a stop before terminating.
+_STOP_GRACE = 5.0
+
+#: Seconds of total silence (no results, no crashes, work outstanding)
+#: before the parent declares the pool wedged and aborts loudly.  Far
+#: above any single-message analysis time; this converts a worker killed
+#: mid-queue-write — which leaves the shared write lock held and every
+#: other worker blocked — from an infinite hang into a hard error.
+_STALL_TIMEOUT = 60.0
+
+
+class WorkerCrash(TransientFault):
+    """A worker process died with in-flight jobs (treated as transient:
+    the crash may be environmental, so the indices get retried on a
+    fresh worker before being dead-lettered)."""
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Picklable recipe for rebuilding the analysis world in a worker.
+
+    Carries seed *material*, never live objects: each worker regenerates
+    its own corpus and world from the seed, exactly as the parent did.
+    """
+
+    seed: int = 2024
+    scale: float = 1.0
+    crawler_profile: str = "notabot"
+    #: Collect per-stage timings (see :mod:`repro.runner.profile`).
+    profile: bool = False
+    #: Test-only fault injection, applied inside the worker:
+    #: ``"crash:<index>"`` hard-exits the process when analyzing that
+    #: message; ``"transient:<index>:<n>"`` raises TransientFault on the
+    #: first ``n`` attempts at that message.
+    fault: str = ""
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """(messages, box) — runs inside the worker process."""
+        from repro.core import CrawlerBox
+        from repro.crawlers.base import Crawler
+        from repro.crawlers.profiles import crawler_profile
+        from repro.dataset import CorpusGenerator
+        from repro.runner.profile import StageProfiler
+
+        corpus = CorpusGenerator(seed=self.seed, scale=self.scale).generate()
+        profiler = StageProfiler() if self.profile else None
+        box = CrawlerBox.for_world(corpus.world, profiler=profiler)
+        if self.crawler_profile != "notabot":
+            box.crawler = Crawler(
+                corpus.world.network,
+                crawler_profile(self.crawler_profile),
+                rng=box.crawler.rng,
+                retain_results=False,
+            )
+        return corpus.messages, box
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _parse_fault(spec: str):
+    if not spec:
+        return None
+    parts = spec.split(":")
+    if parts[0] == "crash":
+        return ("crash", int(parts[1]))
+    if parts[0] == "transient":
+        return ("transient", int(parts[1]), int(parts[2]) if len(parts) > 2 else 1)
+    raise ValueError(f"unknown fault spec {spec!r}")
+
+
+def _portable_error(error: BaseException) -> BaseException:
+    """The exception itself when picklable, else a repr-carrying stand-in."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(repr(error))
+
+
+def _worker_main(worker_id: int, config: RunnerConfig, inq, outq) -> None:
+    """Worker process entry point: build once, analyze batches forever."""
+    try:
+        messages, box = config.build()
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        outq.put(("init-failed", worker_id, repr(error)))
+        return
+    outq.put(("ready", worker_id))
+    fault = _parse_fault(config.fault)
+    fault_seen = 0
+    while True:
+        command = inq.get()
+        if command[0] == "stop":
+            if box.profiler is not None and box.profiler.enabled:
+                outq.put(("profile", worker_id, box.profiler.snapshot()))
+            outq.put(("stopped", worker_id))
+            return
+        for index in command[1]:
+            try:
+                if fault is not None and fault[1] == index:
+                    if fault[0] == "crash":
+                        # Simulate a hard worker death — but flush the
+                        # result queue's feeder thread first: exiting
+                        # while it holds the queue's shared write lock
+                        # would deadlock every other worker's put()
+                        # (an inherent multiprocessing.Queue hazard the
+                        # fault models death *between* writes to avoid).
+                        outq.close()
+                        outq.join_thread()
+                        os._exit(13)
+                    fault_seen += 1
+                    if fault_seen <= fault[2]:
+                        raise TransientFault(f"injected fault attempt {fault_seen}")
+                record = box.analyze(messages[index], message_index=index)
+            except BaseException as error:  # noqa: BLE001 - routed to parent
+                outq.put(("fail", worker_id, index, _portable_error(error)))
+            else:
+                from repro.core.export import record_to_dict
+
+                outq.put(("ok", worker_id, index, record_to_dict(record)))
+        outq.put(("batch-done", worker_id))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ProcessPool:
+    """Drives worker processes for one :class:`CorpusRunner` run.
+
+    The runner owns all durable state (checkpoint, manifest, stats,
+    dead letters); the pool owns only scheduling: batch dispatch,
+    retry/crash accounting, and worker lifecycle.
+    """
+
+    def __init__(self, runner, config: RunnerConfig, jobs: int, batch_size: int | None = None):
+        self.runner = runner
+        self.config = replace(config, profile=runner.profiler is not None)
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self.context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        self.outq = self.context.Queue()
+        self.workers: dict[int, object] = {}
+        self.inqs: dict[int, object] = {}
+        self.inflight: dict[int, set[int]] = {}
+        self.idle: set[int] = set()
+        self.stopped: set[int] = set()
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------------
+    def run(self, pending: list[int]) -> None:
+        runner = self.runner
+        batch = self.batch_size or max(1, min(16, len(pending) // (self.jobs * 4) or 1))
+        self.pending: deque[int] = deque(pending)
+        #: Failed indices awaiting re-delivery; dispatched one per batch
+        #: so a poison message cannot drag batch-mates into its crash
+        #: accounting a second time.
+        self.retries: deque[int] = deque()
+        self.remaining: set[int] = set(pending)
+        self.attempts: dict[int, int] = {}
+
+        for _ in range(min(self.jobs, max(1, len(pending)))):
+            self._spawn_worker()
+        try:
+            idle_polls = 0
+            while self.remaining and runner._fatal is None:
+                try:
+                    message = self.outq.get(timeout=_POLL_INTERVAL)
+                except stdlib_queue.Empty:
+                    self._reap_crashed_workers(batch)
+                    idle_polls += 1
+                    if idle_polls * _POLL_INTERVAL >= _STALL_TIMEOUT:
+                        raise RuntimeError(
+                            f"process pool stalled: no worker output for "
+                            f"{_STALL_TIMEOUT:.0f}s with "
+                            f"{len(self.remaining)} message(s) outstanding"
+                        )
+                    continue
+                idle_polls = 0
+                self._handle(message, batch)
+            self._shutdown(graceful=runner._fatal is None)
+        except BaseException:
+            self._shutdown(graceful=False)
+            raise
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        inq = self.context.Queue()
+        process = self.context.Process(
+            target=_worker_main,
+            args=(worker_id, self.config, inq, self.outq),
+            name=f"repro-proc-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self.workers[worker_id] = process
+        self.inqs[worker_id] = inq
+        self.inflight[worker_id] = set()
+
+    def _dispatch(self, worker_id: int, batch: int) -> None:
+        indices = []
+        if self.retries:
+            indices.append(self.retries.popleft())  # isolated re-delivery
+        else:
+            while self.pending and len(indices) < batch:
+                indices.append(self.pending.popleft())
+        if not indices:
+            self.idle.add(worker_id)
+            return
+        self.idle.discard(worker_id)
+        self.inflight[worker_id] = set(indices)
+        self.inqs[worker_id].put(("batch", indices))
+
+    def _dispatch_idle(self, batch: int) -> None:
+        for worker_id in sorted(self.idle):
+            if not self.pending and not self.retries:
+                return
+            self._dispatch(worker_id, batch)
+
+    # ------------------------------------------------------------------
+    def _handle(self, message: tuple, batch: int) -> None:
+        kind, worker_id = message[0], message[1]
+        if kind == "ready":
+            self._dispatch(worker_id, batch)
+        elif kind == "ok":
+            index, payload = message[2], message[3]
+            self.inflight.get(worker_id, set()).discard(index)
+            if index in self.remaining:
+                from repro.core.export import record_from_dict
+
+                self.remaining.discard(index)
+                self.runner._record_success(index, record_from_dict(payload))
+        elif kind == "fail":
+            index, error = message[2], message[3]
+            self.inflight.get(worker_id, set()).discard(index)
+            if index in self.remaining:
+                self._count_failure(index, error)
+                self._dispatch_idle(batch)
+        elif kind == "batch-done":
+            self._dispatch(worker_id, batch)
+        elif kind == "profile":
+            self.runner._merge_stage_snapshot(message[2])
+        elif kind == "stopped":
+            self.stopped.add(worker_id)
+        elif kind == "init-failed":
+            self.runner._set_fatal(
+                RuntimeError(f"worker {worker_id} failed to initialize: {message[2]}")
+            )
+
+    def _count_failure(self, index: int, error: BaseException) -> None:
+        runner = self.runner
+        policy = runner.retry_policy
+        if not policy.is_transient(error):
+            runner._set_fatal(error)
+            return
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        if self.attempts[index] < policy.max_attempts:
+            runner._note_retry()
+            self.retries.append(index)
+        else:
+            self.remaining.discard(index)
+            runner._record_dead(index, self.attempts[index], repr(error))
+
+    def _reap_crashed_workers(self, batch: int) -> None:
+        for worker_id, process in list(self.workers.items()):
+            if process.is_alive() or worker_id in self.stopped:
+                continue
+            lost = sorted(self.inflight.pop(worker_id, set()) & self.remaining)
+            del self.workers[worker_id]
+            self.inqs.pop(worker_id, None)
+            self.idle.discard(worker_id)
+            crash = WorkerCrash(
+                f"worker process died (exit code {process.exitcode}) "
+                f"with {len(lost)} job(s) in flight"
+            )
+            for index in lost:
+                self._count_failure(index, crash)
+            if self.remaining and self.runner._fatal is None:
+                self._spawn_worker()  # replacement picks the retries up
+        self._dispatch_idle(batch)
+
+    # ------------------------------------------------------------------
+    def _shutdown(self, graceful: bool) -> None:
+        for worker_id, inq in list(self.inqs.items()):
+            if graceful:
+                try:
+                    inq.put(("stop",))
+                except Exception:
+                    pass
+        if graceful:
+            deadline = _STOP_GRACE
+            while len(self.stopped) < len(self.workers) and deadline > 0:
+                try:
+                    message = self.outq.get(timeout=_POLL_INTERVAL)
+                except stdlib_queue.Empty:
+                    if not any(process.is_alive() for process in self.workers.values()):
+                        break
+                    deadline -= _POLL_INTERVAL
+                    continue
+                if message[0] in ("profile", "stopped"):
+                    self._handle(message, batch=1)
+        for process in self.workers.values():
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=_STOP_GRACE)
+        self.outq.cancel_join_thread()
+        for inq in self.inqs.values():
+            inq.cancel_join_thread()

@@ -1,0 +1,132 @@
+"""Per-stage wall-clock timing for the analysis hot path.
+
+``StageProfiler`` accumulates monotonic-clock durations per named
+pipeline stage (auth, parse, dynamic-html, crawl, screenshot-hash,
+spear, enrich).  It is cheap enough to leave wired into the pipeline:
+when profiling is off the pipeline holds the shared :data:`NULL_PROFILER`
+whose ``stage()`` context manager is a no-op.
+
+Aggregation follows the :class:`~repro.runner.stats.RunningStats` model:
+snapshots from independent workers (threads *or* processes — snapshots
+are plain dicts and cross pickle boundaries) merge by summation, and
+the runner folds the merged totals into ``RunningStats.stage_calls`` /
+``stage_seconds`` so ``repro run --profile`` can print where the time
+went from the same object that carries the headline counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+
+class _StageTimer:
+    """Context manager timing one stage entry."""
+
+    __slots__ = ("profiler", "name", "started")
+
+    def __init__(self, profiler: "StageProfiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self.started = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.profiler.record(self.name, time.perf_counter() - self.started)
+
+
+class _NullTimer:
+    """Shared no-op context manager for the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullProfiler:
+    """Profiling disabled: every stage() is the same no-op context."""
+
+    __slots__ = ()
+    enabled = False
+
+    def stage(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def record(self, name: str, seconds: float) -> None:
+        return None
+
+
+#: The pipeline's default profiler — costs one attribute lookup and an
+#: empty with-block per stage.
+NULL_PROFILER = NullProfiler()
+
+
+class StageProfiler:
+    """Thread-safe per-stage call/duration accumulator."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.stage_calls: Counter = Counter()
+        self.stage_seconds: Counter = Counter()
+
+    def stage(self, name: str) -> _StageTimer:
+        """Time a stage: ``with profiler.stage("crawl"): ...``"""
+        return _StageTimer(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self.stage_calls[name] += 1
+            self.stage_seconds[name] += seconds
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable {stage: {"calls": n, "seconds": s}} snapshot."""
+        with self._lock:
+            return {
+                name: {"calls": self.stage_calls[name], "seconds": self.stage_seconds[name]}
+                for name in sorted(self.stage_calls)
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another profiler's snapshot (e.g. a worker process's) in."""
+        with self._lock:
+            for name, entry in snapshot.items():
+                self.stage_calls[name] += int(entry["calls"])
+                self.stage_seconds[name] += float(entry["seconds"])
+
+    def merge_into_stats(self, stats) -> None:
+        """Fold the totals into a RunningStats' stage counters."""
+        with self._lock:
+            stats.stage_calls.update(self.stage_calls)
+            stats.stage_seconds.update(self.stage_seconds)
+
+
+def format_stage_report(stage_calls, stage_seconds) -> str:
+    """A fixed-width per-stage table (stage, calls, total, per-call, share)."""
+    total = sum(stage_seconds.values())
+    lines = [
+        f"{'stage':<18s} {'calls':>8s} {'total s':>9s} {'ms/call':>9s} {'share':>7s}"
+    ]
+    for name in sorted(stage_seconds, key=stage_seconds.get, reverse=True):
+        seconds = stage_seconds[name]
+        calls = stage_calls.get(name, 0)
+        per_call = 1000.0 * seconds / calls if calls else 0.0
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(
+            f"{name:<18s} {calls:>8d} {seconds:>9.3f} {per_call:>9.3f} {share:>6.1f}%"
+        )
+    lines.append(f"{'(all stages)':<18s} {'':>8s} {total:>9.3f}")
+    return "\n".join(lines)

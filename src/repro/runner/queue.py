@@ -116,9 +116,15 @@ class JobQueue:
                     return entry.job
                 if self._closed:
                     return None
+                if deadline is not None and self._clock() >= deadline:
+                    return None
                 wait = self._next_wait(deadline)
                 if wait is not None and wait <= 0:
-                    return None
+                    # A delayed job became due between the promotion scan
+                    # and the wait computation: loop and promote it instead
+                    # of timing out (returning None here would retire an
+                    # idle worker while work is still pending).
+                    continue
                 self._not_empty.wait(wait)
 
     def _promote_due(self) -> None:
@@ -128,7 +134,12 @@ class JobQueue:
             self._push(job)
 
     def _next_wait(self, deadline: float | None) -> float | None:
-        """Seconds to sleep before something could become eligible."""
+        """Seconds to block before something could become eligible.
+
+        ``None`` means "no wakeup scheduled": the worker blocks on the
+        condition until a put/requeue/close notifies it — idle workers
+        never poll.
+        """
         now = self._clock()
         candidates = []
         if self._delayed:
@@ -137,7 +148,7 @@ class JobQueue:
             candidates.append(deadline - now)
         if not candidates:
             return None
-        return max(min(candidates), 0.0)
+        return min(candidates)
 
     # ------------------------------------------------------------------
     def close(self, discard_pending: bool = False) -> None:

@@ -7,11 +7,21 @@ checkpoint store, and the running statistics::
     result = runner.run(corpus.messages)
     result.records   # sorted by message_index, identical to jobs=1
 
+Two execution backends share this bookkeeping (see
+:meth:`CorpusRunner.resolve_executor`):
+
+- ``thread`` — N worker threads with private CrawlerBoxes.  Instant
+  startup, no pickling requirements, works everywhere — but the
+  CPU-bound analysis is serialized by the GIL.
+- ``process`` — N worker *processes* (:mod:`repro.runner.executor`),
+  each rebuilding its world from a picklable :class:`RunnerConfig` and
+  streaming record dicts back to this parent.  Scales with cores.
+
 Determinism: workers race for jobs, so *completion* order varies —
 but every record depends only on ``(seed material, message_index)``
 (see :meth:`repro.core.pipeline.CrawlerBox.message_seed`), and the
 result list is sorted by index, so the records themselves are
-byte-identical across worker counts and scheduling orders.
+byte-identical across worker counts, backends, and scheduling orders.
 """
 
 from __future__ import annotations
@@ -23,17 +33,22 @@ from typing import Callable
 
 from repro.core.artifacts import MessageRecord
 from repro.runner.checkpoint import CheckpointStore, RunManifest
+from repro.runner.executor import ProcessPool, RunnerConfig
 from repro.runner.queue import Job, JobQueue, QueueClosed
 from repro.runner.retry import DeadLetter, RetryPolicy
 from repro.runner.stats import RunningStats
 from repro.runner.workers import Worker, spawn_workers
 
 #: fault_injector(message_index, prior_attempts) -> None; raising makes
-#: the delivery attempt fail (tests inject TransientFault here).
+#: the delivery attempt fail (tests inject TransientFault here).  Thread
+#: backend only — the process backend injects faults via
+#: ``RunnerConfig.fault`` since callables don't cross the boundary.
 FaultInjector = Callable[[int, int], None]
 
 #: progress(stats, completed, total) -> None.
 ProgressCallback = Callable[[RunningStats, int, int], None]
+
+EXECUTORS = ("auto", "thread", "process")
 
 
 @dataclass
@@ -46,6 +61,8 @@ class RunResult:
     dead_letters: list[DeadLetter] = field(default_factory=list)
     #: Indices skipped because the checkpoint already had them.
     resumed_indices: tuple[int, ...] = ()
+    #: Backend that actually ran ('thread' | 'process').
+    executor: str = "thread"
 
 
 class CorpusRunner:
@@ -53,8 +70,10 @@ class CorpusRunner:
 
     def __init__(
         self,
-        box_factory: Callable[[int], object],
+        box_factory: Callable[[int], object] | None = None,
         jobs: int = 1,
+        executor: str = "auto",
+        config: RunnerConfig | None = None,
         retry_policy: RetryPolicy | None = None,
         checkpoint: CheckpointStore | None = None,
         queue_size: int | None = None,
@@ -62,11 +81,19 @@ class CorpusRunner:
         progress: ProgressCallback | None = None,
         progress_every: int = 25,
         run_info: dict | None = None,
+        profiler=None,
+        batch_size: int | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if executor == "process" and config is None:
+            raise ValueError("the process executor needs a picklable RunnerConfig")
         self.box_factory = box_factory
         self.jobs = jobs
+        self.executor = executor
+        self.config = config
         self.retry_policy = retry_policy or RetryPolicy()
         self.checkpoint = checkpoint
         self.queue_size = queue_size if queue_size is not None else max(4 * jobs, 64)
@@ -75,9 +102,31 @@ class CorpusRunner:
         self.progress_every = max(1, progress_every)
         #: Free-form identity recorded in the manifest (seed, scale, ...).
         self.run_info = dict(run_info or {})
+        #: Shared StageProfiler for ``--profile`` (thread mode times the
+        #: boxes built by ``box_factory``; process mode turns on
+        #: per-worker profilers and merges their snapshots).
+        self.profiler = profiler
+        #: Indices per dispatch to a process worker (None = auto).
+        self.batch_size = batch_size
 
         self._lock = threading.Lock()
         self._jitter_rng = random.Random(0xB0FF)
+
+    # ------------------------------------------------------------------
+    def resolve_executor(self) -> str:
+        """The backend ``run()`` will use.
+
+        ``auto`` picks ``process`` whenever the run is parallel
+        (``jobs > 1``) and a picklable :class:`RunnerConfig` is
+        available; otherwise the thread backend (the right call for
+        ``jobs=1``, for live unpicklable worlds, and for
+        spawn-unfriendly platforms).
+        """
+        if self.executor != "auto":
+            return self.executor
+        if self.jobs > 1 and self.config is not None:
+            return "process"
+        return "thread"
 
     # ------------------------------------------------------------------
     def run(self, messages: list) -> RunResult:
@@ -102,23 +151,20 @@ class CorpusRunner:
         self._total = total
         self._write_manifest(status="running")
 
+        executor = self.resolve_executor()
         if pending:
-            self._queue = JobQueue(maxsize=self.queue_size)
-            workers = spawn_workers(self.jobs, self._queue, self.box_factory, self._handle)
-            try:
-                for index in pending:
-                    self._queue.put(Job(index=index, payload=messages[index]))
-            except QueueClosed:
-                pass  # a fatal failure tore the run down mid-enqueue
-            self._done.wait()
-            for worker in workers:
-                worker.join()
+            if executor == "process":
+                self._run_process(pending)
+            else:
+                self._run_threads(pending, messages)
             if self._fatal is not None:
                 self._write_manifest(status="failed")
                 if self.checkpoint is not None:
                     self.checkpoint.close()
                 raise self._fatal
 
+        if self.profiler is not None and executor == "thread":
+            self.profiler.merge_into_stats(self._stats)
         self._write_manifest(status="complete")
         if self.checkpoint is not None:
             self.checkpoint.close()
@@ -128,7 +174,75 @@ class CorpusRunner:
             stats=self._stats,
             dead_letters=sorted(self._dead, key=lambda letter: letter.index),
             resumed_indices=tuple(sorted(resumed)),
+            executor=executor,
         )
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def _run_threads(self, pending: list[int], messages: list) -> None:
+        if self.box_factory is None:
+            raise ValueError("the thread executor needs a box_factory")
+        self._queue = JobQueue(maxsize=self.queue_size)
+        workers = spawn_workers(self.jobs, self._queue, self.box_factory, self._handle)
+        try:
+            for index in pending:
+                self._queue.put(Job(index=index, payload=messages[index]))
+        except QueueClosed:
+            pass  # a fatal failure tore the run down mid-enqueue
+        self._done.wait()
+        for worker in workers:
+            worker.join()
+
+    def _run_process(self, pending: list[int]) -> None:
+        pool = ProcessPool(self, self.config, jobs=self.jobs, batch_size=self.batch_size)
+        pool.run(pending)
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping (thread-safe; called from worker threads and
+    # from the process pool's event loop)
+    # ------------------------------------------------------------------
+    def _record_success(self, index: int, record: MessageRecord) -> None:
+        with self._lock:
+            if index in self._records:
+                return  # duplicate delivery (crash-retry race): first wins
+            if self.checkpoint is not None:
+                self.checkpoint.append(record)
+            self._records[index] = record
+            self._stats.update(record)
+            completed = len(self._records)
+            report = self.progress is not None and (
+                completed % self.progress_every == 0 or completed == self._total
+            )
+            manifest_due = (
+                self.checkpoint is not None
+                and completed % self.progress_every == 0
+                and completed < self._total
+            )
+        if report:
+            self.progress(self._stats, completed, self._total)
+        if manifest_due:
+            self._write_manifest(status="running")
+
+    def _record_dead(self, index: int, attempts: int, error: str) -> None:
+        with self._lock:
+            self._dead.append(DeadLetter(index, attempts, error))
+            self._stats.dead_lettered += 1
+
+    def _note_retry(self) -> None:
+        with self._lock:
+            self._stats.retried += 1
+
+    def _set_fatal(self, error: BaseException) -> None:
+        with self._lock:
+            if self._fatal is None:
+                self._fatal = error
+
+    def _merge_stage_snapshot(self, snapshot: dict) -> None:
+        with self._lock:
+            for name, entry in snapshot.items():
+                self._stats.stage_calls[name] += int(entry["calls"])
+                self._stats.stage_seconds[name] += float(entry["seconds"])
 
     # ------------------------------------------------------------------
     # Worker-side handling (runs on worker threads; must never raise)
@@ -144,17 +258,7 @@ class CorpusRunner:
             self._on_success(job, record)
 
     def _on_success(self, job: Job, record: MessageRecord) -> None:
-        if self.checkpoint is not None:
-            self.checkpoint.append(record)
-        with self._lock:
-            self._records[job.index] = record
-            self._stats.update(record)
-            completed = len(self._records)
-            report = self.progress is not None and (
-                completed % self.progress_every == 0 or completed == self._total
-            )
-        if report:
-            self.progress(self._stats, completed, self._total)
+        self._record_success(job.index, record)
         self._finish_one()
 
     def _on_failure(self, job: Job, error: BaseException) -> None:
@@ -163,9 +267,7 @@ class CorpusRunner:
         policy = self.retry_policy
         if not policy.is_transient(error):
             # A pipeline bug, not flaky infrastructure: abort the run.
-            with self._lock:
-                if self._fatal is None:
-                    self._fatal = error
+            self._set_fatal(error)
             self._queue.close(discard_pending=True)
             self._done.set()
             return
@@ -178,21 +280,13 @@ class CorpusRunner:
             except QueueClosed:
                 pass  # fatal shutdown raced us; the run is aborting anyway
             return
-        with self._lock:
-            self._dead.append(DeadLetter(job.index, job.attempts, job.last_error))
-            self._stats.dead_lettered += 1
+        self._record_dead(job.index, job.attempts, job.last_error)
         self._finish_one()
 
     def _finish_one(self) -> None:
         with self._lock:
             self._outstanding -= 1
             finished = self._outstanding == 0
-            completed = len(self._records)
-            checkpoint_due = (
-                self.checkpoint is not None and completed % self.progress_every == 0
-            )
-        if checkpoint_due and not finished:
-            self._write_manifest(status="running")
         if finished:
             self._queue.close()
             self._done.set()

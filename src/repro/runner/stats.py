@@ -38,6 +38,10 @@ class RunningStats:
     console_hijack: int = 0
     dead_lettered: int = 0
     retried: int = 0
+    #: Per-stage profiling totals (populated only under ``--profile``;
+    #: see :mod:`repro.runner.profile`).
+    stage_calls: Counter = field(default_factory=Counter)
+    stage_seconds: Counter = field(default_factory=Counter)
 
     # ------------------------------------------------------------------
     def update(self, record: MessageRecord) -> None:
@@ -84,6 +88,8 @@ class RunningStats:
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         merged.categories = self.categories + other.categories
+        merged.stage_calls = self.stage_calls + other.stage_calls
+        merged.stage_seconds = self.stage_seconds + other.stage_seconds
         return merged
 
     # ------------------------------------------------------------------
@@ -108,6 +114,10 @@ class RunningStats:
             "console_hijack": self.console_hijack,
             "dead_lettered": self.dead_lettered,
             "retried": self.retried,
+            "stages": {
+                name: {"calls": self.stage_calls[name], "seconds": self.stage_seconds[name]}
+                for name in sorted(self.stage_calls)
+            },
         }
 
     @classmethod

@@ -6,6 +6,18 @@ policy lives in :class:`~repro.runner.runner.CorpusRunner`; all
 per-message analysis state (crawler, RNG, parser) lives in the worker's
 own :class:`~repro.core.pipeline.CrawlerBox`, so nothing mutable is
 shared between workers except the read-mostly world fabric.
+
+Idle workers *block* on the queue condition (``JobQueue.get`` with no
+timeout) — they never poll; a put/requeue/close notifies them.
+
+Why threads survive alongside the process backend: they start
+instantly, need no picklable config (any live world object works), and
+run on platforms where ``fork`` is unavailable and ``spawn`` is
+hostile (Windows services, frozen binaries, interactive sessions whose
+worlds were built in-process).  The tradeoff is the GIL: CPU-bound
+analysis throughput stays at roughly one core, so ``--executor
+process`` is the default for parallel runs whenever a
+:class:`~repro.runner.executor.RunnerConfig` is available.
 """
 
 from __future__ import annotations

@@ -1,0 +1,125 @@
+"""Hot-path caches: the JS parse LRU and the spear-reference memo.
+
+Both caches are pure wins only if they are invisible: a cached parse
+must yield an AST equal to a fresh parse, and a memoized reference
+crawl must yield the same pHash/dHash reference set a fresh crawl
+would.  These tests pin the invisibility and the actually-caching
+behaviour (hit counters, LRU eviction, per-key isolation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.js.parser import (
+    _ParseCache,
+    clear_parse_cache,
+    parse,
+    parse_cache_info,
+)
+
+SCRIPT = """
+var tries = 0;
+function check(blocked) {
+    if (blocked) { return -1; }
+    tries = tries + 1;
+    return tries * 10;
+}
+check(false) + check(false);
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_parse_cache()
+    yield
+    clear_parse_cache()
+
+
+class TestParseCache:
+    def test_cached_parse_equals_fresh_parse(self):
+        cached = parse(SCRIPT)
+        fresh = parse(SCRIPT, use_cache=False)
+        assert cached == fresh  # AST dataclass equality, node for node
+
+    def test_repeat_parse_hits_and_returns_same_object(self):
+        first = parse(SCRIPT)
+        before = parse_cache_info()
+        second = parse(SCRIPT)
+        after = parse_cache_info()
+        assert second is first  # shared immutable AST, no reparse
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_different_sources_do_not_collide(self):
+        a = parse("var x = 1;")
+        b = parse("var x = 2;")
+        assert a != b
+        assert parse("var x = 1;") is a
+        assert parse("var x = 2;") is b
+
+    def test_bypass_does_not_touch_cache(self):
+        before = parse_cache_info()
+        parse(SCRIPT, use_cache=False)
+        after = parse_cache_info()
+        assert (after["hits"], after["misses"], after["size"]) == (
+            before["hits"], before["misses"], before["size"])
+
+    def test_clear_resets_counters_and_evicts(self):
+        first = parse(SCRIPT)
+        clear_parse_cache()
+        info = parse_cache_info()
+        assert (info["hits"], info["misses"], info["size"]) == (0, 0, 0)
+        assert parse(SCRIPT) is not first  # reparsed after eviction
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = _ParseCache(maxsize=2)
+        key_a, key_b, key_c = (_ParseCache.key(s) for s in ("a;", "b;", "c;"))
+        cache.put(key_a, parse("a;", use_cache=False))
+        cache.put(key_b, parse("b;", use_cache=False))
+        assert cache.get(key_a) is not None  # touch a: b becomes LRU
+        cache.put(key_c, parse("c;", use_cache=False))
+        assert cache.get(key_b) is None  # evicted
+        assert cache.get(key_a) is not None
+        assert cache.get(key_c) is not None
+
+    def test_interpretation_unaffected_by_caching(self):
+        # The cache hands the SAME Program object to every interpreter,
+        # which is only sound because execution never mutates the AST.
+        from repro.js.interp import Interpreter
+
+        results = []
+        for use_cache in (True, True, False):
+            interpreter = Interpreter()
+            program = parse(SCRIPT, use_cache=use_cache)
+            results.append(interpreter.run_program(program, interpreter.globals))
+        assert results[0] == results[1] == results[2] == 30
+
+
+class TestSpearReferenceMemo:
+    def test_reference_crawl_memoized_per_world(self, small_corpus):
+        from repro.core.spearphish import SpearPhishClassifier
+        from repro.kits.brands import COMPANY_BRANDS
+
+        network = small_corpus.world.network
+        brands = COMPANY_BRANDS
+        first = SpearPhishClassifier.from_portals(network, brands)
+        second = SpearPhishClassifier.from_portals(network, brands)
+        # Same memoized reference pages (one crawl), independent classifiers.
+        assert first is not second
+        assert first.references == second.references
+        cache = network.__dict__["_spear_reference_cache"]
+        key = tuple((brand.name, brand.login_domain) for brand in brands)
+        assert list(cache[key]) == first.references
+        # Both classifiers share the one memoized tuple for this key.
+        assert all(a is b for a, b in zip(first.references, second.references))
+
+    def test_memo_matches_fresh_crawl(self, small_corpus):
+        from repro.core.spearphish import SpearPhishClassifier
+        from repro.kits.brands import COMPANY_BRANDS
+
+        network = small_corpus.world.network
+        brands = COMPANY_BRANDS
+        memoized = SpearPhishClassifier.from_portals(network, brands)
+        fresh = SpearPhishClassifier._crawl_references(network, brands)
+        assert memoized.references == list(fresh)

@@ -2,12 +2,15 @@
 
 import random
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy.fft import dctn
 
 from repro.imaging.effects import add_gaussian_noise, crop_border, hue_rotate, overlay_text
 from repro.imaging.image import Image
-from repro.imaging.phash import HASH_BITS, dhash, hamming_distance, phash
+from repro.imaging.phash import HASH_BITS, _resize_gray, dhash, hamming_distance, phash
 from repro.imaging.render import render_lines
 
 
@@ -132,3 +135,100 @@ def test_hamming_distance_is_metric_like(a, b):
     assert hamming_distance(a, a) == 0
     assert hamming_distance(a, b) == hamming_distance(b, a)
     assert 0 <= hamming_distance(a, b) <= 64
+
+
+# ----------------------------------------------------------------------
+# Vectorized fast path == naive reference, bit for bit
+# ----------------------------------------------------------------------
+def _resize_gray_reference(image, width, height):
+    """Per-block double loop over the same exact-integer definition.
+
+    Integer per-mille BT.601 luminance summed per block, divided once:
+    exact in int64, so the vectorized ``np.add.reduceat`` path must
+    reproduce it bit for bit — not merely within float tolerance.
+    """
+    pixels = image.pixels
+    y_edges = np.linspace(0, pixels.shape[0], height + 1).astype(int)
+    x_edges = np.linspace(0, pixels.shape[1], width + 1).astype(int)
+    out = np.zeros((height, width))
+    for row in range(height):
+        y0 = int(y_edges[row])
+        y1 = max(int(y_edges[row + 1]), y0 + 1)
+        for col in range(width):
+            x0 = int(x_edges[col])
+            x1 = max(int(x_edges[col + 1]), x0 + 1)
+            total = 0
+            for y in range(y0, y1):
+                for x in range(x0, x1):
+                    r, g, b = (int(v) for v in pixels[y, x][:3])
+                    total += 299 * r + 587 * g + 114 * b
+            out[row, col] = total / ((y1 - y0) * (x1 - x0) * 1000.0)
+    return out
+
+
+def _bits_to_int_reference(bits):
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def _phash_reference(image):
+    small = _resize_gray_reference(image, 32, 32)
+    spectrum = dctn(small, norm="ortho")
+    block = spectrum[:8, :8].copy()
+    median = float(np.median(block.flatten()[1:]))
+    return _bits_to_int_reference((block.flatten() > median).astype(np.uint8))
+
+
+def _dhash_reference(image):
+    small = _resize_gray_reference(image, 9, 8)
+    bits = ((small[:, 1:] - small[:, :-1]) > 1.0).astype(np.uint8).flatten()
+    return _bits_to_int_reference(bits)
+
+
+def _synthetic_images():
+    rng = random.Random(2024)
+    flat = Image.new(64, 48, (128, 128, 128))
+    noise = Image.new(40, 40, (0, 0, 0))
+    noise.pixels = np.array(
+        [[[rng.randrange(256) for _ in range(3)] for _ in range(40)] for _ in range(40)],
+        dtype=noise.pixels.dtype,
+    )
+    h_gradient = Image.new(100, 30, (0, 0, 0))
+    for x in range(100):
+        h_gradient.fill_rect(x, 0, 1, 30, (int(255 * x / 99),) * 3)
+    v_gradient = Image.new(30, 100, (0, 0, 0))
+    for y in range(100):
+        v_gradient.fill_rect(0, y, 30, 1, (0, int(255 * y / 99), 200))
+    page = _page_like(["REFERENCE LOGIN", "EMAIL", "PASSWORD"])
+    tiny = Image.new(5, 4, (200, 40, 90))  # smaller than the 32x32 grid: upscale path
+    tiny.fill_rect(1, 1, 2, 2, (10, 220, 30))
+    odd = Image.new(37, 53, (250, 250, 245))  # block edges that do not divide evenly
+    odd.fill_rect(5, 7, 20, 30, (12, 34, 56))
+    return {
+        "flat": flat, "noise": noise, "h_gradient": h_gradient,
+        "v_gradient": v_gradient, "page": page, "tiny": tiny, "odd": odd,
+    }
+
+
+class TestVectorizedBitIdentity:
+    """The reduceat/packbits fast path vs a four-deep python loop."""
+
+    @pytest.mark.parametrize("name", list(_synthetic_images()))
+    def test_resize_gray_exact(self, name):
+        image = _synthetic_images()[name]
+        for width, height in ((32, 32), (9, 8), (3, 7)):
+            fast = _resize_gray(image, width, height)
+            reference = _resize_gray_reference(image, width, height)
+            assert np.array_equal(fast, reference), (name, width, height)
+
+    @pytest.mark.parametrize("name", list(_synthetic_images()))
+    def test_phash_bit_identical(self, name):
+        image = _synthetic_images()[name]
+        assert phash(image) == _phash_reference(image), name
+
+    @pytest.mark.parametrize("name", list(_synthetic_images()))
+    def test_dhash_bit_identical(self, name):
+        image = _synthetic_images()[name]
+        assert dhash(image) == _dhash_reference(image), name

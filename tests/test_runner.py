@@ -101,6 +101,33 @@ class TestJobQueue:
         assert not thread.is_alive()
         assert results == [None]
 
+    def test_delayed_job_due_mid_scan_is_delivered_not_dropped(self):
+        # Regression: a delayed job whose deadline passes between the
+        # promotion scan and the wait computation must loop and deliver,
+        # not time out — returning None there retired an idle worker
+        # (and could hang the run) while work was still pending.
+        clocks = iter([0.0, 0.0, 10.0, 10.0])
+        queue = JobQueue(clock=lambda: next(clocks, 10.0))
+        queue.requeue(Job(index=7), delay=5.0)  # clock #1: not_before = 5.0
+        # get(): promote scan at t=0 (job not yet due), wait computation
+        # at t=10 (wait = -5, i.e. due mid-scan), re-loop promotes at t=10.
+        job = queue.get()
+        assert job is not None and job.index == 7
+
+    def test_idle_get_blocks_on_condition_until_put(self):
+        # Idle workers block on the queue condition — a put must wake
+        # them; no polling deadline is involved when timeout is None.
+        queue = JobQueue()
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.get()))
+        thread.start()
+        thread.join(timeout=0.1)
+        assert thread.is_alive()  # parked on the condition, not returning
+        queue.put(Job(index=3))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results[0].index == 3
+
 
 # ----------------------------------------------------------------------
 # RetryPolicy

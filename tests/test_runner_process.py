@@ -1,0 +1,170 @@
+"""The process execution backend: scale past the GIL, keep the bytes.
+
+The headline guarantees under test:
+
+- the process backend's records are byte-identical to the jobs=1 thread
+  run (and therefore to plain ``analyze_corpus``), surviving the
+  record -> dict -> record trip across the process boundary;
+- a worker process killed mid-run loses nothing: its in-flight indices
+  are retried on a fresh worker, a persistently-crashing ("poison")
+  index lands on the dead-letter list *alone*, and a checkpointed run
+  resumes to completion with byte-identical records;
+- transient faults raised inside a worker retry and recover;
+- ``executor="auto"`` picks the process backend exactly when it can
+  (jobs > 1 and a picklable RunnerConfig is available).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import CrawlerBox
+from repro.core.export import export_records, record_to_dict
+from repro.dataset import CorpusGenerator
+from repro.runner import (
+    CheckpointStore,
+    CorpusRunner,
+    RetryPolicy,
+    RunnerConfig,
+    StageProfiler,
+)
+
+SEED, SCALE = 31, 0.02
+CONFIG = RunnerConfig(seed=SEED, scale=SCALE)
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.01, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def runner_corpus():
+    return CorpusGenerator(seed=SEED, scale=SCALE).generate()
+
+
+@pytest.fixture(scope="module")
+def serial_records(runner_corpus):
+    box = CrawlerBox.for_world(runner_corpus.world)
+    return box.analyze_corpus(runner_corpus.messages)
+
+
+def _runner(corpus, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("executor", "process")
+    kwargs.setdefault("config", CONFIG)
+    return CorpusRunner(
+        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism across the process boundary
+# ----------------------------------------------------------------------
+class TestProcessDeterminism:
+    def test_process_equals_serial_byte_for_byte(self, runner_corpus, serial_records):
+        result = _runner(runner_corpus).run(runner_corpus.messages)
+        assert result.executor == "process"
+        assert not result.dead_letters
+        assert json.dumps(export_records(result.records)) == json.dumps(
+            export_records(serial_records)
+        )
+
+    def test_profile_snapshots_merge_from_workers(self, runner_corpus):
+        sample = runner_corpus.messages[:12]
+        runner = _runner(runner_corpus, profiler=StageProfiler())
+        result = runner.run(sample)
+        # Worker-side stage timings survived the queue trip and the merge.
+        assert result.stats.stage_calls["auth"] == len(sample)
+        assert result.stats.stage_seconds["crawl"] >= 0.0
+        assert set(result.stats.as_dict()["stages"]) >= {"auth", "parse", "crawl"}
+
+
+# ----------------------------------------------------------------------
+# Executor selection
+# ----------------------------------------------------------------------
+class TestExecutorResolution:
+    def test_auto_is_thread_for_one_job(self, runner_corpus):
+        runner = _runner(runner_corpus, jobs=1, executor="auto")
+        assert runner.resolve_executor() == "thread"
+
+    def test_auto_is_process_for_parallel_jobs_with_config(self, runner_corpus):
+        runner = _runner(runner_corpus, jobs=4, executor="auto")
+        assert runner.resolve_executor() == "process"
+
+    def test_auto_without_config_stays_on_threads(self, runner_corpus):
+        runner = _runner(runner_corpus, jobs=4, executor="auto", config=None)
+        assert runner.resolve_executor() == "thread"
+
+    def test_explicit_process_requires_config(self, runner_corpus):
+        with pytest.raises(ValueError, match="RunnerConfig"):
+            _runner(runner_corpus, executor="process", config=None)
+
+    def test_unknown_executor_rejected(self, runner_corpus):
+        with pytest.raises(ValueError, match="executor"):
+            _runner(runner_corpus, executor="fiber")
+
+
+# ----------------------------------------------------------------------
+# Worker crashes, dead letters, resume
+# ----------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_poison_index_dead_letters_alone(self, runner_corpus, serial_records):
+        poison = 5
+        runner = _runner(
+            runner_corpus,
+            config=RunnerConfig(seed=SEED, scale=SCALE, fault=f"crash:{poison}"),
+            retry_policy=FAST_RETRY,
+            batch_size=4,  # the poison index gets batch-mates to endanger
+        )
+        result = runner.run(runner_corpus.messages[:10])
+        # Only the poison index dead-letters; batch-mates of the crashed
+        # worker are retried on a replacement and complete normally.
+        assert [letter.index for letter in result.dead_letters] == [poison]
+        assert result.dead_letters[0].attempts == FAST_RETRY.max_attempts
+        assert "died" in result.dead_letters[0].error
+        assert [r.message_index for r in result.records] == [
+            i for i in range(10) if i != poison
+        ]
+        for record in result.records:
+            assert record_to_dict(record) == record_to_dict(
+                serial_records[record.message_index]
+            )
+
+    def test_resume_after_kill_completes_byte_identical(
+        self, tmp_path, runner_corpus, serial_records
+    ):
+        poison = 4
+        crashing = _runner(
+            runner_corpus,
+            config=RunnerConfig(seed=SEED, scale=SCALE, fault=f"crash:{poison}"),
+            retry_policy=FAST_RETRY,
+            checkpoint=CheckpointStore(tmp_path / "ckpt"),
+            batch_size=4,
+        )
+        interrupted = crashing.run(runner_corpus.messages[:10])
+        assert len(interrupted.records) == 9  # poison index missing
+
+        # Second run over the same checkpoint, crash cause cleared (the
+        # "environmental" fault went away): only the missing index runs.
+        resumed = _runner(
+            runner_corpus, checkpoint=CheckpointStore(tmp_path / "ckpt")
+        ).run(runner_corpus.messages[:10])
+        assert len(resumed.resumed_indices) == 9
+        assert json.dumps(export_records(resumed.records)) == json.dumps(
+            export_records(serial_records[:10])
+        )
+
+    def test_transient_worker_fault_retries_then_recovers(
+        self, runner_corpus, serial_records
+    ):
+        flaky = 3
+        runner = _runner(
+            runner_corpus,
+            config=RunnerConfig(seed=SEED, scale=SCALE, fault=f"transient:{flaky}:1"),
+            retry_policy=FAST_RETRY,
+        )
+        result = runner.run(runner_corpus.messages[:8])
+        assert not result.dead_letters
+        assert result.stats.retried == 1
+        assert json.dumps(export_records(result.records)) == json.dumps(
+            export_records(serial_records[:8])
+        )
