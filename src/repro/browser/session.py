@@ -57,6 +57,35 @@ class SessionSignals:
     script_errors: tuple[str, ...] = ()
     popups: tuple[str, ...] = ()
 
+    @classmethod
+    def merge(cls, signals: list["SessionSignals"]) -> "SessionSignals | None":
+        """Union the signals observed across a navigation chain.
+
+        Booleans OR, counters and sequences accumulate in chain order,
+        and ``hue_rotation_deg`` keeps the *maximum* observed rotation —
+        the strongest color-distortion cloak in the chain, not whichever
+        page happened to apply one first.
+        """
+        if not signals:
+            return None
+        if len(signals) == 1:
+            return signals[0]
+        return cls(
+            console_hijacked=any(s.console_hijacked for s in signals),
+            debugger_hits=sum(s.debugger_hits for s in signals),
+            uses_debugger_timer=any(s.uses_debugger_timer for s in signals),
+            context_menu_blocked=any(s.context_menu_blocked for s in signals),
+            devtools_keys_blocked=any(s.devtools_keys_blocked for s in signals),
+            hue_rotation_deg=max(s.hue_rotation_deg for s in signals),
+            navigator_reads=tuple(
+                read for s in signals for read in s.navigator_reads
+            ),
+            intl_timezone_read=any(s.intl_timezone_read for s in signals),
+            screen_reads=tuple(read for s in signals for read in s.screen_reads),
+            script_errors=tuple(err for s in signals for err in s.script_errors),
+            popups=tuple(p for s in signals for p in s.popups),
+        )
+
 
 class PageSession:
     """One document loaded in the browser."""

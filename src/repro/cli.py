@@ -28,6 +28,22 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _stage_list(value: str) -> tuple[str, ...]:
+    """Validate a ``--stages auth,parse,...`` selection against the
+    registry, including the requires/provides closure, so a bad subset
+    fails at argument parsing instead of mid-run."""
+    from repro.core.stages import StagePlanError, build_plan
+
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of stages")
+    try:
+        build_plan(names)
+    except StagePlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return names
+
+
 def _print_study_report(records, world=None) -> None:
     from repro.analysis import figures
     from repro.core.outcomes import MessageCategory
@@ -59,7 +75,9 @@ def _print_study_report(records, world=None) -> None:
         print(f"Shared victim-check script: {cluster.n_domains} domains / "
               f"{cluster.n_messages} messages")
 
-    if world is not None:
+    # Timelines need enrichment data; a triage run (--stages without
+    # enrich) or a fully degraded enrich stage has none to summarize.
+    if world is not None and any(record.enrichments for record in records):
         summary = figures.figure3(records, world.network)
         print(f"Timelines: median registration->delivery {summary.median_timedelta_a:.0f} h, "
               f"TLS->delivery {summary.median_timedelta_b:.0f} h "
@@ -75,8 +93,15 @@ def _print_study_report(records, world=None) -> None:
 
 
 def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
-                  executor: str = "auto", profile: bool = False):
-    """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes."""
+                  executor: str = "auto", profile: bool = False,
+                  stages: tuple[str, ...] | None = None):
+    """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes.
+
+    ``stages`` (a validated ``--stages`` selection) reaches both
+    backends: the thread backend's box factory and the process
+    backend's :class:`RunnerConfig`, so every worker builds the same
+    plan.
+    """
     from repro import CrawlerBox
     from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
 
@@ -89,14 +114,16 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
               f"retried {stats.retried}, dead-lettered {stats.dead_lettered})")
 
     return CorpusRunner(
-        box_factory=lambda worker_id: CrawlerBox.for_world(corpus.world, profiler=profiler),
+        box_factory=lambda worker_id: CrawlerBox.for_world(
+            corpus.world, profiler=profiler, stages=stages
+        ),
         jobs=jobs,
         executor=executor,
-        config=RunnerConfig(seed=seed, scale=scale),
+        config=RunnerConfig(seed=seed, scale=scale, stages=stages),
         checkpoint=checkpoint,
         progress=progress,
         progress_every=200,
-        run_info={"seed": seed, "scale": scale},
+        run_info={"seed": seed, "scale": scale, "stages": list(stages or ())},
         profiler=profiler,
     )
 
@@ -108,6 +135,9 @@ def _finish_run(result, corpus, export_path) -> int:
         print("\nPer-stage timing:")
         print(format_stage_report(result.stats.stage_calls, result.stats.stage_seconds))
     _print_study_report(result.records, corpus.world)
+    degraded = sum(1 for record in result.records if record.degraded_stages)
+    if degraded:
+        print(f"\nDegraded records (failed or skipped stages): {degraded}")
     for letter in result.dead_letters:
         print(f"DEAD LETTER: message {letter.index} after {letter.attempts} attempts: "
               f"{letter.error}")
@@ -129,7 +159,8 @@ def cmd_run(args) -> int:
           f"({time.time() - started:.1f}s)")
 
     runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint,
-                           executor=args.executor, profile=args.profile)
+                           executor=args.executor, profile=args.profile,
+                           stages=args.stages)
     print(f"Running CrawlerBox over the corpus "
           f"(jobs={args.jobs}, executor={runner.resolve_executor()}) ...")
     started = time.time()
@@ -165,7 +196,8 @@ def cmd_resume(args) -> int:
 
     started = time.time()
     runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint,
-                           executor=args.executor, profile=args.profile)
+                           executor=args.executor, profile=args.profile,
+                           stages=args.stages)
     result = runner.run(corpus.messages)
     print(f"  {len(result.resumed_indices)} records reused, "
           f"{len(result.records) - len(result.resumed_indices)} analysed "
@@ -220,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  "when --jobs > 1")
     run_parser.add_argument("--profile", action="store_true",
                             help="collect per-stage timings and print the breakdown")
+    run_parser.add_argument("--stages", type=_stage_list, default=None,
+                            metavar="NAME,NAME,...",
+                            help="run only these pipeline stages (e.g. 'auth,parse' "
+                                 "for crawl-free triage); unselected stages are "
+                                 "recorded as skipped on each record's stage_status; "
+                                 "a stage's upstream providers must be included")
     run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
                             help="append finished records to DIR/records.jsonl so the "
                                  "run can be resumed after an interruption")
@@ -236,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                                default="auto", help="worker backend (see 'run --executor')")
     resume_parser.add_argument("--profile", action="store_true",
                                help="collect per-stage timings and print the breakdown")
+    resume_parser.add_argument("--stages", type=_stage_list, default=None,
+                               metavar="NAME,NAME,...",
+                               help="run only these pipeline stages (see 'run --stages')")
     resume_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the completed artifacts to a JSON file")
     resume_parser.set_defaults(handler=cmd_resume)

@@ -72,8 +72,21 @@ class MessageRecord:
     #: Convenience copy of parse-level evasion observations.
     qr_payloads: tuple[tuple[str, str], ...] = ()
     noise_padded: bool = False
+    #: Per-stage outcome (``ok | failed | skipped``) for every registry
+    #: stage; empty only for records predating the stage graph.  Healthy
+    #: full-plan records (all ``ok``) serialize without the map so their
+    #: exported bytes match the pre-stage-graph format.
+    stage_status: dict[str, str] = field(default_factory=dict)
+    #: URLs the crawl stage skipped as benign infrastructure (media
+    #: CDNs, IP echo services) — counted, never crawled.
+    benign_url_skips: tuple[str, ...] = ()
     #: Ground truth passed through for calibration tests only.
     ground_truth: dict = field(default_factory=dict)
+
+    @property
+    def degraded_stages(self) -> list[str]:
+        """Stages that did not complete (``failed`` or ``skipped``)."""
+        return [name for name, status in self.stage_status.items() if status != "ok"]
 
     def _phishing_crawls(self) -> list[UrlCrawl]:
         """Crawls that actually reached phishing content.

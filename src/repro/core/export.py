@@ -69,7 +69,7 @@ def crawl_to_dict(crawl: UrlCrawl) -> dict:
 
 def record_to_dict(record: MessageRecord) -> dict:
     extraction = record.extraction
-    return {
+    data = {
         "message_index": record.message_index,
         "delivered_at": record.delivered_at,
         "recipient": record.recipient,
@@ -97,6 +97,16 @@ def record_to_dict(record: MessageRecord) -> dict:
             "content_types": list(extraction.content_types),
         },
     }
+    # Degradation fields are emitted only when they carry information:
+    # a healthy full-plan record (every stage ``ok``, nothing skipped)
+    # serializes byte-identically to the pre-stage-graph format.
+    if record.stage_status and any(
+        status != "ok" for status in record.stage_status.values()
+    ):
+        data["stage_status"] = dict(record.stage_status)
+    if record.benign_url_skips:
+        data["benign_url_skips"] = list(record.benign_url_skips)
+    return data
 
 
 def export_records(records: list[MessageRecord]) -> dict:
@@ -186,6 +196,8 @@ def record_from_dict(data: dict) -> MessageRecord:
         record.spear_distances = tuple(data["spear_distances"])
     record.local_login_form = data["local_login_form"]
     record.noise_padded = data["noise_padded"]
+    record.stage_status = dict(data.get("stage_status") or {})
+    record.benign_url_skips = tuple(data.get("benign_url_skips") or ())
     record.qr_payloads = tuple(tuple(item) for item in data["qr_payloads"])
     record.crawls = [_crawl_from_dict(item) for item in data["crawls"]]
     record.local_session_signals = [

@@ -60,7 +60,7 @@ _CHALLENGE_MARKERS = (
 )
 
 
-def _password_form_visible(session: PageSession) -> bool:
+def password_form_visible(session: PageSession) -> bool:
     """A credential form exists and is visible after script execution."""
     has_password_form = any(form.has_password_field for form in session.parsed.forms)
     if not has_password_form:
@@ -75,13 +75,17 @@ def _password_form_visible(session: PageSession) -> bool:
     return False
 
 
+#: Backwards-compatible alias for the pre-public name.
+_password_form_visible = password_form_visible
+
+
 def classify_page(session: PageSession) -> str:
     """Classify one loaded page."""
     text = (session.parsed.text or "").lower()
     title = (session.parsed.title or "").lower()
     combined = f"{title} {text}"
 
-    if _password_form_visible(session):
+    if password_form_visible(session):
         return PageClass.LOGIN_FORM
     if any(marker in combined for marker in _INTERACTION_MARKERS):
         return PageClass.INTERACTION

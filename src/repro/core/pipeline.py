@@ -1,70 +1,53 @@
 """The CrawlerBox pipeline: fetch -> parse -> crawl -> log (Figure 1).
 
-``CrawlerBox.analyze(message)`` performs the full per-message analysis:
-SPF/DKIM/DMARC evaluation, recursive part parsing, dynamic loading of
+``CrawlerBox.analyze(message)`` drives a validated
+:class:`~repro.core.stages.StagePlan` over one reported message: SPF/
+DKIM/DMARC evaluation, recursive part parsing, dynamic loading of
 HTML/JavaScript attachments, crawling of every discovered URL with the
 configured crawler (NotABot by default), screenshot hashing,
 spear-phishing classification, outcome bucketing, and enrichment —
 producing one :class:`~repro.core.artifacts.MessageRecord`.
+
+The stage bodies live in :mod:`repro.core.stages.builtin`; this module
+owns the components they share (crawler, parser, enricher, classifier),
+the per-message RNG seeding, and the URL admission policy.  Each stage
+runs under failure isolation (see :mod:`repro.core.stages.plan`): an
+exception degrades the record's ``stage_status`` map instead of
+aborting the message, so the runner's dead-letter machinery only sees
+infrastructure faults.  A subset plan (``repro run --stages
+auth,parse``) performs cheap triage without ever invoking the crawler.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-import re
+import time
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.browser.browser import VisitResult
-from repro.core.artifacts import MessageRecord, UrlCrawl
-from repro.core.outcomes import (
-    MessageCategory,
-    PageClass,
-    aggregate_message_category,
-    classify_visit,
-)
+from repro.core.artifacts import MessageRecord
 from repro.core.spearphish import SpearPhishClassifier
+from repro.core.stages import AnalysisContext, build_plan
 from repro.crawlers.base import Crawler
 from repro.crawlers.notabot import notabot_profile
 from repro.enrichment.enricher import Enricher
-from repro.imaging.phash import dhash, phash
+from repro.kits.attachment import LEGIT_MEDIA_HOSTS
 from repro.kits.brands import COMPANY_BRANDS
-from repro.mail.auth import MailAuthDns, evaluate_authentication
+from repro.mail.auth import MailAuthDns
 from repro.mail.message import EmailMessage
 from repro.mail.parser import EmailParser
 from repro.runner.profile import NULL_PROFILER
-from repro.web.network import Network
+from repro.web.network import Network, UTILITY_HOSTS
 from repro.web.urls import UrlError, parse_url
 
-_NOISE_RE = re.compile(r"\n{25,}")
-
-
-def _merge_signals(all_signals: list):
-    """Union the evasion signals observed across a navigation chain."""
-    from repro.browser.session import SessionSignals
-
-    if not all_signals:
-        return None
-    if len(all_signals) == 1:
-        return all_signals[0]
-    merged = SessionSignals(
-        console_hijacked=any(s.console_hijacked for s in all_signals),
-        debugger_hits=sum(s.debugger_hits for s in all_signals),
-        uses_debugger_timer=any(s.uses_debugger_timer for s in all_signals),
-        context_menu_blocked=any(s.context_menu_blocked for s in all_signals),
-        devtools_keys_blocked=any(s.devtools_keys_blocked for s in all_signals),
-        hue_rotation_deg=next(
-            (s.hue_rotation_deg for s in all_signals if s.hue_rotation_deg), 0.0
-        ),
-        navigator_reads=tuple(
-            read for s in all_signals for read in s.navigator_reads
-        ),
-        intl_timezone_read=any(s.intl_timezone_read for s in all_signals),
-        screen_reads=tuple(read for s in all_signals for read in s.screen_reads),
-        script_errors=tuple(err for s in all_signals for err in s.script_errors),
-        popups=tuple(p for s in all_signals for p in s.popups),
-    )
-    return merged
+#: Well-known benign infrastructure the crawler skips: the media CDNs
+#: the attachment kits hotlink page furniture from, and the IP echo /
+#: geolocation utilities the kits' server-side filtering calls.  The
+#: paper crawls phishing resources, not utilities.
+BENIGN_INFRASTRUCTURE_HOSTS: frozenset[str] = frozenset(LEGIT_MEDIA_HOSTS) | frozenset(
+    UTILITY_HOSTS
+)
 
 
 @dataclass
@@ -81,6 +64,10 @@ class PipelineConfig:
     #: Screenshot + hash pages (needed for spear classification).
     take_screenshots: bool = True
     enrich: bool = True
+    #: Skip crawling :data:`BENIGN_INFRASTRUCTURE_HOSTS` (skips are
+    #: counted on ``MessageRecord.benign_url_skips``).  Disable to
+    #: reproduce pre-skip-list crawl sets.
+    skip_benign_hosts: bool = True
 
 
 class CrawlerBox:
@@ -96,6 +83,7 @@ class CrawlerBox:
         config: PipelineConfig | None = None,
         rng: random.Random | None = None,
         profiler=None,
+        stages: Sequence[str] | None = None,
     ):
         self.network = network
         #: Per-stage timing sink (``repro run --profile``); the null
@@ -109,6 +97,11 @@ class CrawlerBox:
         #: analyzing messages out of order — or a single message in
         #: isolation — yields the same record as a full serial run.
         self._seed_material = self.rng.getrandbits(64)
+        #: The validated stage plan (``stages=None`` selects every
+        #: built-in stage in Figure 1 order); invalid selections raise
+        #: :class:`~repro.core.stages.StagePlanError` here, before any
+        #: message is analyzed.
+        self.plan = build_plan(stages)
         self.crawler = crawler or Crawler(
             network, notabot_profile(), rng=self.rng, retain_results=False
         )
@@ -143,7 +136,17 @@ class CrawlerBox:
 
     # ------------------------------------------------------------------
     def analyze(self, message: EmailMessage, message_index: int = 0) -> MessageRecord:
-        """Run the full pipeline over one reported message."""
+        """Run the stage plan over one reported message.
+
+        Thin driver: build the record and context, seed the per-message
+        crawler RNG, and hand off to :meth:`StagePlan.run`.  Profiler
+        stage rows derive from the plan's registry names; whatever wall
+        clock the stages themselves do not account for (record/context
+        construction, plan bookkeeping) lands in the ``unattributed``
+        bucket so the ``--profile`` table sums to the total.
+        """
+        profiling = self.profiler.enabled
+        started = time.perf_counter() if profiling else 0.0
         record = MessageRecord(
             message_index=message_index,
             delivered_at=message.delivered_at,
@@ -151,69 +154,21 @@ class CrawlerBox:
             sender_domain=message.sender_domain,
             ground_truth=dict(message.ground_truth),
         )
-        with self.profiler.stage("auth"):
-            record.auth = evaluate_authentication(message, self.mail_dns)
-
-        with self.profiler.stage("parse"):
-            report = self.parser.parse(message)
-        record.extraction = report
-        record.qr_payloads = tuple(report.qr_payloads)
-        record.noise_padded = bool(_NOISE_RE.search(message.body_text()))
-
-        analysis_time = message.delivered_at + self.config.analysis_delay_hours
         self.crawler.rng = random.Random(self.message_seed(message_index))
-
-        # Dynamic loading of HTML documents (attachments and bodies).
-        from repro.core.outcomes import _password_form_visible
-
-        dynamic_urls: list[str] = []
-        with self.profiler.stage("dynamic-html"):
-            for part_path, markup in report.html_documents:
-                session = self.crawler.crawl_html(markup, timestamp=analysis_time)
-                record.local_session_signals.append(session.signals())
-                is_attachment = part_path in report.html_attachment_paths
-                if is_attachment and _password_form_visible(session):
-                    record.local_login_form = True
-                target = session.navigation_target
-                if target:
-                    resolved = session.resolve_url(target)
-                    if resolved is not None:
-                        dynamic_urls.append(resolved.raw)
-
-        urls: list[str] = []
-        seen: set[str] = set()
-        for extracted in report.urls:
-            if extracted.url not in seen:
-                seen.add(extracted.url)
-                urls.append(extracted.url)
-        for url in dynamic_urls:
-            if url not in seen:
-                seen.add(url)
-                urls.append(url)
-        urls = [url for url in urls if self._crawlable(url)]
-        urls = urls[: self.config.max_urls_per_message]
-
-        method_by_url = {item.url: item.method for item in report.urls}
-        for url in urls:
-            crawl = self._crawl_one(
-                url,
-                analysis_time,
-                discovered_dynamically=url in dynamic_urls,
-                extraction_method=method_by_url.get(url, "dynamic"),
-            )
-            record.crawls.append(crawl)
-
-        record.category = aggregate_message_category(
-            had_urls=bool(urls) or bool(report.urls),
-            page_classes=[crawl.page_class for crawl in record.crawls],
-            local_login_form=record.local_login_form,
+        ctx = AnalysisContext(
+            message=message,
+            message_index=message_index,
+            box=self,
+            config=self.config,
+            rng=self.crawler.rng,
+            record=record,
+            analysis_time=message.delivered_at + self.config.analysis_delay_hours,
         )
-
-        with self.profiler.stage("spear"):
-            self._classify_spear(record)
-        if self.config.enrich:
-            with self.profiler.stage("enrich"):
-                self._enrich(record, analysis_time)
+        attributed = self.plan.run(ctx, profiler=self.profiler)
+        if profiling:
+            self.profiler.record(
+                "unattributed", (time.perf_counter() - started) - attributed
+            )
         return record
 
     def analyze_corpus(self, messages: list[EmailMessage]) -> list[MessageRecord]:
@@ -231,115 +186,30 @@ class CrawlerBox:
         return self.records
 
     # ------------------------------------------------------------------
-    def _crawlable(self, url: str) -> bool:
+    def _crawlable(self, url: str, record: MessageRecord | None = None) -> bool:
+        """URL admission policy for the crawl stage.
+
+        Rejects unparsable URLs and reserved ``.invalid`` hosts, and —
+        unless ``config.skip_benign_hosts`` is off — skips well-known
+        benign infrastructure (media CDNs, IP echo services), counting
+        each skip on ``record.benign_url_skips``.
+        """
         try:
             host = parse_url(url).host
         except UrlError:
             return False
-        # Skip well-known benign infrastructure (media CDNs, IP echo
-        # services); the paper crawls phishing resources, not utilities.
-        return not host.endswith((".invalid",))
+        if host.endswith((".invalid",)):
+            return False
+        if self.config.skip_benign_hosts and self._is_benign_infrastructure(host):
+            if record is not None:
+                record.benign_url_skips = record.benign_url_skips + (url,)
+            return False
+        return True
 
-    def _crawl_one(
-        self,
-        url: str,
-        analysis_time: float,
-        discovered_dynamically: bool,
-        extraction_method: str,
-    ) -> UrlCrawl:
-        with self.profiler.stage("crawl"):
-            result: VisitResult = self.crawler.crawl_url(url, timestamp=analysis_time)
-        page_class = classify_visit(result)
-        session = result.final_session
-
-        landing_domain = ""
-        final_url = result.final_url
-        try:
-            landing_domain = parse_url(final_url).host
-        except UrlError:
-            pass
-
-        certificate = result.certificates[-1] if result.certificates else None
-        signals = _merge_signals([s.signals() for s in result.sessions]) if result.sessions else None
-        screenshot_phash = screenshot_dhash = None
-        if (
-            self.config.take_screenshots
-            and session is not None
-            and page_class in (PageClass.LOGIN_FORM, PageClass.GATED_LOGIN, PageClass.INTERACTION, PageClass.BENIGN)
-        ):
-            with self.profiler.stage("screenshot-hash"):
-                screenshot = session.screenshot()
-                screenshot_phash = phash(screenshot)
-                screenshot_dhash = dhash(screenshot)
-
-        resource_requests = tuple(
-            (request.url, request.kind, request.referrer)
-            for request in result.requests
-            if request.kind in ("resource", "script")
+    @staticmethod
+    def _is_benign_infrastructure(host: str) -> bool:
+        """``host`` is (a subdomain of) a known benign utility host."""
+        return any(
+            host == benign or host.endswith(f".{benign}")
+            for benign in BENIGN_INFRASTRUCTURE_HOSTS
         )
-        # Aggregate network/script observations across the whole chain:
-        # challenge interstitials run (and call home) before the final
-        # page ever loads.
-        ajax_urls = tuple(
-            call.url for chain_session in result.sessions for call in chain_session.ajax_log
-        )
-        executed_scripts = tuple(
-            script for chain_session in result.sessions for script in chain_session.executed_scripts
-        )
-        final_title = ""
-        final_text = ""
-        if session is not None:
-            final_title = session.parsed.title
-            final_text = (session.parsed.text or "")[:200]
-
-        return UrlCrawl(
-            url=url,
-            outcome=result.outcome,
-            page_class=page_class,
-            final_url=final_url,
-            url_chain=tuple(result.url_chain),
-            landing_domain=landing_domain,
-            server_ip=result.server_ips.get(landing_domain, ""),
-            certificate_fingerprint=certificate.fingerprint if certificate else "",
-            certificate_not_before=certificate.not_before if certificate else None,
-            signals=signals,
-            resource_requests=resource_requests,
-            ajax_urls=ajax_urls,
-            screenshot_phash=screenshot_phash,
-            screenshot_dhash=screenshot_dhash,
-            executed_scripts=executed_scripts,
-            http_statuses=tuple(response.status for response in result.responses),
-            discovered_dynamically=discovered_dynamically,
-            extraction_method=extraction_method,
-            final_title=final_title,
-            final_text_snippet=final_text,
-        )
-
-    def _classify_spear(self, record: MessageRecord) -> None:
-        if record.category != MessageCategory.ACTIVE_PHISHING:
-            return
-        from repro.imaging.phash import hamming_distance
-
-        best = None
-        for crawl in record.crawls:
-            if crawl.page_class != PageClass.LOGIN_FORM or crawl.screenshot_phash is None:
-                continue
-            for reference in self.spear_classifier.references:
-                p_distance = hamming_distance(crawl.screenshot_phash, reference.phash)
-                d_distance = hamming_distance(crawl.screenshot_dhash, reference.dhash)
-                threshold = self.spear_classifier.threshold
-                if p_distance <= threshold and d_distance <= threshold:
-                    candidate = (p_distance + d_distance, reference.brand, p_distance, d_distance)
-                    if best is None or candidate < best:
-                        best = candidate
-        if best is not None:
-            record.spear_brand = best[1]
-            record.spear_distances = (best[2], best[3])
-
-    def _enrich(self, record: MessageRecord, analysis_time: float) -> None:
-        for crawl in record.crawls:
-            domain = crawl.landing_domain
-            if domain and domain not in record.enrichments:
-                record.enrichments[domain] = self.enricher.enrich(
-                    domain, at_time=record.delivered_at, server_ip=crawl.server_ip
-                )

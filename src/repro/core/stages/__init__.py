@@ -1,0 +1,72 @@
+"""The CrawlerBox stage graph: typed stages, validated plans.
+
+Public surface:
+
+- :class:`~repro.core.stages.base.Stage` — the stage protocol
+  (``name``, ``requires``, ``provides``, ``run(ctx)``).
+- :class:`~repro.core.stages.base.AnalysisContext` — the typed
+  per-message context threaded through a plan.
+- :class:`~repro.core.stages.plan.StagePlan` — a validated,
+  topologically ordered execution plan with per-stage failure
+  isolation.
+- :func:`build_plan` — plan construction from registry names (the
+  ``--stages`` CLI surface).
+- :data:`~repro.core.stages.builtin.BUILTIN_STAGES` /
+  :data:`STAGE_NAMES` — the Figure 1 stages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.stages.base import AnalysisContext, Stage, StageStatus, Token
+from repro.core.stages.builtin import BUILTIN_STAGES
+from repro.core.stages.plan import (
+    StagePlan,
+    StagePlanError,
+    get_stage,
+    register_stage,
+    registered_stage_names,
+    registered_stages,
+)
+
+#: The built-in stage names, in Figure 1 / default plan order.
+STAGE_NAMES: tuple[str, ...] = tuple(stage.name for stage in BUILTIN_STAGES)
+
+
+def build_plan(names: Sequence[str] | None = None) -> StagePlan:
+    """A validated plan over ``names`` (default: every built-in stage).
+
+    Selection keeps the registry's canonical ordering regardless of the
+    order names are given in; unknown names and selections with
+    unsatisfiable ``requires`` raise :class:`StagePlanError`.
+    """
+    if names is None:
+        selected = registered_stages()
+    else:
+        wanted = set(names)
+        unknown = wanted - set(registered_stage_names())
+        if unknown:
+            raise StagePlanError(
+                f"unknown stage(s) {sorted(unknown)}; "
+                f"known: {', '.join(registered_stage_names())}"
+            )
+        selected = tuple(s for s in registered_stages() if s.name in wanted)
+    return StagePlan(selected, all_stage_names=registered_stage_names())
+
+
+__all__ = [
+    "AnalysisContext",
+    "BUILTIN_STAGES",
+    "STAGE_NAMES",
+    "Stage",
+    "StagePlan",
+    "StagePlanError",
+    "StageStatus",
+    "Token",
+    "build_plan",
+    "get_stage",
+    "register_stage",
+    "registered_stage_names",
+    "registered_stages",
+]

@@ -1,0 +1,108 @@
+"""Stage-graph primitives: the Stage protocol and the shared context.
+
+Figure 1 presents CrawlerBox as a fetch -> parse -> crawl -> log
+pipeline.  This package makes those boundaries explicit: each unit of
+per-message work is a :class:`Stage` with a ``name``, declared
+``requires``/``provides`` data tokens, and a ``run(ctx)`` body that
+reads and writes one :class:`AnalysisContext`.
+
+Tokens are the currency of the graph.  A stage's ``provides`` become
+available only when it finishes without raising; a stage whose
+``requires`` are not all available is *degraded* (marked ``skipped`` in
+the record's ``stage_status`` map) instead of running against missing
+inputs.  See :mod:`repro.core.stages.plan` for ordering, validation,
+and the failure-isolation driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.artifacts import MessageRecord
+    from repro.core.pipeline import CrawlerBox, PipelineConfig
+    from repro.mail.message import EmailMessage
+    from repro.mail.parser import ExtractionReport
+
+
+class StageStatus:
+    """Per-stage outcome recorded on ``MessageRecord.stage_status``."""
+
+    #: The stage ran to completion (its ``provides`` are available).
+    OK = "ok"
+    #: The stage raised; downstream dependents degrade to ``skipped``.
+    FAILED = "failed"
+    #: The stage did not run: a required input was missing (upstream
+    #: failure) or the stage was not part of the selected plan.
+    SKIPPED = "skipped"
+
+
+#: Data tokens flowing between the built-in stages.
+class Token:
+    AUTH = "auth"
+    EXTRACTION = "extraction"
+    DYNAMIC_URLS = "dynamic_urls"
+    CRAWLS = "crawls"
+    CATEGORY = "category"
+    SPEAR = "spear"
+    ENRICHMENTS = "enrichments"
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One unit of per-message analysis work.
+
+    Implementations must be stateless (all mutable state lives on the
+    :class:`AnalysisContext` or the CrawlerBox), so a single stage
+    instance is safely shared across workers, threads, and plans.
+    """
+
+    #: Registry name; also the profiler row for this stage.
+    name: str
+    #: Tokens that must be available before the stage may run.
+    requires: tuple[str, ...]
+    #: Tokens made available when the stage completes.
+    provides: tuple[str, ...]
+
+    def run(self, ctx: "AnalysisContext") -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a stage may read or write while analyzing one message.
+
+    The context is built once per message by ``CrawlerBox.analyze`` and
+    threaded through every stage of the plan; the accumulating
+    :class:`~repro.core.artifacts.MessageRecord` is the durable output,
+    the remaining fields are inter-stage scratch.
+    """
+
+    #: The reported message under analysis.
+    message: "EmailMessage"
+    #: Corpus position; the sole input (with the seed material) to the
+    #: per-message RNG stream, so records are order-independent.
+    message_index: int
+    #: The owning CrawlerBox (crawler, parser, enricher, classifier).
+    box: "CrawlerBox"
+    #: Tunable pipeline behaviour (``box.config``, aliased for stages).
+    config: "PipelineConfig"
+    #: The per-message seeded RNG driving crawler behaviour.
+    rng: random.Random
+    #: The accumulating analysis artifact.
+    record: "MessageRecord"
+    #: Simulated analysis timestamp (delivery + expert-tagging delay).
+    analysis_time: float
+
+    # -- inter-stage data products ------------------------------------
+    #: Parse-stage output (also mirrored on ``record.extraction``).
+    report: "ExtractionReport | None" = None
+    #: Navigation targets discovered by dynamically loading HTML parts.
+    dynamic_urls: list[str] = field(default_factory=list)
+    #: The deduplicated, filtered, capped URL list the crawl stage used.
+    crawl_urls: list[str] = field(default_factory=list)
+    #: Exception per failed stage (for logging/inspection; reprs of
+    #: these land nowhere on the record beyond ``stage_status``).
+    errors: dict[str, BaseException] = field(default_factory=dict)

@@ -33,7 +33,12 @@ run — on either backend — produces byte-identical records to a
 
 from repro.runner.checkpoint import CheckpointStore, RunManifest
 from repro.runner.executor import ProcessPool, RunnerConfig, WorkerCrash
-from repro.runner.profile import NULL_PROFILER, StageProfiler, format_stage_report
+from repro.runner.profile import (
+    NULL_PROFILER,
+    PROFILE_TABLE_STAGES,
+    StageProfiler,
+    format_stage_report,
+)
 from repro.runner.queue import Job, JobQueue, QueueClosed
 from repro.runner.retry import DeadLetter, RetryPolicy, TransientFault
 from repro.runner.runner import EXECUTORS, CorpusRunner, RunResult
@@ -47,6 +52,7 @@ __all__ = [
     "Job",
     "JobQueue",
     "NULL_PROFILER",
+    "PROFILE_TABLE_STAGES",
     "ProcessPool",
     "QueueClosed",
     "RetryPolicy",

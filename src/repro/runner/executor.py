@@ -71,6 +71,10 @@ class RunnerConfig:
     seed: int = 2024
     scale: float = 1.0
     crawler_profile: str = "notabot"
+    #: Stage-plan selection (``None`` = every built-in stage); carried
+    #: here so thread and process backends build identical plans — a
+    #: ``--stages auth,parse`` triage run subsets in every worker.
+    stages: tuple[str, ...] | None = None
     #: Collect per-stage timings (see :mod:`repro.runner.profile`).
     profile: bool = False
     #: Test-only fault injection, applied inside the worker:
@@ -90,7 +94,7 @@ class RunnerConfig:
 
         corpus = CorpusGenerator(seed=self.seed, scale=self.scale).generate()
         profiler = StageProfiler() if self.profile else None
-        box = CrawlerBox.for_world(corpus.world, profiler=profiler)
+        box = CrawlerBox.for_world(corpus.world, profiler=profiler, stages=self.stages)
         if self.crawler_profile != "notabot":
             box.crawler = Crawler(
                 corpus.world.network,

@@ -1,9 +1,17 @@
 """Per-stage wall-clock timing for the analysis hot path.
 
-``StageProfiler`` accumulates monotonic-clock durations per named
-pipeline stage (auth, parse, dynamic-html, crawl, screenshot-hash,
-spear, enrich).  It is cheap enough to leave wired into the pipeline:
-when profiling is off the pipeline holds the shared :data:`NULL_PROFILER`
+``StageProfiler`` accumulates monotonic-clock durations per pipeline
+stage.  Stage names are no longer hand-written strings: the stage-plan
+driver (:meth:`repro.core.stages.plan.StagePlan.run`) records one row
+per executed registry stage, and ``CrawlerBox.analyze`` adds an
+``unattributed`` row for the wall clock the stages themselves did not
+account for — so the ``--profile`` table provably covers every stage
+and its rows sum to the total analysis time.  The canonical row set is
+:data:`PROFILE_TABLE_STAGES` (consistency-checked against the stage
+registry by ``tests/test_stage_registry.py``).
+
+The profiler is cheap enough to leave wired into the pipeline: when
+profiling is off the pipeline holds the shared :data:`NULL_PROFILER`
 whose ``stage()`` context manager is a no-op.
 
 Aggregation follows the :class:`~repro.runner.stats.RunningStats` model:
@@ -19,6 +27,24 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter
+
+#: Residual bucket: analyze() wall clock not attributed to any stage.
+UNATTRIBUTED = "unattributed"
+
+#: The rows a fully profiled run produces: every built-in stage of the
+#: registry (Figure 1 order; keep in sync with
+#: ``repro.core.stages.STAGE_NAMES`` — enforced by
+#: ``tests/test_stage_registry.py``) plus the residual bucket.
+PROFILE_TABLE_STAGES: tuple[str, ...] = (
+    "auth",
+    "parse",
+    "dynamic-html",
+    "crawl",
+    "classify",
+    "spear",
+    "enrich",
+    UNATTRIBUTED,
+)
 
 
 class _StageTimer:
@@ -115,12 +141,21 @@ class StageProfiler:
 
 
 def format_stage_report(stage_calls, stage_seconds) -> str:
-    """A fixed-width per-stage table (stage, calls, total, per-call, share)."""
+    """A fixed-width per-stage table (stage, calls, total, per-call, share).
+
+    Stages sort by total time; the ``unattributed`` residual bucket
+    always prints last so the attributed rows read as a breakdown of
+    real pipeline work.
+    """
     total = sum(stage_seconds.values())
     lines = [
         f"{'stage':<18s} {'calls':>8s} {'total s':>9s} {'ms/call':>9s} {'share':>7s}"
     ]
-    for name in sorted(stage_seconds, key=stage_seconds.get, reverse=True):
+    ordered = sorted(
+        stage_seconds,
+        key=lambda name: (name == UNATTRIBUTED, -stage_seconds[name]),
+    )
+    for name in ordered:
         seconds = stage_seconds[name]
         calls = stage_calls.get(name, 0)
         per_call = 1000.0 * seconds / calls if calls else 0.0

@@ -22,6 +22,15 @@ but every record depends only on ``(seed material, message_index)``
 (see :meth:`repro.core.pipeline.CrawlerBox.message_seed`), and the
 result list is sorted by index, so the records themselves are
 byte-identical across worker counts, backends, and scheduling orders.
+
+Failure routing: since the pipeline became a stage graph
+(:mod:`repro.core.stages`), per-stage exceptions degrade the record's
+``stage_status`` inside ``analyze`` instead of propagating here — the
+retry/backoff/dead-letter machinery below only ever sees transient
+infrastructure faults and messages that cannot enter the pipeline at
+all.  For stage subsetting, pass the same selection to the thread
+backend's ``box_factory`` and to :class:`RunnerConfig.stages` so both
+backends build identical plans (the CLI's ``--stages`` does this).
 """
 
 from __future__ import annotations

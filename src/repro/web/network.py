@@ -22,6 +22,12 @@ from repro.web.whois import WhoisRegistry
 __all__ = ["Network", "ClientContext", "ConnectionFailed", "TLSValidationError"]
 
 
+#: Benign utility hosts the fabric can serve (see
+#: :meth:`Network.install_ip_services`); the pipeline's crawl admission
+#: policy treats these as non-phishing infrastructure.
+UTILITY_HOSTS: tuple[str, ...] = ("httpbin.org", "ipapi.co")
+
+
 class ConnectionFailed(ConnectionError):
     """The host resolved but nothing answers (server taken down)."""
 
@@ -100,7 +106,8 @@ class Network:
         (145 messages) and enriching it via ipapi.co (83 messages) before
         exfiltrating it to C2 for server-side filtering.
         """
-        httpbin = Website("httpbin.org", ip="34.0.0.1")
+        httpbin_host, ipapi_host = UTILITY_HOSTS
+        httpbin = Website(httpbin_host, ip="34.0.0.1")
 
         def _httpbin_ip(request: HttpRequest, context: ClientContext) -> HttpResponse:
             body = json.dumps({"origin": context.ip})
@@ -109,10 +116,10 @@ class Network:
         httpbin.add_handler("/ip", _httpbin_ip)
         self.host_website(httpbin)
         self.issue_certificate(
-            TLSCertificate("httpbin.org", "DigiCert", float("-inf"), float("inf"))
+            TLSCertificate(httpbin_host, "DigiCert", float("-inf"), float("inf"))
         )
 
-        ipapi = Website("ipapi.co", ip="34.0.0.2")
+        ipapi = Website(ipapi_host, ip="34.0.0.2")
 
         def _ipapi_json(request: HttpRequest, context: ClientContext) -> HttpResponse:
             asn, network_name, country = self.ip_metadata.get(
@@ -134,5 +141,5 @@ class Network:
         ipapi.add_handler("/json/", _ipapi_json)
         self.host_website(ipapi)
         self.issue_certificate(
-            TLSCertificate("ipapi.co", "DigiCert", float("-inf"), float("inf"))
+            TLSCertificate(ipapi_host, "DigiCert", float("-inf"), float("inf"))
         )

@@ -39,6 +39,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_run_stages(self):
+        args = build_parser().parse_args(["run", "--stages", "auth,parse"])
+        assert args.stages == ("auth", "parse")
+
+    def test_run_stages_default_is_full_plan(self):
+        assert build_parser().parse_args(["run"]).stages is None
+
+    def test_run_stages_rejects_unknown_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--stages", "auth,fetch"])
+        assert "unknown stage" in capsys.readouterr().err
+
+    def test_run_stages_rejects_missing_providers(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--stages", "classify"])
+        assert "requires" in capsys.readouterr().err
+
 
 class TestFlows:
     def test_run_and_report(self, tmp_path, capsys):
@@ -70,6 +87,24 @@ class TestFlows:
         output = capsys.readouterr().out
         assert "0 analysed" in output
         assert "Outcome breakdown" in output
+
+    def test_run_with_stage_subset(self, tmp_path, capsys):
+        artifacts = tmp_path / "triage.json"
+        exit_code = main(["run", "--scale", "0.02", "--seed", "5",
+                          "--stages", "auth,parse", "--export", str(artifacts)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Degraded records" in output  # unselected stages are 'skipped'
+        assert artifacts.exists()
+        # Parse-only triage never crawls, so every record is URL-less.
+        import json
+
+        payload = json.loads(artifacts.read_text())
+        assert payload["records"]
+        for record in payload["records"]:
+            assert record.get("crawls", []) == []
+            assert record["stage_status"]["crawl"] == "skipped"
+            assert record["stage_status"]["parse"] == "ok"
 
     def test_resume_without_manifest_fails(self, tmp_path, capsys):
         assert main(["resume", str(tmp_path / "nothing")]) == 1

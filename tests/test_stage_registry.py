@@ -1,0 +1,118 @@
+"""Fast stage-registry consistency checks (no corpus, no crawling).
+
+Run standalone in CI as a cheap guard::
+
+    PYTHONPATH=src python -m pytest tests/test_stage_registry.py -q
+
+Invariants:
+
+- the registry holds exactly the Figure 1 stages, in Figure 1 order;
+- every registered stage name has a row in the profiler table schema
+  (:data:`repro.runner.profile.PROFILE_TABLE_STAGES` is a literal so
+  ``runner.profile`` never imports ``core.stages`` — this test is the
+  enforcement);
+- requires/provides form a DAG the default plan can satisfy;
+- plan construction rejects cycles, duplicates, unknown names, and
+  selections whose ``requires`` no selected stage provides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import (
+    BUILTIN_STAGES,
+    STAGE_NAMES,
+    Stage,
+    StagePlan,
+    StagePlanError,
+    build_plan,
+    registered_stage_names,
+)
+from repro.runner.profile import PROFILE_TABLE_STAGES, UNATTRIBUTED
+
+FIGURE_1_ORDER = ("auth", "parse", "dynamic-html", "crawl", "classify", "spear", "enrich")
+
+
+class _FakeStage:
+    """Minimal concrete stage for graph-validation tests."""
+
+    def __init__(self, name, requires=(), provides=()):
+        self.name = name
+        self.requires = tuple(requires)
+        self.provides = tuple(provides)
+
+    def run(self, ctx):
+        return None
+
+
+class TestRegistryContents:
+    def test_builtin_stage_names_match_figure_1(self):
+        assert STAGE_NAMES == FIGURE_1_ORDER
+        assert registered_stage_names() == FIGURE_1_ORDER
+
+    def test_stages_satisfy_the_protocol(self):
+        for stage in BUILTIN_STAGES:
+            assert isinstance(stage, Stage)
+            assert isinstance(stage.requires, tuple)
+            assert isinstance(stage.provides, tuple)
+
+    def test_every_stage_has_a_profiler_row(self):
+        for name in registered_stage_names():
+            assert name in PROFILE_TABLE_STAGES, (
+                f"stage {name!r} missing from PROFILE_TABLE_STAGES — "
+                "add it to repro/runner/profile.py"
+            )
+
+    def test_profiler_table_is_registry_plus_residual_bucket(self):
+        assert PROFILE_TABLE_STAGES == STAGE_NAMES + (UNATTRIBUTED,)
+
+    def test_no_stage_shadows_the_residual_bucket(self):
+        assert UNATTRIBUTED not in STAGE_NAMES
+
+
+class TestDefaultPlan:
+    def test_default_plan_orders_like_figure_1(self):
+        assert build_plan().stage_names == FIGURE_1_ORDER
+
+    def test_requires_are_provided_by_earlier_stages(self):
+        plan = build_plan()
+        available = set()
+        for stage in plan.stages:
+            for token in stage.requires:
+                assert token in available, (
+                    f"{stage.name} requires {token!r} before any stage provides it"
+                )
+            available.update(stage.provides)
+
+    def test_provides_are_unique_across_builtins(self):
+        tokens = [token for stage in BUILTIN_STAGES for token in stage.provides]
+        assert len(tokens) == len(set(tokens))
+
+
+class TestPlanValidation:
+    def test_cycles_are_rejected(self):
+        a = _FakeStage("a", requires=("y",), provides=("x",))
+        b = _FakeStage("b", requires=("x",), provides=("y",))
+        with pytest.raises(StagePlanError, match="cycle"):
+            StagePlan([a, b])
+
+    def test_duplicate_names_are_rejected(self):
+        with pytest.raises(StagePlanError, match="duplicate"):
+            StagePlan([_FakeStage("a"), _FakeStage("a")])
+
+    def test_unknown_selection_is_rejected(self):
+        with pytest.raises(StagePlanError, match="unknown stage"):
+            build_plan(["auth", "fetch"])
+
+    def test_unsatisfied_requires_are_rejected(self):
+        with pytest.raises(StagePlanError, match="requires"):
+            build_plan(["classify"])  # needs extraction + crawls
+
+    def test_out_of_order_stable_sort(self):
+        # Registration order is only a tiebreak: a consumer registered
+        # before its producer still sorts after it.
+        producer = _FakeStage("late-producer", provides=("t",))
+        consumer = _FakeStage("early-consumer", requires=("t",))
+        plan = StagePlan([consumer, producer])
+        assert plan.stage_names == ("late-producer", "early-consumer")
