@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.browser.profile import BrowserProfile
 from repro.browser.session import PageSession
 from repro.web.dns import NxDomainError
+from repro.web.faults import FaultError
 from repro.web.http import Headers, HttpRequest, HttpResponse
 from repro.web.network import ConnectionFailed, Network, TLSValidationError
 from repro.web.urls import ParsedUrl, UrlError, parse_url
@@ -31,6 +32,9 @@ class VisitOutcome:
     HTTP_ERROR = "http_error"
     BAD_URL = "bad_url"
     REDIRECT_LOOP = "redirect_loop"
+    #: The resilient crawl path gave up on the URL without ever getting
+    #: data (circuit breaker open); never produced by Browser itself.
+    UNREACHABLE = "unreachable"
 
 
 @dataclass
@@ -58,6 +62,9 @@ class VisitResult:
     sessions: list[PageSession] = field(default_factory=list)
     certificates: list = field(default_factory=list)
     server_ips: dict[str, str] = field(default_factory=dict)
+    #: Injected fault kinds observed during the visit (document fetches,
+    #: redirects, and sub-resource requests alike), in event order.
+    fault_kinds: list[str] = field(default_factory=list)
 
     @property
     def final_url(self) -> str:
@@ -94,6 +101,9 @@ class Browser:
         self.cookies: dict[str, dict[str, str]] = {}
         self.local_storage: dict[str, dict[str, str]] = {}
         self._active_result: VisitResult | None = None
+        #: Retry ordinal stamped onto every request this browser issues
+        #: (set by the resilient crawl path; 0 = first delivery).
+        self.fault_attempt = 0
 
     # ------------------------------------------------------------------
     # Headers and cookies
@@ -156,10 +166,25 @@ class Browser:
             body=body,
             client_ip=self.profile.ip,
             timestamp=self.timestamp,
+            fault_attempt=self.fault_attempt,
         )
         response = self.network.request(request, self.profile.client_context())
         self._absorb_cookies(url.host, response)
         return response
+
+    def _note_fault(self, source) -> None:
+        """Record an injected fault's kind on the active/visit result.
+
+        ``source`` is either a caught exception or a shaped response;
+        genuine network errors (no :class:`FaultError` lineage, no
+        ``fault_kind`` attribute) record nothing.
+        """
+        if isinstance(source, FaultError):
+            kind = source.kind
+        else:
+            kind = getattr(source, "fault_kind", "")
+        if kind and self._active_result is not None:
+            self._active_result.fault_kinds.append(kind)
 
     def subrequest(
         self,
@@ -176,9 +201,11 @@ class Browser:
             self._active_result.requests.append(record)
         try:
             response = self._raw_fetch(url, referrer, kind, method, extra_headers, body)
-        except (NxDomainError, ConnectionFailed, TLSValidationError):
+        except (NxDomainError, ConnectionFailed, TLSValidationError) as exc:
+            self._note_fault(exc)
             record.status = None
             return None
+        self._note_fault(response)
         record.status = response.status
         record.headers = dict(self.build_headers(url, referrer, kind).items())
         return response
@@ -227,18 +254,22 @@ class Browser:
         try:
             response = self._raw_fetch(url, referrer, "document")
         except NxDomainError as exc:
+            self._note_fault(exc)
             result.outcome = VisitOutcome.NXDOMAIN
             result.error = f"NXDOMAIN: {exc}"
             return
         except ConnectionFailed as exc:
+            self._note_fault(exc)
             result.outcome = VisitOutcome.CONNECTION_FAILED
             result.error = str(exc)
             return
         except TLSValidationError as exc:
+            self._note_fault(exc)
             result.outcome = VisitOutcome.TLS_ERROR
             result.error = str(exc)
             return
 
+        self._note_fault(response)
         record.status = response.status
         result.url_chain.append(url.raw)
         result.responses.append(response)

@@ -94,17 +94,27 @@ def _print_study_report(records, world=None) -> None:
 
 def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
                   executor: str = "auto", profile: bool = False,
-                  stages: tuple[str, ...] | None = None):
+                  stages: tuple[str, ...] | None = None,
+                  faults: str = "off", fault_seed: int = 0):
     """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes.
 
     ``stages`` (a validated ``--stages`` selection) reaches both
     backends: the thread backend's box factory and the process
     backend's :class:`RunnerConfig`, so every worker builds the same
-    plan.
+    plan.  ``faults``/``fault_seed`` likewise reach both backends: the
+    engine installed here serves the thread backend's shared network,
+    and the same parameters travel in the RunnerConfig so each process
+    worker rebuilds an identical engine.
     """
     from repro import CrawlerBox
     from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
 
+    if faults != "off":
+        from repro.web.faults import FaultEngine, fault_profile
+
+        corpus.world.network.install_faults(
+            FaultEngine(fault_profile(faults), seed=fault_seed)
+        )
     checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     profiler = StageProfiler() if profile else None
 
@@ -119,11 +129,13 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
         ),
         jobs=jobs,
         executor=executor,
-        config=RunnerConfig(seed=seed, scale=scale, stages=stages),
+        config=RunnerConfig(seed=seed, scale=scale, stages=stages,
+                            faults=faults, fault_seed=fault_seed),
         checkpoint=checkpoint,
         progress=progress,
         progress_every=200,
-        run_info={"seed": seed, "scale": scale, "stages": list(stages or ())},
+        run_info={"seed": seed, "scale": scale, "stages": list(stages or ()),
+                  "faults": faults, "fault_seed": fault_seed},
         profiler=profiler,
     )
 
@@ -135,12 +147,21 @@ def _finish_run(result, corpus, export_path) -> int:
         print("\nPer-stage timing:")
         print(format_stage_report(result.stats.stage_calls, result.stats.stage_seconds))
     _print_study_report(result.records, corpus.world)
+    if result.stats.has_fault_activity:
+        from repro.runner import format_fault_report
+
+        print()
+        print(format_fault_report(result.stats))
     degraded = sum(1 for record in result.records if record.degraded_stages)
     if degraded:
         print(f"\nDegraded records (failed or skipped stages): {degraded}")
     for letter in result.dead_letters:
         print(f"DEAD LETTER: message {letter.index} after {letter.attempts} attempts: "
               f"{letter.error}")
+        for attempt, error in enumerate(letter.history, start=1):
+            print(f"  attempt {attempt}: {error}")
+        if letter.backoff_seconds:
+            print(f"  total backoff slept: {letter.backoff_seconds:.3f}s")
     if export_path:
         from repro.core.export import save_records
 
@@ -158,9 +179,13 @@ def cmd_run(args) -> int:
     print(f"  {len(corpus.messages)} messages, {len(corpus.domain_plans)} landing domains "
           f"({time.time() - started:.1f}s)")
 
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint,
                            executor=args.executor, profile=args.profile,
-                           stages=args.stages)
+                           stages=args.stages,
+                           faults=args.faults, fault_seed=fault_seed)
+    if args.faults != "off":
+        print(f"Fault injection: profile={args.faults}, fault-seed={fault_seed}")
     print(f"Running CrawlerBox over the corpus "
           f"(jobs={args.jobs}, executor={runner.resolve_executor()}) ...")
     started = time.time()
@@ -184,9 +209,24 @@ def cmd_resume(args) -> int:
         print(f"No manifest under {args.checkpoint}; nothing to resume")
         return 1
     jobs = args.jobs if args.jobs is not None else manifest.jobs
+    # Fault settings default to what the interrupted run used, so a
+    # plain `resume` reproduces the same weather; --faults overrides.
+    faults = args.faults if args.faults is not None else manifest.faults
+    fault_seed = (args.fault_seed if args.fault_seed is not None
+                  else (manifest.fault_seed if manifest.faults != "off"
+                        else manifest.seed))
     durable = len(store.completed_indices())
     print(f"Resuming run (seed={manifest.seed}, scale={manifest.scale}, "
           f"{durable}/{manifest.total_messages} already analysed, jobs={jobs}) ...")
+    if faults != "off":
+        print(f"Fault injection: profile={faults}, fault-seed={fault_seed}")
+    for letter in manifest.dead_letters:
+        print(f"  prior dead letter: message {letter['index']} after "
+              f"{letter['attempts']} attempts: {letter['error']}")
+        for attempt, error in enumerate(letter.get("history") or (), start=1):
+            print(f"    attempt {attempt}: {error}")
+        if letter.get("backoff_seconds"):
+            print(f"    total backoff slept: {letter['backoff_seconds']:.3f}s")
 
     corpus = CorpusGenerator(seed=manifest.seed, scale=manifest.scale).generate()
     if len(corpus.messages) != manifest.total_messages:
@@ -197,7 +237,8 @@ def cmd_resume(args) -> int:
     started = time.time()
     runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint,
                            executor=args.executor, profile=args.profile,
-                           stages=args.stages)
+                           stages=args.stages,
+                           faults=faults, fault_seed=fault_seed)
     result = runner.run(corpus.messages)
     print(f"  {len(result.resumed_indices)} records reused, "
           f"{len(result.records) - len(result.resumed_indices)} analysed "
@@ -258,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "for crawl-free triage); unselected stages are "
                                  "recorded as skipped on each record's stage_status; "
                                  "a stage's upstream providers must be included")
+    run_parser.add_argument("--faults", choices=("off", "light", "heavy", "hostile"),
+                            default="off",
+                            help="inject deterministic network faults (DNS flaps, "
+                                 "timeouts, TLS failures, 5xx/429, stalls, redirect "
+                                 "loops) into the simulated internet; the resilient "
+                                 "crawl path retries/degrades instead of dying")
+    run_parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                            help="seed for the fault schedule (default: --seed); a "
+                                 "fixed fault-seed gives byte-identical records for "
+                                 "any --jobs count or executor")
     run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
                             help="append finished records to DIR/records.jsonl so the "
                                  "run can be resumed after an interruption")
@@ -277,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
     resume_parser.add_argument("--stages", type=_stage_list, default=None,
                                metavar="NAME,NAME,...",
                                help="run only these pipeline stages (see 'run --stages')")
+    resume_parser.add_argument("--faults", choices=("off", "light", "heavy", "hostile"),
+                               default=None,
+                               help="fault-injection profile (see 'run --faults'); "
+                                    "defaults to the interrupted run's profile from "
+                                    "the manifest")
+    resume_parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                               help="fault schedule seed (default: the manifest's)")
     resume_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the completed artifacts to a JSON file")
     resume_parser.set_defaults(handler=cmd_resume)

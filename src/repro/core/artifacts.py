@@ -19,6 +19,7 @@ from repro.browser.session import SessionSignals
 from repro.enrichment.enricher import EnrichmentRecord
 from repro.mail.auth import AuthResults
 from repro.mail.parser import ExtractionReport
+from repro.web.resilient import FaultTelemetry
 
 
 @dataclass
@@ -80,6 +81,10 @@ class MessageRecord:
     #: URLs the crawl stage skipped as benign infrastructure (media
     #: CDNs, IP echo services) — counted, never crawled.
     benign_url_skips: tuple[str, ...] = ()
+    #: Resilience ledger (retries, breaker trips, deadline hits, fault
+    #: kinds seen); attached only when a fault engine is active, so
+    #: fault-free runs serialize byte-identically to earlier formats.
+    fault_telemetry: FaultTelemetry | None = None
     #: Ground truth passed through for calibration tests only.
     ground_truth: dict = field(default_factory=dict)
 

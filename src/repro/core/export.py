@@ -17,6 +17,7 @@ from repro.browser.session import SessionSignals
 from repro.core.artifacts import MessageRecord, UrlCrawl
 from repro.mail.auth import AuthResults
 from repro.mail.parser import ExtractedUrl, ExtractionReport
+from repro.web.resilient import FaultTelemetry
 
 FORMAT_VERSION = 1
 
@@ -106,6 +107,8 @@ def record_to_dict(record: MessageRecord) -> dict:
         data["stage_status"] = dict(record.stage_status)
     if record.benign_url_skips:
         data["benign_url_skips"] = list(record.benign_url_skips)
+    if record.fault_telemetry is not None:
+        data["fault_telemetry"] = record.fault_telemetry.as_dict()
     return data
 
 
@@ -198,6 +201,8 @@ def record_from_dict(data: dict) -> MessageRecord:
     record.noise_padded = data["noise_padded"]
     record.stage_status = dict(data.get("stage_status") or {})
     record.benign_url_skips = tuple(data.get("benign_url_skips") or ())
+    if data.get("fault_telemetry") is not None:
+        record.fault_telemetry = FaultTelemetry.from_dict(data["fault_telemetry"])
     record.qr_payloads = tuple(tuple(item) for item in data["qr_payloads"])
     record.crawls = [_crawl_from_dict(item) for item in data["crawls"]]
     record.local_session_signals = [

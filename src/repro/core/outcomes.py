@@ -110,6 +110,7 @@ def classify_visit(result: VisitResult) -> str:
         VisitOutcome.TLS_ERROR,
         VisitOutcome.BAD_URL,
         VisitOutcome.REDIRECT_LOOP,
+        VisitOutcome.UNREACHABLE,
     ):
         return PageClass.ERROR
     session = result.final_session

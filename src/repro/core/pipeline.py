@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.artifacts import MessageRecord
+from repro.web.resilient import FaultTelemetry, ResiliencePolicy
 from repro.core.spearphish import SpearPhishClassifier
 from repro.core.stages import AnalysisContext, build_plan
 from repro.crawlers.base import Crawler
@@ -106,6 +107,10 @@ class CrawlerBox:
             network, notabot_profile(), rng=self.rng, retain_results=False
         )
         self.enricher = enricher or Enricher(network)
+        #: Retry/breaker/deadline knobs for the resilient crawl path;
+        #: only consulted when the network carries an active fault
+        #: engine (``Network.install_faults``).
+        self.resilience_policy = ResiliencePolicy()
         self.parser = EmailParser(lenient_qr=self.config.lenient_qr)
         if spear_classifier is None:
             spear_classifier = SpearPhishClassifier.from_portals(
@@ -154,6 +159,9 @@ class CrawlerBox:
             sender_domain=message.sender_domain,
             ground_truth=dict(message.ground_truth),
         )
+        engine = getattr(self.network, "faults", None)
+        if engine is not None and engine.active:
+            record.fault_telemetry = FaultTelemetry()
         self.crawler.rng = random.Random(self.message_seed(message_index))
         ctx = AnalysisContext(
             message=message,

@@ -10,9 +10,10 @@ the owning CrawlerBox.
 
 from __future__ import annotations
 
+import random
 import re
 
-from repro.browser.browser import VisitResult
+from repro.browser.browser import VisitOutcome, VisitResult
 from repro.browser.session import SessionSignals
 from repro.core.artifacts import UrlCrawl
 from repro.core.outcomes import (
@@ -26,6 +27,10 @@ from repro.core.stages.base import AnalysisContext, Token
 from repro.core.stages.plan import register_stage
 from repro.imaging.phash import dhash, hamming_distance, phash
 from repro.mail.auth import evaluate_authentication
+from repro.web.dns import NxDomainError
+from repro.web.faults import FaultError
+from repro.web.network import ConnectionFailed, TLSValidationError
+from repro.web.resilient import ResilientFetcher
 from repro.web.urls import UrlError, parse_url
 
 _NOISE_RE = re.compile(r"\n{25,}")
@@ -102,24 +107,77 @@ class CrawlStage:
         ctx.crawl_urls = urls
 
         method_by_url = {item.url: item.method for item in ctx.report.urls}
+        fetcher = self._fetcher(ctx)
         for url in urls:
-            crawl = self._crawl_one(
-                ctx,
-                url,
-                discovered_dynamically=url in ctx.dynamic_urls,
-                extraction_method=method_by_url.get(url, "dynamic"),
+            discovered_dynamically = url in ctx.dynamic_urls
+            extraction_method = method_by_url.get(url, "dynamic")
+            result = self._fetch(ctx, fetcher, url)
+            if result is None:
+                # Circuit breaker open before any attempt got data: a
+                # partial record instead of a dead-lettered message.
+                ctx.record.crawls.append(
+                    self._unreachable_crawl(url, discovered_dynamically, extraction_method)
+                )
+                continue
+            ctx.record.crawls.append(
+                self._build_crawl(ctx, url, result, discovered_dynamically, extraction_method)
             )
-            ctx.record.crawls.append(crawl)
 
     # ------------------------------------------------------------------
-    def _crawl_one(
+    def _fetcher(self, ctx: AnalysisContext) -> ResilientFetcher | None:
+        """The resilient fetch wrapper, when a fault engine is active.
+
+        Fault-free runs keep the direct crawl path (and its exact RNG
+        consumption), preserving byte-identical records.  The wrapper's
+        breaker/budget/jitter state is scoped to this message: both the
+        telemetry ledger and the jitter RNG derive from the per-message
+        seed, so records stay order-independent.
+        """
+        engine = getattr(ctx.box.network, "faults", None)
+        if engine is None or not engine.active or ctx.record.fault_telemetry is None:
+            return None
+        return ResilientFetcher(
+            fetch=lambda url, timestamp, attempt: ctx.box.crawler.crawl_url(
+                url, timestamp=timestamp, fault_attempt=attempt
+            ),
+            policy=ctx.box.resilience_policy,
+            rng=random.Random(ctx.box.message_seed(ctx.message_index) ^ 0x5E51_71E7),
+            telemetry=ctx.record.fault_telemetry,
+        )
+
+    def _fetch(
+        self, ctx: AnalysisContext, fetcher: ResilientFetcher | None, url: str
+    ) -> VisitResult | None:
+        if fetcher is None:
+            return ctx.box.crawler.crawl_url(url, timestamp=ctx.analysis_time)
+        try:
+            host = parse_url(url).host
+        except UrlError:
+            host = ""
+        return fetcher.fetch(url, host, ctx.analysis_time)
+
+    @staticmethod
+    def _unreachable_crawl(
+        url: str, discovered_dynamically: bool, extraction_method: str
+    ) -> UrlCrawl:
+        return UrlCrawl(
+            url=url,
+            outcome=VisitOutcome.UNREACHABLE,
+            page_class=PageClass.ERROR,
+            final_url=url,
+            discovered_dynamically=discovered_dynamically,
+            extraction_method=extraction_method,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_crawl(
         self,
         ctx: AnalysisContext,
         url: str,
+        result: VisitResult,
         discovered_dynamically: bool,
         extraction_method: str,
     ) -> UrlCrawl:
-        result: VisitResult = ctx.box.crawler.crawl_url(url, timestamp=ctx.analysis_time)
         page_class = classify_visit(result)
         session = result.final_session
 
@@ -252,12 +310,31 @@ class EnrichStage:
         if not ctx.config.enrich:
             return
         record = ctx.record
+        failures: set[str] = set()
         for crawl in record.crawls:
             domain = crawl.landing_domain
-            if domain and domain not in record.enrichments:
+            if not domain or domain in record.enrichments or domain in failures:
+                continue
+            try:
                 record.enrichments[domain] = ctx.box.enricher.enrich(
                     domain, at_time=record.delivered_at, server_ip=crawl.server_ip
                 )
+            except (NxDomainError, ConnectionFailed, TLSValidationError) as exc:
+                # A host taken down between crawl and enrichment (or an
+                # injected lookup fault) costs this domain's enrichment,
+                # not the whole message: partial enrichments are kept
+                # and the stage is marked failed at the end.
+                failures.add(domain)
+                telemetry = record.fault_telemetry
+                if telemetry is not None:
+                    telemetry.enrich_failures += 1
+                    if isinstance(exc, FaultError):
+                        telemetry.note_kind(exc.kind)
+        if failures:
+            raise ConnectionFailed(
+                f"enrichment unreachable for {len(failures)} domain(s): "
+                + ", ".join(sorted(failures))
+            )
 
 
 #: Figure 1 order; registration order is the stable topological tiebreak.

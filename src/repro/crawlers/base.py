@@ -53,9 +53,16 @@ class Crawler:
             timestamp=timestamp,
         )
 
-    def crawl_url(self, url: str, timestamp: float = 0.0) -> VisitResult:
-        """Visit one URL and log everything."""
+    def crawl_url(self, url: str, timestamp: float = 0.0, fault_attempt: int = 0) -> VisitResult:
+        """Visit one URL and log everything.
+
+        ``fault_attempt`` is the resilient crawl path's retry ordinal:
+        it reaches the fault engine through every request the visit
+        issues, so a retried visit re-rolls its (deterministic) fault
+        schedule instead of replaying the failure.
+        """
         browser = self._fresh_browser(timestamp)
+        browser.fault_attempt = fault_attempt
         result = browser.visit(url)
         if self.retain_results:
             self.crawled.append(result)

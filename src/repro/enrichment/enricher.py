@@ -39,7 +39,18 @@ class Enricher:
         self.shodan = shodan or ShodanDatabase()
 
     def enrich(self, domain: str, at_time: float, server_ip: str = "") -> EnrichmentRecord:
-        """Enrich one domain as observed at ``at_time`` (hours)."""
+        """Enrich one domain as observed at ``at_time`` (hours).
+
+        Raises the network fabric's connection errors when an active
+        fault engine decides this lookup fails — real enrichment hits
+        the same internet the crawler does, and a host taken down
+        between crawl and enrichment takes its WHOIS/CT visibility with
+        it.  The enrich stage guards per-domain, so one dead lookup
+        never aborts the message.
+        """
+        faults = getattr(self.network, "faults", None)
+        if faults is not None:
+            faults.check_lookup(domain, at_time)
         registrable = registered_domain(domain)
         whois = self.network.whois.lookup(registrable)
         first_cert = self.network.ct_log.earliest_issuance(domain)

@@ -37,6 +37,7 @@ from repro.runner.profile import (
     NULL_PROFILER,
     PROFILE_TABLE_STAGES,
     StageProfiler,
+    format_fault_report,
     format_stage_report,
 )
 from repro.runner.queue import Job, JobQueue, QueueClosed
@@ -63,5 +64,6 @@ __all__ = [
     "StageProfiler",
     "TransientFault",
     "WorkerCrash",
+    "format_fault_report",
     "format_stage_report",
 ]

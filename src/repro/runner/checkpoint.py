@@ -40,6 +40,8 @@ class RunManifest:
     status: str = "running"  # 'running' | 'complete' | 'failed'
     dead_letters: list[dict] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    faults: str = "off"
+    fault_seed: int = 0
     manifest_version: int = MANIFEST_VERSION
 
     def as_dict(self) -> dict:
@@ -53,6 +55,8 @@ class RunManifest:
             "status": self.status,
             "dead_letters": self.dead_letters,
             "stats": self.stats,
+            "faults": self.faults,
+            "fault_seed": self.fault_seed,
         }
 
     @classmethod
@@ -69,6 +73,9 @@ class RunManifest:
             status=data["status"],
             dead_letters=list(data["dead_letters"]),
             stats=dict(data["stats"]),
+            # Absent in manifests written before fault injection existed.
+            faults=data.get("faults", "off"),
+            fault_seed=data.get("fault_seed", 0),
         )
 
 

@@ -82,6 +82,12 @@ class RunnerConfig:
     #: message; ``"transient:<index>:<n>"`` raises TransientFault on the
     #: first ``n`` attempts at that message.
     fault: str = ""
+    #: Fault-injection profile for the simulated internet
+    #: (``off | light | heavy | hostile``); each worker installs the
+    #: same seeded engine on its rebuilt network, so process runs see
+    #: the same deterministic weather as thread runs.
+    faults: str = "off"
+    fault_seed: int = 0
 
     # ------------------------------------------------------------------
     def build(self):
@@ -93,6 +99,12 @@ class RunnerConfig:
         from repro.runner.profile import StageProfiler
 
         corpus = CorpusGenerator(seed=self.seed, scale=self.scale).generate()
+        if self.faults != "off":
+            from repro.web.faults import FaultEngine, fault_profile
+
+            corpus.world.network.install_faults(
+                FaultEngine(fault_profile(self.faults), seed=self.fault_seed)
+            )
         profiler = StageProfiler() if self.profile else None
         box = CrawlerBox.for_world(corpus.world, profiler=profiler, stages=self.stages)
         if self.crawler_profile != "notabot":
@@ -209,6 +221,8 @@ class ProcessPool:
         self.retries: deque[int] = deque()
         self.remaining: set[int] = set(pending)
         self.attempts: dict[int, int] = {}
+        #: Per-index error reprs across attempts, for dead-letter history.
+        self.attempt_errors: dict[int, list[str]] = {}
 
         for _ in range(min(self.jobs, max(1, len(pending)))):
             self._spawn_worker()
@@ -307,12 +321,20 @@ class ProcessPool:
             runner._set_fatal(error)
             return
         self.attempts[index] = self.attempts.get(index, 0) + 1
+        self.attempt_errors.setdefault(index, []).append(repr(error))
         if self.attempts[index] < policy.max_attempts:
             runner._note_retry()
             self.retries.append(index)
         else:
             self.remaining.discard(index)
-            runner._record_dead(index, self.attempts[index], repr(error))
+            # Process retries re-dispatch immediately (no backoff sleep),
+            # hence backoff=0; the attempt history still travels.
+            runner._record_dead(
+                index,
+                self.attempts[index],
+                repr(error),
+                history=tuple(self.attempt_errors.pop(index, [])),
+            )
 
     def _reap_crashed_workers(self, batch: int) -> None:
         for worker_id, process in list(self.workers.items()):

@@ -165,3 +165,26 @@ def format_stage_report(stage_calls, stage_seconds) -> str:
         )
     lines.append(f"{'(all stages)':<18s} {'':>8s} {total:>9.3f}")
     return "\n".join(lines)
+
+
+def format_fault_report(stats) -> str:
+    """The resilience summary for a fault-injected run.
+
+    One headline line of aggregate counters followed by the per-kind
+    fault counts (most frequent first); only printed by the CLI when
+    :attr:`~repro.runner.stats.RunningStats.has_fault_activity`.
+    """
+    lines = [
+        "fault injection: "
+        f"{stats.fault_requests} requests, "
+        f"{stats.fault_retries} retries "
+        f"({stats.fault_backoff_seconds:.2f}s simulated backoff), "
+        f"{stats.fault_deadline_hits} deadline hits, "
+        f"{stats.fault_breaker_trips} breaker trips, "
+        f"{stats.fault_unreachable} unreachable URLs, "
+        f"{stats.fault_budget_exhausted} budget-exhausted messages, "
+        f"{stats.fault_enrich_failures} enrichment failures"
+    ]
+    for kind, count in sorted(stats.fault_kinds.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {kind:<22s} {count:>8d}")
+    return "\n".join(lines)

@@ -30,6 +30,10 @@ class Job:
     attempts: int = 0
     #: Last exception repr, for the dead-letter record.
     last_error: str = ""
+    #: Every attempt's exception repr, in delivery order.
+    error_history: list = field(default_factory=list)
+    #: Total backoff slept before re-deliveries of this job.
+    backoff_slept: float = 0.0
 
 
 @dataclass(order=True)

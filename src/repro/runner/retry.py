@@ -54,6 +54,18 @@ class DeadLetter:
     index: int
     attempts: int
     error: str
+    #: Per-attempt error reprs in delivery order (the last one equals
+    #: ``error``); empty for letters predating retry-history tracking.
+    history: tuple[str, ...] = ()
+    #: Total backoff the runner slept between this job's deliveries.
+    backoff_seconds: float = 0.0
 
     def as_dict(self) -> dict:
-        return {"index": self.index, "attempts": self.attempts, "error": self.error}
+        data = {"index": self.index, "attempts": self.attempts, "error": self.error}
+        # Emitted only when populated, so manifests from runs without
+        # retries keep the historical key set.
+        if self.history:
+            data["history"] = list(self.history)
+        if self.backoff_seconds:
+            data["backoff_seconds"] = round(self.backoff_seconds, 6)
+        return data

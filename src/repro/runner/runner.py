@@ -233,9 +233,18 @@ class CorpusRunner:
         if manifest_due:
             self._write_manifest(status="running")
 
-    def _record_dead(self, index: int, attempts: int, error: str) -> None:
+    def _record_dead(
+        self,
+        index: int,
+        attempts: int,
+        error: str,
+        history: tuple[str, ...] = (),
+        backoff: float = 0.0,
+    ) -> None:
         with self._lock:
-            self._dead.append(DeadLetter(index, attempts, error))
+            self._dead.append(
+                DeadLetter(index, attempts, error, history=history, backoff_seconds=backoff)
+            )
             self._stats.dead_lettered += 1
 
     def _note_retry(self) -> None:
@@ -273,6 +282,7 @@ class CorpusRunner:
     def _on_failure(self, job: Job, error: BaseException) -> None:
         job.attempts += 1
         job.last_error = repr(error)
+        job.error_history.append(job.last_error)
         policy = self.retry_policy
         if not policy.is_transient(error):
             # A pipeline bug, not flaky infrastructure: abort the run.
@@ -284,12 +294,19 @@ class CorpusRunner:
             with self._lock:
                 self._stats.retried += 1
                 delay = policy.backoff_delay(job.attempts, self._jitter_rng)
+            job.backoff_slept += delay
             try:
                 self._queue.requeue(job, delay)
             except QueueClosed:
                 pass  # fatal shutdown raced us; the run is aborting anyway
             return
-        self._record_dead(job.index, job.attempts, job.last_error)
+        self._record_dead(
+            job.index,
+            job.attempts,
+            job.last_error,
+            history=tuple(job.error_history),
+            backoff=job.backoff_slept,
+        )
         self._finish_one()
 
     def _finish_one(self) -> None:
@@ -314,5 +331,7 @@ class CorpusRunner:
                 status=status,
                 dead_letters=[letter.as_dict() for letter in self._dead],
                 stats=self._stats.as_dict(),
+                faults=str(self.run_info.get("faults", "off")),
+                fault_seed=int(self.run_info.get("fault_seed", 0)),
             )
         self.checkpoint.write_manifest(manifest)

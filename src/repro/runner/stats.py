@@ -42,6 +42,18 @@ class RunningStats:
     #: see :mod:`repro.runner.profile`).
     stage_calls: Counter = field(default_factory=Counter)
     stage_seconds: Counter = field(default_factory=Counter)
+    #: Fault-injection resilience totals, folded from each record's
+    #: :class:`~repro.web.resilient.FaultTelemetry` (all zero — and the
+    #: manifest omits the ``faults`` block — when no engine is active).
+    fault_requests: int = 0
+    fault_retries: int = 0
+    fault_backoff_seconds: float = 0.0
+    fault_deadline_hits: int = 0
+    fault_breaker_trips: int = 0
+    fault_unreachable: int = 0
+    fault_budget_exhausted: int = 0
+    fault_enrich_failures: int = 0
+    fault_kinds: Counter = field(default_factory=Counter)
 
     # ------------------------------------------------------------------
     def update(self, record: MessageRecord) -> None:
@@ -69,6 +81,17 @@ class RunningStats:
                 self.turnstile += 1
             if any(_uses_recaptcha(crawl) for crawl in record.crawls):
                 self.recaptcha += 1
+        telemetry = record.fault_telemetry
+        if telemetry is not None:
+            self.fault_requests += telemetry.requests_attempted
+            self.fault_retries += telemetry.retries
+            self.fault_backoff_seconds += telemetry.backoff_seconds
+            self.fault_deadline_hits += telemetry.deadline_hits
+            self.fault_breaker_trips += telemetry.breaker_trips
+            self.fault_unreachable += telemetry.unreachable
+            self.fault_budget_exhausted += int(telemetry.budget_exhausted)
+            self.fault_enrich_failures += telemetry.enrich_failures
+            self.fault_kinds.update(telemetry.fault_kinds)
 
     # ------------------------------------------------------------------
     def merge(self, other: "RunningStats") -> "RunningStats":
@@ -85,11 +108,20 @@ class RunningStats:
             "console_hijack",
             "dead_lettered",
             "retried",
+            "fault_requests",
+            "fault_retries",
+            "fault_backoff_seconds",
+            "fault_deadline_hits",
+            "fault_breaker_trips",
+            "fault_unreachable",
+            "fault_budget_exhausted",
+            "fault_enrich_failures",
         ):
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         merged.categories = self.categories + other.categories
         merged.stage_calls = self.stage_calls + other.stage_calls
         merged.stage_seconds = self.stage_seconds + other.stage_seconds
+        merged.fault_kinds = self.fault_kinds + other.fault_kinds
         return merged
 
     # ------------------------------------------------------------------
@@ -101,8 +133,22 @@ class RunningStats:
     def turnstile_fraction(self) -> float:
         return self.turnstile / self.credential_messages if self.credential_messages else 0.0
 
+    @property
+    def has_fault_activity(self) -> bool:
+        """Any resilience counter is nonzero (a fault engine was live)."""
+        return bool(
+            self.fault_requests
+            or self.fault_retries
+            or self.fault_deadline_hits
+            or self.fault_breaker_trips
+            or self.fault_unreachable
+            or self.fault_budget_exhausted
+            or self.fault_enrich_failures
+            or self.fault_kinds
+        )
+
     def as_dict(self) -> dict:
-        return {
+        data = {
             "analyzed": self.analyzed,
             "categories": dict(self.categories),
             "spear": self.spear,
@@ -119,6 +165,21 @@ class RunningStats:
                 for name in sorted(self.stage_calls)
             },
         }
+        # Emitted only under an active fault engine: faults-off manifests
+        # keep the historical key set byte-for-byte.
+        if self.has_fault_activity:
+            data["faults"] = {
+                "requests": self.fault_requests,
+                "retries": self.fault_retries,
+                "backoff_seconds": round(self.fault_backoff_seconds, 6),
+                "deadline_hits": self.fault_deadline_hits,
+                "breaker_trips": self.fault_breaker_trips,
+                "unreachable": self.fault_unreachable,
+                "budget_exhausted": self.fault_budget_exhausted,
+                "enrich_failures": self.fault_enrich_failures,
+                "kinds": {kind: self.fault_kinds[kind] for kind in sorted(self.fault_kinds)},
+            }
+        return data
 
     @classmethod
     def from_records(cls, records: list[MessageRecord]) -> "RunningStats":

@@ -17,6 +17,11 @@ in-process fabric:
   Section III-B.2.
 - :mod:`~repro.web.site` — websites, pages, redirects, visual specs.
 - :mod:`~repro.web.network` — the top-level fabric tying it together.
+- :mod:`~repro.web.faults` — seeded deterministic fault injection
+  (DNS flaps, timeouts, TLS failures, 5xx/429, stalls, truncation,
+  redirect loops) for chaos-testing the crawl path.
+- :mod:`~repro.web.resilient` — the retry/breaker/deadline fetch
+  wrapper the crawl stage uses under fault injection.
 """
 
 from repro.web.http import HttpRequest, HttpResponse, Headers
@@ -26,6 +31,8 @@ from repro.web.tls import CertificateTransparencyLog, TLSCertificate
 from repro.web.whois import WhoisRecord, WhoisRegistry
 from repro.web.site import Page, VisualSpec, Website
 from repro.web.network import Network, ClientContext
+from repro.web.faults import FAULT_PROFILES, FaultEngine, FaultError, FaultProfile, fault_profile
+from repro.web.resilient import CircuitBreaker, FaultTelemetry, ResiliencePolicy, ResilientFetcher
 
 __all__ = [
     "Headers",
@@ -46,4 +53,13 @@ __all__ = [
     "VisualSpec",
     "Network",
     "ClientContext",
+    "FAULT_PROFILES",
+    "FaultEngine",
+    "FaultError",
+    "FaultProfile",
+    "fault_profile",
+    "CircuitBreaker",
+    "FaultTelemetry",
+    "ResiliencePolicy",
+    "ResilientFetcher",
 ]

@@ -52,6 +52,10 @@ class HttpRequest:
     client_ip: str = "0.0.0.0"
     #: Simulation timestamp (hours since epoch of the study window).
     timestamp: float = 0.0
+    #: Retry ordinal supplied by a resilient caller (0 = first try).
+    #: Part of the fault engine's decision coordinates, so a retried
+    #: request re-rolls its fault schedule deterministically.
+    fault_attempt: int = 0
 
     @classmethod
     def get(cls, raw_url: str, **kwargs) -> "HttpRequest":

@@ -46,6 +46,19 @@ class Network:
         self._websites: dict[str, Website] = {}
         #: IP metadata used by enrichment (ip -> (asn, network name, country)).
         self.ip_metadata: dict[str, tuple[str, str, str]] = {}
+        #: Optional :class:`~repro.web.faults.FaultEngine` consulted on
+        #: every dispatch (None = the fabric is perfectly reliable).
+        self.faults = None
+
+    def install_faults(self, engine) -> None:
+        """Install a fault-injection engine on the fabric.
+
+        The engine's decisions are a pure function of its seed and the
+        request coordinates, so installing the same engine on a shared
+        network (thread workers) or on per-process rebuilds (process
+        workers) produces identical weather.
+        """
+        self.faults = engine
 
     # ------------------------------------------------------------------
     # Topology management
@@ -57,7 +70,12 @@ class Network:
         active_until: float = float("inf"),
     ) -> None:
         """Attach a website to the fabric and publish its DNS record."""
-        self._websites[website.domain] = website
+        # Normalized at insertion: lookups (``website``/``take_down``/
+        # request dispatch) are all lowercase, so a mixed-case domain —
+        # possible when ``Website.domain`` is reassigned after
+        # construction — would otherwise be unreachable and
+        # un-take-downable.
+        self._websites[website.domain.lower()] = website
         if website.ip:
             self.dns.add_record(website.domain, website.ip, active_from, active_until)
 
@@ -86,6 +104,12 @@ class Network:
         error-page outcomes of Section V (15.9% of malicious messages).
         """
         host = request.url.host
+        faults = self.faults
+        if faults is not None:
+            # Single interception point: connection-phase faults fire
+            # before the fabric is consulted, exactly like weather on a
+            # live network (the request never reaches the server).
+            faults.check_connection(request)
         self.dns.resolve(host, timestamp=request.timestamp)
         website = self._websites.get(host)
         if website is None:
@@ -94,7 +118,12 @@ class Network:
             certificate = website.certificate
             if certificate is None or not certificate.covers(host) or not certificate.valid_at(request.timestamp):
                 raise TLSValidationError(f"no valid certificate for {host}")
-        return website.handle(request, context)
+        response = website.handle(request, context)
+        if faults is not None:
+            # Response-phase faults: the server answered but the client
+            # saw a stall, a truncation, or a shaped 5xx/429/redirect.
+            response = faults.shape_response(request, response)
+        return response
 
     # ------------------------------------------------------------------
     # Built-in third-party services

@@ -56,6 +56,31 @@ class TestParser:
             build_parser().parse_args(["run", "--stages", "classify"])
         assert "requires" in capsys.readouterr().err
 
+    def test_run_faults_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.faults == "off"
+        assert args.fault_seed is None
+
+    def test_run_faults_options(self):
+        args = build_parser().parse_args(["run", "--faults", "hostile", "--fault-seed", "5"])
+        assert (args.faults, args.fault_seed) == ("hostile", 5)
+
+    def test_run_faults_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--faults", "apocalyptic"])
+
+    def test_resume_faults_options(self):
+        args = build_parser().parse_args(["resume", "ckpt", "--faults", "light"])
+        assert args.faults == "light"
+        assert args.fault_seed is None
+
+    def test_resume_faults_default_to_manifest(self):
+        # None = "use whatever the interrupted run used" (read at resume
+        # time from the manifest), not "off".
+        args = build_parser().parse_args(["resume", "ckpt"])
+        assert args.faults is None
+        assert args.fault_seed is None
+
 
 class TestFlows:
     def test_run_and_report(self, tmp_path, capsys):
@@ -87,6 +112,19 @@ class TestFlows:
         output = capsys.readouterr().out
         assert "0 analysed" in output
         assert "Outcome breakdown" in output
+
+    def test_resume_inherits_fault_profile_from_manifest(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt"
+        exit_code = main(["run", "--scale", "0.02", "--seed", "9", "--faults", "light",
+                          "--fault-seed", "3", "--checkpoint", str(checkpoint)])
+        assert exit_code == 0
+        capsys.readouterr()
+
+        # A bare resume re-announces the interrupted run's fault settings
+        # (read from the manifest), rather than silently running clean.
+        exit_code = main(["resume", str(checkpoint)])
+        assert exit_code == 0
+        assert "Fault injection: profile=light, fault-seed=3" in capsys.readouterr().out
 
     def test_run_with_stage_subset(self, tmp_path, capsys):
         artifacts = tmp_path / "triage.json"

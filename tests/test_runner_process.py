@@ -168,3 +168,31 @@ class TestWorkerCrash:
         assert json.dumps(export_records(result.records)) == json.dumps(
             export_records(serial_records[:8])
         )
+
+    def test_transient_fault_under_fault_injection_checkpoints_once(
+        self, tmp_path, runner_corpus
+    ):
+        # A TransientFault raised inside a worker while the simulated
+        # internet is injecting hostile faults: the retry machinery and
+        # the resilient crawl path compose — the run completes with zero
+        # dead letters and the retried record is checkpointed exactly once.
+        flaky = 2
+        retry = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01, jitter=0.0)
+        runner = _runner(
+            runner_corpus,
+            config=RunnerConfig(
+                seed=SEED, scale=SCALE, fault=f"transient:{flaky}:2",
+                faults="hostile", fault_seed=99,
+            ),
+            retry_policy=retry,
+            checkpoint=CheckpointStore(tmp_path / "ckpt"),
+        )
+        result = runner.run(runner_corpus.messages[:8])
+        assert not result.dead_letters
+        assert result.stats.retried == 2
+        assert [r.message_index for r in result.records] == list(range(8))
+        assert all(r.fault_telemetry is not None for r in result.records)
+        lines = (tmp_path / "ckpt" / "records.jsonl").read_text().splitlines()
+        indices = [json.loads(line)["message_index"] for line in lines]
+        assert indices.count(flaky) == 1
+        assert sorted(indices) == list(range(8))

@@ -127,6 +127,24 @@ class TestNetworkDispatch:
         response = network.request(HttpRequest.get("https://a.example/", timestamp=5.0), ClientContext())
         assert response.status == 200 and "home" in response.body
 
+    def test_host_website_normalizes_mixed_case_domain(self):
+        # Website.__init__ lowercases, but a domain reassigned after
+        # construction can carry mixed case; hosting must normalize at
+        # insertion or the site becomes unreachable and un-take-downable.
+        network = Network()
+        site = Website("placeholder.example", ip="9.9.9.9")
+        site.domain = "MiXeD.Example"
+        site.add_page("/", Page(html="<html><body>cased</body></html>"))
+        network.host_website(site)
+        assert network.website("mixed.example") is site
+        assert network.website("MIXED.EXAMPLE") is site
+        response = network.request(
+            HttpRequest.get("http://mixed.example/", timestamp=5.0), ClientContext()
+        )
+        assert response.status == 200 and "cased" in response.body
+        network.take_down("Mixed.Example")
+        assert network.website("mixed.example") is None
+
     def test_unknown_path_404(self):
         network = self._network_with_site()
         response = network.request(HttpRequest.get("https://a.example/missing", timestamp=5.0), ClientContext())
