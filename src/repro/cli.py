@@ -12,6 +12,15 @@ Commands:
               message indices that already have durable records.
 - ``report``  recompute the statistics from a previously exported run.
 - ``table1``  the crawler-vs-detector assessment, computed live.
+- ``fsck``    validate a checkpoint's records.jsonl (per-line CRC) and
+              manifest; optionally salvage the intact records to a
+              repaired checkpoint directory.
+
+Graceful shutdown: during ``run``/``resume`` the first SIGINT/SIGTERM
+requests a drain — workers finish the message they are on, the
+checkpoint flushes, and the manifest records ``status: interrupted`` so
+a bare ``resume`` continues byte-identically.  A second signal
+force-exits; the checkpoint is consistent at every line boundary.
 """
 
 from __future__ import annotations
@@ -26,6 +35,27 @@ def _positive_int(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
     return jobs
+
+
+def _budget_arg(value: str) -> int:
+    units = int(value)
+    if units < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = unlimited)")
+    return units
+
+
+def _hostile_spec(value: str) -> str:
+    seed, _, copies = value.partition(":")
+    try:
+        int(seed)
+        if copies:
+            if int(copies) < 1:
+                raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected '<seed>' or '<seed>:<copies>' with copies >= 1"
+        ) from None
+    return value
 
 
 def _stage_list(value: str) -> tuple[str, ...]:
@@ -92,10 +122,33 @@ def _print_study_report(records, world=None) -> None:
           f"{infrastructure.largest_campaign_domains} domains)")
 
 
+def _install_drain_handlers(runner) -> None:
+    """First SIGINT/SIGTERM drains gracefully; the second force-exits."""
+    import os
+    import signal
+
+    def handle(signum, frame):
+        if runner.request_drain():
+            print("\nDrain requested: finishing in-flight messages "
+                  "(checkpoint stays consistent); signal again to force-exit.",
+                  flush=True)
+        else:
+            print("\nForce exit (checkpoint consistent at the last completed record).",
+                  flush=True)
+            os._exit(130)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, handle)
+        except ValueError:
+            pass  # not the main thread (embedded use): leave defaults
+
+
 def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
                   executor: str = "auto", profile: bool = False,
                   stages: tuple[str, ...] | None = None,
-                  faults: str = "off", fault_seed: int = 0):
+                  faults: str = "off", fault_seed: int = 0,
+                  budget: int | None = None, hostile: str = ""):
     """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes.
 
     ``stages`` (a validated ``--stages`` selection) reaches both
@@ -105,8 +158,12 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
     engine installed here serves the thread backend's shared network,
     and the same parameters travel in the RunnerConfig so each process
     worker rebuilds an identical engine.
+
+    ``budget`` (the CLI's ``--budget``; None = pipeline default, 0 =
+    unlimited) and ``hostile`` (a ``"<seed>:<copies>"`` hostile-corpus
+    spec) likewise reach both backends via PipelineConfig/RunnerConfig.
     """
-    from repro import CrawlerBox
+    from repro import CrawlerBox, PipelineConfig
     from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
 
     if faults != "off":
@@ -117,25 +174,32 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
         )
     checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     profiler = StageProfiler() if profile else None
+    pipeline_config = (
+        PipelineConfig(budget_work_units=budget or None) if budget is not None else None
+    )
 
     def progress(stats, completed, total):
         print(f"  ... {completed}/{total} analysed "
               f"(active {stats.active}, spear {stats.spear}, "
               f"retried {stats.retried}, dead-lettered {stats.dead_lettered})")
 
+    run_info = {"seed": seed, "scale": scale, "stages": list(stages or ()),
+                "faults": faults, "fault_seed": fault_seed}
+    if budget is not None:
+        run_info["budget"] = budget
     return CorpusRunner(
         box_factory=lambda worker_id: CrawlerBox.for_world(
-            corpus.world, profiler=profiler, stages=stages
+            corpus.world, profiler=profiler, stages=stages, config=pipeline_config
         ),
         jobs=jobs,
         executor=executor,
         config=RunnerConfig(seed=seed, scale=scale, stages=stages,
-                            faults=faults, fault_seed=fault_seed),
+                            faults=faults, fault_seed=fault_seed,
+                            budget=budget, hostile=hostile),
         checkpoint=checkpoint,
         progress=progress,
         progress_every=200,
-        run_info={"seed": seed, "scale": scale, "stages": list(stages or ()),
-                  "faults": faults, "fault_seed": fault_seed},
+        run_info=run_info,
         profiler=profiler,
     )
 
@@ -147,6 +211,14 @@ def _finish_run(result, corpus, export_path) -> int:
         print("\nPer-stage timing:")
         print(format_stage_report(result.stats.stage_calls, result.stats.stage_seconds))
     _print_study_report(result.records, corpus.world)
+    if result.stats.quarantined:
+        from repro.runner import format_quarantine_report
+
+        print()
+        print(format_quarantine_report(result.records))
+    if result.stats.budget_stage_failures:
+        print(f"Budget-exhausted stages: {result.stats.budget_stage_failures} "
+              f"(degraded to 'failed', see stage_errors)")
     if result.stats.has_fault_activity:
         from repro.runner import format_fault_report
 
@@ -170,6 +242,23 @@ def _finish_run(result, corpus, export_path) -> int:
     return 0
 
 
+def _hostile_messages(spec: str) -> list:
+    from repro.dataset.hostile import hostile_corpus
+
+    hostile_seed, _, copies = spec.partition(":")
+    return hostile_corpus(seed=int(hostile_seed), copies=int(copies or 1))
+
+
+def _interrupted_exit(result, total: int, checkpoint_dir) -> int:
+    durable = len(result.records) + len(result.dead_letters)
+    print(f"\nInterrupted: {durable}/{total} messages durable "
+          f"({len(result.stats.categories)} categories so far); "
+          f"checkpoint is consistent.")
+    if checkpoint_dir:
+        print(f"Continue with: python -m repro resume {checkpoint_dir}")
+    return 130
+
+
 def cmd_run(args) -> int:
     from repro import CorpusGenerator
 
@@ -178,20 +267,32 @@ def cmd_run(args) -> int:
     corpus = CorpusGenerator(seed=args.seed, scale=args.scale).generate()
     print(f"  {len(corpus.messages)} messages, {len(corpus.domain_plans)} landing domains "
           f"({time.time() - started:.1f}s)")
+    messages = corpus.messages
+    if args.hostile:
+        hostile = _hostile_messages(args.hostile)
+        messages = messages + hostile
+        print(f"  + {len(hostile)} hostile messages (spec {args.hostile!r})")
 
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint,
                            executor=args.executor, profile=args.profile,
                            stages=args.stages,
-                           faults=args.faults, fault_seed=fault_seed)
+                           faults=args.faults, fault_seed=fault_seed,
+                           budget=args.budget, hostile=args.hostile or "")
     if args.faults != "off":
         print(f"Fault injection: profile={args.faults}, fault-seed={fault_seed}")
+    if args.budget is not None:
+        print(f"Per-message budget: "
+              f"{'unlimited' if args.budget == 0 else f'{args.budget} work units'}")
     print(f"Running CrawlerBox over the corpus "
           f"(jobs={args.jobs}, executor={runner.resolve_executor()}) ...")
+    _install_drain_handlers(runner)
     started = time.time()
-    result = runner.run(corpus.messages)
+    result = runner.run(messages)
     print(f"  analysed in {time.time() - started:.1f}s")
 
+    if result.interrupted:
+        return _interrupted_exit(result, len(messages), args.checkpoint)
     return _finish_run(result, corpus, args.export)
 
 
@@ -215,7 +316,15 @@ def cmd_resume(args) -> int:
     fault_seed = (args.fault_seed if args.fault_seed is not None
                   else (manifest.fault_seed if manifest.faults != "off"
                         else manifest.seed))
-    durable = len(store.completed_indices())
+    # The budget likewise defaults to the interrupted run's, so a bare
+    # `resume` reproduces its limits (and its stage outcomes) exactly.
+    budget = args.budget if args.budget is not None else manifest.budget
+    scan = store.scan()
+    if scan.corruption:
+        print(f"WARNING: {len(scan.corruption)} corrupt line(s) in "
+              f"{store.records_path} — their records will be re-analysed; "
+              f"run `repro fsck {args.checkpoint}` for details")
+    durable = len(scan.indices)
     print(f"Resuming run (seed={manifest.seed}, scale={manifest.scale}, "
           f"{durable}/{manifest.total_messages} already analysed, jobs={jobs}) ...")
     if faults != "off":
@@ -229,21 +338,30 @@ def cmd_resume(args) -> int:
             print(f"    total backoff slept: {letter['backoff_seconds']:.3f}s")
 
     corpus = CorpusGenerator(seed=manifest.seed, scale=manifest.scale).generate()
-    if len(corpus.messages) != manifest.total_messages:
-        print(f"Corpus mismatch: regenerated {len(corpus.messages)} messages, "
-              f"manifest expects {manifest.total_messages}")
+    messages = corpus.messages
+    if args.hostile:
+        messages = messages + _hostile_messages(args.hostile)
+    if len(messages) != manifest.total_messages:
+        print(f"Corpus mismatch: regenerated {len(messages)} messages, "
+              f"manifest expects {manifest.total_messages}"
+              + ("" if args.hostile else
+                 " (a hostile-ingest run needs its --hostile spec again)"))
         return 1
 
     started = time.time()
     runner = _build_runner(corpus, manifest.seed, manifest.scale, jobs, args.checkpoint,
                            executor=args.executor, profile=args.profile,
                            stages=args.stages,
-                           faults=faults, fault_seed=fault_seed)
-    result = runner.run(corpus.messages)
+                           faults=faults, fault_seed=fault_seed,
+                           budget=budget, hostile=args.hostile or "")
+    _install_drain_handlers(runner)
+    result = runner.run(messages)
     print(f"  {len(result.resumed_indices)} records reused, "
           f"{len(result.records) - len(result.resumed_indices)} analysed "
           f"in {time.time() - started:.1f}s")
 
+    if result.interrupted:
+        return _interrupted_exit(result, len(messages), args.checkpoint)
     return _finish_run(result, corpus, args.export)
 
 
@@ -254,6 +372,76 @@ def cmd_report(args) -> int:
     print(f"Loaded {len(records)} records from {args.artifacts}")
     _print_study_report(records)
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """Validate a checkpoint: per-line CRC scan + manifest consistency.
+
+    Exit codes: 0 = intact (a torn final line is tolerated and
+    reported), 1 = interior corruption, an unreadable manifest, or a
+    missing checkpoint.
+    """
+    import pathlib
+
+    from repro.runner import CheckpointStore
+
+    directory = pathlib.Path(args.checkpoint)
+    if not directory.is_dir():
+        print(f"No checkpoint directory at {directory}")
+        return 1
+    store = CheckpointStore(directory)
+    scan = store.scan()
+    print(f"{store.records_path}: {scan.total_lines} line(s), "
+          f"{len(scan.entries)} intact record(s), "
+          f"{len(set(scan.indices))} distinct message indices")
+
+    for issue in scan.issues:
+        label = "torn tail (tolerated)" if issue.torn_tail else "CORRUPT"
+        print(f"  line {issue.line_number}: {label} [{issue.kind}] {issue.detail}")
+
+    manifest = None
+    manifest_broken = False
+    try:
+        manifest = store.read_manifest()
+    except (ValueError, KeyError) as exc:
+        manifest_broken = True
+        print(f"{store.manifest_path}: UNREADABLE ({exc})")
+    if manifest is None and not manifest_broken:
+        print(f"{store.manifest_path}: missing (records-only checkpoint)")
+    elif manifest is not None:
+        print(f"{store.manifest_path}: status={manifest.status}, "
+              f"completed={manifest.completed}/{manifest.total_messages}, "
+              f"dead letters={len(manifest.dead_letters)}")
+        dead = {letter.get("index") for letter in manifest.dead_letters}
+        unaccounted = sorted(
+            set(range(manifest.total_messages)) - scan.indices - dead
+        )
+        if unaccounted:
+            preview = ", ".join(str(index) for index in unaccounted[:10])
+            if len(unaccounted) > 10:
+                preview += ", ..."
+            print(f"  {len(unaccounted)} message(s) without a durable record "
+                  f"(lost to corruption or never analysed): {preview}")
+        if manifest.drained:
+            print(f"  drained in-flight indices: "
+                  f"{', '.join(str(index) for index in manifest.drained)}")
+
+    corrupt = scan.corruption
+    if corrupt:
+        print(f"RESULT: {len(corrupt)} corrupt line(s) — "
+              f"records on those lines are lost")
+    else:
+        print("RESULT: checkpoint intact"
+              + (" (torn tail will re-analyse on resume)"
+                 if any(issue.torn_tail for issue in scan.issues) else ""))
+
+    if args.repair:
+        repaired = store.salvage_to(args.repair)
+        salvaged = len(repaired.completed_indices())
+        print(f"Salvaged {salvaged} record(s) to {repaired.directory} "
+              f"(manifest marked 'interrupted'; resume it to re-analyse "
+              f"the rest)")
+    return 1 if (corrupt or manifest_broken) else 0
 
 
 def cmd_table1(args) -> int:
@@ -309,9 +497,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seed for the fault schedule (default: --seed); a "
                                  "fixed fault-seed gives byte-identical records for "
                                  "any --jobs count or executor")
+    run_parser.add_argument("--budget", type=_budget_arg, default=None, metavar="UNITS",
+                            help="per-message work budget in abstract units "
+                                 "(JS steps, crawl hops, OCR tiles); a message that "
+                                 "exhausts it has that stage degraded to 'failed' "
+                                 "instead of wedging a worker; 0 = unlimited "
+                                 "(default: the pipeline's built-in 2,000,000)")
+    run_parser.add_argument("--hostile", type=_hostile_spec, default=None,
+                            metavar="SEED[:COPIES]",
+                            help="append the seeded hostile corpus "
+                                 "(repro.dataset.hostile) after the calibrated "
+                                 "messages — pathological MIME/header/payload shapes "
+                                 "that must quarantine, never crash")
     run_parser.add_argument("--checkpoint", metavar="DIR", default=None,
                             help="append finished records to DIR/records.jsonl so the "
-                                 "run can be resumed after an interruption")
+                                 "run can be resumed after an interruption; each line "
+                                 "carries a CRC32 suffix (see 'repro fsck')")
     run_parser.add_argument("--export", metavar="PATH", default=None,
                             help="write the analysis artifacts to a JSON file")
     run_parser.set_defaults(handler=cmd_run)
@@ -335,6 +536,16 @@ def build_parser() -> argparse.ArgumentParser:
                                     "the manifest")
     resume_parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
                                help="fault schedule seed (default: the manifest's)")
+    resume_parser.add_argument("--budget", type=_budget_arg, default=None,
+                               metavar="UNITS",
+                               help="per-message work budget (see 'run --budget'); "
+                                    "defaults to the interrupted run's budget from "
+                                    "the manifest")
+    resume_parser.add_argument("--hostile", type=_hostile_spec, default=None,
+                               metavar="SEED[:COPIES]",
+                               help="re-specify the hostile-corpus spec of the "
+                                    "interrupted run (hostile messages are appended "
+                                    "by regeneration, not stored)")
     resume_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the completed artifacts to a JSON file")
     resume_parser.set_defaults(handler=cmd_resume)
@@ -346,6 +557,16 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser = subparsers.add_parser("table1", help="crawler-vs-detector assessment (Table I)")
     table1_parser.add_argument("--seed", type=int, default=7)
     table1_parser.set_defaults(handler=cmd_table1)
+
+    fsck_parser = subparsers.add_parser(
+        "fsck", help="validate a checkpoint's records and manifest")
+    fsck_parser.add_argument("checkpoint", help="checkpoint directory to validate")
+    fsck_parser.add_argument("--repair", metavar="DIR", default=None,
+                             help="salvage every intact record (last append wins) "
+                                  "into a fresh checkpoint at DIR whose manifest is "
+                                  "marked 'interrupted' so lost records re-analyse "
+                                  "on resume")
+    fsck_parser.set_defaults(handler=cmd_fsck)
     return parser
 
 

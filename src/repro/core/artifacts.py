@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.browser.session import SessionSignals
 from repro.enrichment.enricher import EnrichmentRecord
 from repro.mail.auth import AuthResults
+from repro.mail.guard import QuarantineReport
 from repro.mail.parser import ExtractionReport
 from repro.web.resilient import FaultTelemetry
 
@@ -78,6 +79,14 @@ class MessageRecord:
     #: full-plan records (all ``ok``) serialize without the map so their
     #: exported bytes match the pre-stage-graph format.
     stage_status: dict[str, str] = field(default_factory=dict)
+    #: Machine-readable failure reason per ``failed`` stage
+    #: (``"ExceptionType: message"``); empty on healthy records so the
+    #: serialized form is unchanged for them.
+    stage_errors: dict[str, str] = field(default_factory=dict)
+    #: Structural-limits report when the ingestion guard rejected this
+    #: message before analysis (category ``quarantined``, every stage
+    #: ``skipped``); None on every analyzed record.
+    quarantine: QuarantineReport | None = None
     #: URLs the crawl stage skipped as benign infrastructure (media
     #: CDNs, IP echo services) — counted, never crawled.
     benign_url_skips: tuple[str, ...] = ()

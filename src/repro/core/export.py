@@ -16,6 +16,7 @@ import pathlib
 from repro.browser.session import SessionSignals
 from repro.core.artifacts import MessageRecord, UrlCrawl
 from repro.mail.auth import AuthResults
+from repro.mail.guard import QuarantineReport
 from repro.mail.parser import ExtractedUrl, ExtractionReport
 from repro.web.resilient import FaultTelemetry
 
@@ -105,6 +106,10 @@ def record_to_dict(record: MessageRecord) -> dict:
         status != "ok" for status in record.stage_status.values()
     ):
         data["stage_status"] = dict(record.stage_status)
+    if record.stage_errors:
+        data["stage_errors"] = dict(record.stage_errors)
+    if record.quarantine is not None:
+        data["quarantine"] = record.quarantine.as_dict()
     if record.benign_url_skips:
         data["benign_url_skips"] = list(record.benign_url_skips)
     if record.fault_telemetry is not None:
@@ -200,6 +205,9 @@ def record_from_dict(data: dict) -> MessageRecord:
     record.local_login_form = data["local_login_form"]
     record.noise_padded = data["noise_padded"]
     record.stage_status = dict(data.get("stage_status") or {})
+    record.stage_errors = dict(data.get("stage_errors") or {})
+    if data.get("quarantine") is not None:
+        record.quarantine = QuarantineReport.from_dict(data["quarantine"])
     record.benign_url_skips = tuple(data.get("benign_url_skips") or ())
     if data.get("fault_telemetry") is not None:
         record.fault_telemetry = FaultTelemetry.from_dict(data["fault_telemetry"])

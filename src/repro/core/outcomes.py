@@ -22,6 +22,9 @@ class MessageCategory:
     DOWNLOAD = "download"
     ACTIVE_PHISHING = "active_phishing"
     OTHER = "other"
+    #: Not a Section V bucket: the ingestion guard rejected the message
+    #: before analysis (see :mod:`repro.mail.guard`).
+    QUARANTINED = "quarantined"
 
 
 class PageClass:

@@ -26,7 +26,11 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro._budget import DEFAULT_WORK_LIMIT, MessageBudget, activate
 from repro.core.artifacts import MessageRecord
+from repro.core.outcomes import MessageCategory
+from repro.core.stages.base import StageStatus
+from repro.mail.guard import GuardLimits, MessageGuard
 from repro.web.resilient import FaultTelemetry, ResiliencePolicy
 from repro.core.spearphish import SpearPhishClassifier
 from repro.core.stages import AnalysisContext, build_plan
@@ -69,6 +73,22 @@ class PipelineConfig:
     #: counted on ``MessageRecord.benign_url_skips``).  Disable to
     #: reproduce pre-skip-list crawl sets.
     skip_benign_hosts: bool = True
+    #: Run the structural-limits guard (:mod:`repro.mail.guard`) before
+    #: the stage plan; violating messages become ``quarantined`` records
+    #: instead of entering the pipeline.
+    guard_enabled: bool = True
+    #: Structural caps (None = :class:`~repro.mail.guard.GuardLimits`
+    #: defaults, generous enough that no calibrated-corpus message
+    #: trips them).
+    guard_limits: GuardLimits | None = None
+    #: Per-message cooperative work-unit budget (None = unlimited); see
+    #: :mod:`repro._budget`.  Exhaustion degrades the running stage to
+    #: ``failed``, never the worker.  Deterministic: work units depend
+    #: only on the message.
+    budget_work_units: int | None = DEFAULT_WORK_LIMIT
+    #: Optional wall-clock backstop per message, in seconds.  Off by
+    #: default: a deadline trades byte-identical records for liveness.
+    budget_deadline_seconds: float | None = None
 
 
 class CrawlerBox:
@@ -103,6 +123,11 @@ class CrawlerBox:
         #: :class:`~repro.core.stages.StagePlanError` here, before any
         #: message is analyzed.
         self.plan = build_plan(stages)
+        #: Structural-limits pass applied before the plan (see
+        #: :mod:`repro.mail.guard`); None when disabled.
+        self.guard = (
+            MessageGuard(self.config.guard_limits) if self.config.guard_enabled else None
+        )
         self.crawler = crawler or Crawler(
             network, notabot_profile(), rng=self.rng, retain_results=False
         )
@@ -159,6 +184,20 @@ class CrawlerBox:
             sender_domain=message.sender_domain,
             ground_truth=dict(message.ground_truth),
         )
+        if self.guard is not None:
+            report = self.guard.inspect(message)
+            if report is not None:
+                # Structurally hostile: quarantine instead of analyzing.
+                # A pure function of the message, so the decision — and
+                # the record — is identical on every backend.
+                record.quarantine = report
+                record.category = MessageCategory.QUARANTINED
+                record.stage_status = {
+                    name: StageStatus.SKIPPED for name in self.plan.all_stage_names
+                }
+                if profiling:
+                    self.profiler.record("unattributed", time.perf_counter() - started)
+                return record
         engine = getattr(self.network, "faults", None)
         if engine is not None and engine.active:
             record.fault_telemetry = FaultTelemetry()
@@ -172,7 +211,17 @@ class CrawlerBox:
             record=record,
             analysis_time=message.delivered_at + self.config.analysis_delay_hours,
         )
-        attributed = self.plan.run(ctx, profiler=self.profiler)
+        budget = None
+        if (
+            self.config.budget_work_units is not None
+            or self.config.budget_deadline_seconds is not None
+        ):
+            budget = MessageBudget(
+                work_limit=self.config.budget_work_units,
+                deadline_seconds=self.config.budget_deadline_seconds,
+            )
+        with activate(budget):
+            attributed = self.plan.run(ctx, profiler=self.profiler)
         if profiling:
             self.profiler.record(
                 "unattributed", (time.perf_counter() - started) - attributed

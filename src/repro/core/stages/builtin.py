@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 import re
 
+from repro._budget import CRAWL_HOP_UNITS, current_budget
 from repro.browser.browser import VisitOutcome, VisitResult
 from repro.browser.session import SessionSignals
 from repro.core.artifacts import UrlCrawl
@@ -71,7 +72,10 @@ class DynamicHtmlStage:
 
     def run(self, ctx: AnalysisContext) -> None:
         record = ctx.record
+        budget = current_budget()
         for part_path, markup in ctx.report.html_documents:
+            if budget is not None:
+                budget.charge(CRAWL_HOP_UNITS, "crawl-hops")
             session = ctx.box.crawler.crawl_html(markup, timestamp=ctx.analysis_time)
             record.local_session_signals.append(session.signals())
             is_attachment = part_path in ctx.report.html_attachment_paths
@@ -108,7 +112,13 @@ class CrawlStage:
 
         method_by_url = {item.url: item.method for item in ctx.report.urls}
         fetcher = self._fetcher(ctx)
+        budget = current_budget()
         for url in urls:
+            if budget is not None:
+                # One hop = one full browser visit (redirect chain,
+                # scripts, screenshot); charged up front so a message
+                # that already burned its budget elsewhere stops here.
+                budget.charge(CRAWL_HOP_UNITS, "crawl-hops")
             discovered_dynamically = url in ctx.dynamic_urls
             extraction_method = method_by_url.get(url, "dynamic")
             result = self._fetch(ctx, fetcher, url)

@@ -164,6 +164,9 @@ class StagePlan:
             except Exception as error:  # noqa: BLE001 - isolation boundary
                 status[stage.name] = StageStatus.FAILED
                 ctx.errors[stage.name] = error
+                # Machine-readable reason, deterministic across backends
+                # (exception type + message only, never a traceback).
+                ctx.record.stage_errors[stage.name] = f"{type(error).__name__}: {error}"
             else:
                 status[stage.name] = StageStatus.OK
                 available.update(stage.provides)

@@ -184,10 +184,18 @@ def _decode_line(
 
 def _decode_at_scale(mask: np.ndarray, scale: int) -> tuple[str, float, int]:
     """Decode the whole mask at one candidate scale."""
+    from repro._budget import OCR_BAND_UNITS, current_budget
+
+    budget = current_budget()
     bands = _line_bands(mask, scale)
     lines: list[str] = []
     scores: list[float] = []
     for band in bands:
+        if budget is not None:
+            # One line band costs a full alignment sweep of glyph
+            # matches; charging per band bounds adversarially busy
+            # images without touching the per-cell inner loops.
+            budget.charge(OCR_BAND_UNITS, "ocr-tiles")
         text, score = _decode_line(mask, band, scale)
         lines.append(text)
         scores.append(score)

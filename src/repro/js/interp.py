@@ -209,6 +209,13 @@ class Interpreter:
         self.globals = Environment()
         self.step_limit = step_limit
         self.steps = 0
+        # Per-message cooperative budget, captured once so the hot tick
+        # path pays a single attribute check when no budget is active
+        # (see repro._budget; BudgetExceeded is deliberately NOT a
+        # JSError, so it escapes the page session to the stage plan).
+        from repro._budget import current_budget
+
+        self._budget = current_budget()
         self.rng = rng or random.Random(0)
         self._clock_value = 0.0
         self.clock_ms = clock_ms or self._default_clock
@@ -287,6 +294,8 @@ class Interpreter:
         self.steps += 1
         if self.steps > self.step_limit:
             raise JSTimeoutError("script exceeded its step budget")
+        if self._budget is not None and self.steps % 1024 == 0:
+            self._budget.charge(1024, "js-steps")
 
     def _hoist(self, body: list, env: Environment) -> None:
         """Hoist function declarations and ``var`` names."""

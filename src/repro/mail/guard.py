@@ -1,0 +1,282 @@
+"""Quarantine ingestion guard: structural limits on hostile messages.
+
+The pipeline analyzes *adversarial* artifacts; related measurement work
+shows malformed and deliberately pathological message bodies are
+pervasive in the wild.  Before a message enters the stage plan, the
+guard walks its part tree **iteratively** (a recursive walk is exactly
+what a 1000-deep MIME chain attacks) and checks structural limits:
+
+=====================  =============================================
+limit                  attack it stops
+=====================  =============================================
+``mime-depth``         deeply nested multipart/EML chains that blow
+                       the parser's recursion
+``part-count``         part-count bombs (thousands of leaves)
+``rfc822-depth``       ``message/rfc822`` recursion chains
+``header-count``       header-count bombs
+``header-bytes``       single multi-megabyte header values
+``decoded-bytes``      one part whose decoded payload is huge
+                       (base64 bombs — estimated *without* decoding)
+``total-decoded-bytes`` whole-message decompression amplification
+``archive-entries``    zip bombs: archives expanding into thousands
+                       of recursive entries
+=====================  =============================================
+
+A violation never raises: :meth:`MessageGuard.inspect` returns a
+structured :class:`QuarantineReport` (headline reason, every violation
+with observed-vs-limit, partial headers for triage) that the pipeline
+attaches to a ``quarantined`` MessageRecord.  The guard itself is
+bounded: size estimates never materialize decoded payloads, and the
+walk stops charging past ``2 * max_parts`` objects.
+
+Determinism: the report is a pure function of the message, so
+quarantine decisions are byte-identical across workers and backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
+from repro.mail.message import EmailMessage, MessagePart
+
+#: Headers preserved (truncated) on a quarantined record for triage.
+_TRIAGE_HEADERS = ("From", "To", "Subject", "Date", "Message-ID", "Return-Path")
+_TRIAGE_VALUE_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class GuardLimits:
+    """Structural caps; defaults are far above anything the calibrated
+    corpus generator (or a legitimate reporter) produces."""
+
+    max_depth: int = 16
+    max_parts: int = 512
+    max_rfc822_depth: int = 8
+    max_headers: int = 256
+    max_header_bytes: int = 16_384
+    max_decoded_bytes: int = 4 << 20
+    max_total_decoded_bytes: int = 16 << 20
+    max_archive_entries: int = 512
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One exceeded limit: what was observed, where, and the cap."""
+
+    limit: str
+    observed: int
+    cap: int
+    path: str = ""
+
+    def as_dict(self) -> dict:
+        return {"limit": self.limit, "observed": self.observed, "cap": self.cap, "path": self.path}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuardViolation":
+        return cls(
+            limit=data["limit"],
+            observed=data["observed"],
+            cap=data["cap"],
+            path=data.get("path", ""),
+        )
+
+
+@dataclass
+class QuarantineReport:
+    """Why a message was quarantined instead of analyzed."""
+
+    reason: str
+    violations: tuple[GuardViolation, ...] = ()
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "violations": [violation.as_dict() for violation in self.violations],
+            "headers": dict(self.headers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineReport":
+        return cls(
+            reason=data["reason"],
+            violations=tuple(
+                GuardViolation.from_dict(item) for item in data.get("violations") or ()
+            ),
+            headers=dict(data.get("headers") or {}),
+        )
+
+
+def triage_headers(message: EmailMessage) -> dict[str, str]:
+    """The partial header set preserved on a quarantined record."""
+    headers: dict[str, str] = {
+        "From": message.sender,
+        "To": message.recipient,
+        "Subject": message.subject,
+    }
+    for name in _TRIAGE_HEADERS:
+        value = message.headers.get(name)
+        if value is not None:
+            headers[name] = str(value)
+    return {name: value[:_TRIAGE_VALUE_LIMIT] for name, value in headers.items()}
+
+
+def _estimated_decoded_size(part: MessagePart) -> int:
+    """Upper-bound decoded size of one part *without* decoding it.
+
+    Base64 text decodes to ~3/4 of its encoded length; structured
+    payloads (images, PDFs) are sized from their dimensions.  Container
+    payloads (archives, nested messages) are sized by the walk itself,
+    so they contribute 0 here.
+    """
+    content = part.content
+    if isinstance(content, str):
+        if part.transfer_encoding == "base64":
+            return len(content) * 3 // 4
+        return len(content)
+    return _object_size(content)
+
+
+def _object_size(obj: object) -> int:
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    pixels = getattr(obj, "pixels", None)
+    if pixels is not None:  # imaging.Image: one byte per channel sample
+        return int(pixels.size)
+    pages = getattr(obj, "pages", None)
+    if pages is not None:  # PdfDocument: text + embedded images
+        total = 0
+        for page in pages:
+            total += sum(len(line) for line in getattr(page, "text_lines", ()))
+            total += sum(int(image.pixels.size) for image in getattr(page, "images", ()))
+        return total
+    if isinstance(obj, HtaFile):
+        return len(obj.markup)
+    return 0
+
+
+class MessageGuard:
+    """Validates one message against :class:`GuardLimits`."""
+
+    def __init__(self, limits: GuardLimits | None = None):
+        self.limits = limits or GuardLimits()
+
+    # ------------------------------------------------------------------
+    def inspect(self, message: EmailMessage) -> QuarantineReport | None:
+        """A :class:`QuarantineReport` when any limit is exceeded, else None."""
+        limits = self.limits
+        violations: list[GuardViolation] = []
+
+        n_headers = len(message.headers)
+        if n_headers > limits.max_headers:
+            violations.append(
+                GuardViolation("header-count", n_headers, limits.max_headers)
+            )
+        for name, value in message.headers.items():
+            size = len(name) + len(str(value))
+            if size > limits.max_header_bytes:
+                violations.append(
+                    GuardViolation("header-bytes", size, limits.max_header_bytes, path=name)
+                )
+                break  # one oversized header is reason enough
+
+        violations.extend(self._walk(message))
+        if not violations:
+            return None
+        head = violations[0]
+        reason = f"{head.limit} {head.observed} exceeds limit {head.cap}"
+        if head.path:
+            reason += f" at {head.path}"
+        return QuarantineReport(
+            reason=reason,
+            violations=tuple(violations),
+            headers=triage_headers(message),
+        )
+
+    # ------------------------------------------------------------------
+    def _walk(self, message: EmailMessage) -> list[GuardViolation]:
+        """Iterative part-tree walk collecting structural violations.
+
+        Each stack entry is ``(object, depth, rfc822_depth, path)``;
+        depth counts every container nesting level, rfc822_depth only
+        nested messages.  The walk is bounded: it stops enumerating
+        once ``2 * max_parts`` objects have been visited (the count
+        violation is already recorded by then).
+        """
+        limits = self.limits
+        violations: list[GuardViolation] = []
+        seen_limits: set[str] = set()
+
+        def note(limit: str, observed: int, cap: int, path: str) -> None:
+            if limit in seen_limits:
+                return  # first occurrence carries the diagnosis
+            seen_limits.add(limit)
+            violations.append(GuardViolation(limit, observed, cap, path=path))
+
+        stack: list[tuple[object, int, int, str]] = [(message, 0, 0, "")]
+        visited = 0
+        total_decoded = 0
+        hard_stop = 2 * limits.max_parts
+        while stack:
+            obj, depth, rfc_depth, path = stack.pop()
+            visited += 1
+            if visited > limits.max_parts:
+                note("part-count", visited, limits.max_parts, path)
+                if visited > hard_stop:
+                    break
+            if depth > limits.max_depth:
+                note("mime-depth", depth, limits.max_depth, path)
+                continue  # no need to enumerate deeper levels
+            if rfc_depth > limits.max_rfc822_depth:
+                note("rfc822-depth", rfc_depth, limits.max_rfc822_depth, path)
+                continue
+
+            if isinstance(obj, EmailMessage):
+                for position, part in enumerate(obj.parts):
+                    stack.append((part, depth + 1, rfc_depth, f"{path}/{position}"))
+            elif isinstance(obj, MessagePart):
+                size = _estimated_decoded_size(obj)
+                total_decoded += size
+                if size > limits.max_decoded_bytes:
+                    note("decoded-bytes", size, limits.max_decoded_bytes, path)
+                if isinstance(obj.content, EmailMessage):
+                    # The part itself consumed the mime-depth level;
+                    # message recursion is tracked by its own counter so
+                    # an rfc822 chain is diagnosed as rfc822-depth, not
+                    # as generic nesting.
+                    stack.append((obj.content, depth, rfc_depth + 1, path))
+                elif isinstance(obj.content, (ArchiveFile, FileBlob)):
+                    stack.append((obj.content, depth, rfc_depth, path))
+            elif isinstance(obj, ArchiveFile):
+                n_entries = len(obj.entries)
+                if n_entries > limits.max_archive_entries:
+                    note("archive-entries", n_entries, limits.max_archive_entries, path)
+                for position, (name, content) in enumerate(obj.entries):
+                    stack.append((content, depth + 1, rfc_depth, f"{path}/{name or position}"))
+            elif isinstance(obj, FileBlob):
+                payload = obj.payload
+                if isinstance(payload, EmailMessage):
+                    stack.append((payload, depth, rfc_depth + 1, path))
+                elif isinstance(payload, (ArchiveFile, FileBlob)):
+                    stack.append((payload, depth + 1, rfc_depth, path))
+                else:
+                    size = _object_size(payload)
+                    total_decoded += size
+                    if size > limits.max_decoded_bytes:
+                        note("decoded-bytes", size, limits.max_decoded_bytes, path)
+            else:
+                size = _object_size(obj)
+                total_decoded += size
+                if size > limits.max_decoded_bytes:
+                    note("decoded-bytes", size, limits.max_decoded_bytes, path)
+
+            if total_decoded > limits.max_total_decoded_bytes:
+                note(
+                    "total-decoded-bytes",
+                    total_decoded,
+                    limits.max_total_decoded_bytes,
+                    path,
+                )
+                break
+        return violations

@@ -30,6 +30,7 @@ import email.policy
 import email.utils
 import pathlib
 import re
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
 from repro.mail.attachments import FileBlob
@@ -37,6 +38,15 @@ from repro.mail.message import ContentType, EmailMessage, MessagePart
 
 #: Start of the paper's measurement window (hours are counted from here).
 DEFAULT_EPOCH = datetime(2024, 1, 1, tzinfo=timezone.utc)
+
+
+class IngestError(ValueError):
+    """One input that cannot be mapped onto the message model.
+
+    Raised per *file*, never per directory: corpus ingestion treats an
+    undecodable sample as that sample's problem (it lands in the ingest
+    report's quarantine list) and keeps going — one hostile or truncated
+    ``.eml`` must not abort a 10k-message corpus."""
 
 _RECEIVED_IP_RE = re.compile(r"\[(\d{1,3}(?:\.\d{1,3}){3})\]")
 
@@ -154,9 +164,25 @@ def _iter_leaves(parsed):
 # Public entry points
 # ----------------------------------------------------------------------
 def ingest_eml_bytes(data: bytes, epoch: datetime = DEFAULT_EPOCH) -> EmailMessage:
-    """Parse one RFC-822 message from raw bytes."""
-    parsed = email.message_from_bytes(data, policy=email.policy.default)
-    return _convert_message(parsed, epoch)
+    """Parse one RFC-822 message from raw bytes.
+
+    Raises :class:`IngestError` when the bytes are not a message at all
+    (no header could be parsed — e.g. a binary blob or an empty file)
+    or when conversion onto the message model fails (undeclared
+    charsets, hopelessly malformed MIME structure).
+    """
+    try:
+        parsed = email.message_from_bytes(data, policy=email.policy.default)
+    except Exception as error:  # the compat parser can still choke on NULs etc.
+        raise IngestError(f"unparseable RFC-822 input: {error!r}") from error
+    if not parsed.keys():
+        raise IngestError("not an RFC-822 message: no headers parsed")
+    try:
+        return _convert_message(parsed, epoch)
+    except IngestError:
+        raise
+    except Exception as error:  # noqa: BLE001 - any conversion crash is this file's defect
+        raise IngestError(f"message conversion failed: {error!r}") from error
 
 
 def ingest_eml_text(text: str, epoch: datetime = DEFAULT_EPOCH) -> EmailMessage:
@@ -171,17 +197,48 @@ def ingest_eml_file(path: str | pathlib.Path, epoch: datetime = DEFAULT_EPOCH) -
     return message
 
 
+@dataclass
+class IngestReport:
+    """What a directory ingestion produced: messages plus the files it
+    had to skip, each with a machine-readable reason."""
+
+    messages: list[EmailMessage] = field(default_factory=list)
+    #: One ``{"path": ..., "reason": ...}`` entry per skipped file — the
+    #: ingest-side analogue of a pipeline quarantine record.
+    skipped: list[dict] = field(default_factory=list)
+
+
+def ingest_directory_report(
+    directory: str | pathlib.Path,
+    pattern: str = "*.eml",
+    epoch: datetime = DEFAULT_EPOCH,
+) -> IngestReport:
+    """Ingest every matching file under ``directory`` (sorted by name),
+    skipping — not aborting on — files that cannot be read or parsed.
+
+    The message list feeds straight into
+    :meth:`repro.runner.runner.CorpusRunner.run` — message index is
+    position among the *successfully ingested* files in the sorted
+    listing, so resume semantics hold as long as the directory contents
+    do not change between runs.
+    """
+    report = IngestReport()
+    for path in sorted(pathlib.Path(directory).glob(pattern)):
+        try:
+            report.messages.append(ingest_eml_file(path, epoch=epoch))
+        except (OSError, IngestError) as error:
+            reason = (
+                str(error) if isinstance(error, IngestError) else f"unreadable: {error!r}"
+            )
+            report.skipped.append({"path": str(path), "reason": reason})
+    return report
+
+
 def ingest_directory(
     directory: str | pathlib.Path,
     pattern: str = "*.eml",
     epoch: datetime = DEFAULT_EPOCH,
 ) -> list[EmailMessage]:
-    """Ingest every matching file under ``directory`` (sorted by name).
-
-    The returned list feeds straight into
-    :meth:`repro.runner.runner.CorpusRunner.run` — message index is
-    position in the sorted listing, so resume semantics hold as long as
-    the directory contents do not change between runs.
-    """
-    paths = sorted(pathlib.Path(directory).glob(pattern))
-    return [ingest_eml_file(path, epoch=epoch) for path in paths]
+    """:func:`ingest_directory_report` without the skip list (legacy
+    shape); defective files are skipped silently here."""
+    return ingest_directory_report(directory, pattern=pattern, epoch=epoch).messages

@@ -31,13 +31,22 @@ run — on either backend — produces byte-identical records to a
 ``jobs=1`` run regardless of scheduling order.
 """
 
-from repro.runner.checkpoint import CheckpointStore, RunManifest
-from repro.runner.executor import ProcessPool, RunnerConfig, WorkerCrash
+from repro._budget import BudgetExceeded, MessageBudget
+from repro.runner.checkpoint import (
+    CheckpointScan,
+    CheckpointStore,
+    LineIssue,
+    RunManifest,
+    encode_record_line,
+    parse_record_line,
+)
+from repro.runner.executor import ProcessPool, RunnerConfig, WorkerCrash, WorkerStalled
 from repro.runner.profile import (
     NULL_PROFILER,
     PROFILE_TABLE_STAGES,
     StageProfiler,
     format_fault_report,
+    format_quarantine_report,
     format_stage_report,
 )
 from repro.runner.queue import Job, JobQueue, QueueClosed
@@ -46,12 +55,16 @@ from repro.runner.runner import EXECUTORS, CorpusRunner, RunResult
 from repro.runner.stats import RunningStats
 
 __all__ = [
+    "BudgetExceeded",
+    "CheckpointScan",
     "CheckpointStore",
     "CorpusRunner",
     "DeadLetter",
     "EXECUTORS",
     "Job",
     "JobQueue",
+    "LineIssue",
+    "MessageBudget",
     "NULL_PROFILER",
     "PROFILE_TABLE_STAGES",
     "ProcessPool",
@@ -64,6 +77,10 @@ __all__ = [
     "StageProfiler",
     "TransientFault",
     "WorkerCrash",
+    "WorkerStalled",
+    "encode_record_line",
     "format_fault_report",
+    "format_quarantine_report",
     "format_stage_report",
+    "parse_record_line",
 ]

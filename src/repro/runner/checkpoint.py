@@ -11,8 +11,29 @@ Layout of a checkpoint directory::
 Records reuse the exact serialization of :mod:`repro.core.export`, so a
 checkpoint can be promoted to the monolithic artifact format (or the
 Section V statistics recomputed) without re-crawling anything.  Appends
-flush per line: a killed run loses at most the line being written, and
-:meth:`CheckpointStore.completed_indices` ignores a torn final line.
+flush per line: a killed run loses at most the line being written.
+
+Line format (v2): every appended line carries a CRC32 suffix ::
+
+    {"message_index":17,...}\t#crc32=9f3a1c02
+
+The separator is a literal TAB — impossible inside the compact JSON
+payload (``json.dumps`` escapes control characters) — so the suffix is
+unambiguous.  Lines without a suffix are v1 (pre-CRC checkpoints) and
+remain fully readable.  The checksum lets :meth:`CheckpointStore.scan`
+distinguish two failure modes that look identical to a plain JSON
+parse:
+
+- **torn tail** — the *final* line is incomplete because the writer was
+  killed mid-append.  Expected and tolerated: the interrupted record is
+  simply re-analyzed on resume.
+- **interior corruption** — a non-final line fails its CRC or does not
+  parse (bit rot, truncation followed by further appends, hostile
+  editing).  Silent data loss if ignored: resume would re-analyze the
+  missing index (best case) or ``load_records`` would silently drop a
+  completed result.  ``scan`` reports these; ``repro fsck`` (see
+  :mod:`repro.cli`) validates, salvages intact lines to a repaired
+  checkpoint, and prints exactly what was lost.
 """
 
 from __future__ import annotations
@@ -20,12 +41,79 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
+import zlib
 from dataclasses import dataclass, field
 
 from repro.core.artifacts import MessageRecord
 from repro.core.export import record_from_dict, record_to_line
 
 MANIFEST_VERSION = 1
+
+#: Line-format generation written by :meth:`CheckpointStore.append`.
+#: v1 = bare compact JSON; v2 = JSON + TAB + ``#crc32=<8 hex digits>``.
+RECORDS_FORMAT_VERSION = 2
+
+_CRC_SEPARATOR = "\t#crc32="
+
+
+def _crc_suffix(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_record_line(payload: str) -> str:
+    """``payload`` (one compact JSON document) with its CRC32 suffix."""
+    return payload + _CRC_SEPARATOR + _crc_suffix(payload)
+
+
+def parse_record_line(line: str) -> tuple[dict | None, str | None]:
+    """Decode one checkpoint line -> ``(data, issue)``.
+
+    Exactly one of the pair is None: ``data`` is the parsed record dict
+    for a valid line (v1 or v2), ``issue`` a short machine-readable
+    defect kind (``crc-mismatch`` | ``bad-json``) otherwise.
+    """
+    payload, separator, crc = line.rpartition(_CRC_SEPARATOR)
+    if separator:
+        if _crc_suffix(payload) != crc:
+            return None, "crc-mismatch"
+        source = payload
+    else:
+        source = line  # v1 line from a pre-CRC checkpoint
+    try:
+        return json.loads(source), None
+    except json.JSONDecodeError:
+        return None, "bad-json"
+
+
+@dataclass(frozen=True)
+class LineIssue:
+    """One defective line found by :meth:`CheckpointStore.scan`."""
+
+    line_number: int  # 1-based position in records.jsonl
+    kind: str  # 'crc-mismatch' | 'bad-json' | 'bad-encoding' | 'missing-index'
+    detail: str = ""
+    #: True for the expected kill-mid-append artifact: the *final* line
+    #: failed to decode.  Tolerated (the record re-runs on resume);
+    #: everything else is interior corruption.
+    torn_tail: bool = False
+
+
+@dataclass
+class CheckpointScan:
+    """Full integrity pass over ``records.jsonl``."""
+
+    entries: list[dict] = field(default_factory=list)
+    issues: list[LineIssue] = field(default_factory=list)
+    total_lines: int = 0
+
+    @property
+    def corruption(self) -> list[LineIssue]:
+        """Issues that are NOT the tolerated torn tail."""
+        return [issue for issue in self.issues if not issue.torn_tail]
+
+    @property
+    def indices(self) -> set[int]:
+        return {entry["message_index"] for entry in self.entries}
 
 
 @dataclass
@@ -37,15 +125,22 @@ class RunManifest:
     jobs: int = 1
     total_messages: int = 0
     completed: int = 0
-    status: str = "running"  # 'running' | 'complete' | 'failed'
+    status: str = "running"  # 'running' | 'complete' | 'failed' | 'interrupted'
     dead_letters: list[dict] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
     faults: str = "off"
     fault_seed: int = 0
+    #: Message indices checkpointed *after* a drain was requested — the
+    #: in-flight work a graceful shutdown waited for.  Only populated
+    #: when ``status == 'interrupted'``.
+    drained: list[int] = field(default_factory=list)
+    #: ``--budget`` work-unit override (None = pipeline default), kept
+    #: so a bare ``resume`` reproduces the interrupted run's limits.
+    budget: int | None = None
     manifest_version: int = MANIFEST_VERSION
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "manifest_version": self.manifest_version,
             "seed": self.seed,
             "scale": self.scale,
@@ -58,6 +153,13 @@ class RunManifest:
             "faults": self.faults,
             "fault_seed": self.fault_seed,
         }
+        # Optional keys are emitted only when they carry information so
+        # pre-existing manifests' key sets are preserved byte-for-byte.
+        if self.drained:
+            data["drained"] = list(self.drained)
+        if self.budget is not None:
+            data["budget"] = self.budget
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
@@ -76,6 +178,8 @@ class RunManifest:
             # Absent in manifests written before fault injection existed.
             faults=data.get("faults", "off"),
             fault_seed=data.get("fault_seed", 0),
+            drained=list(data.get("drained") or ()),
+            budget=data.get("budget"),
         )
 
 
@@ -85,11 +189,15 @@ class CheckpointStore:
     RECORDS_NAME = "records.jsonl"
     MANIFEST_NAME = "manifest.json"
 
-    def __init__(self, directory: str | pathlib.Path):
+    def __init__(self, directory: str | pathlib.Path, crc: bool = True):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.records_path = self.directory / self.RECORDS_NAME
         self.manifest_path = self.directory / self.MANIFEST_NAME
+        #: Write v2 CRC-suffixed lines (readers accept both formats
+        #: regardless); ``crc=False`` exists for writing v1 fixtures
+        #: and for overhead benchmarking.
+        self.crc = crc
         self._lock = threading.Lock()
         self._handle = None
 
@@ -99,6 +207,8 @@ class CheckpointStore:
     def append(self, record: MessageRecord) -> None:
         """Append one finished record, flushed so a kill loses <= 1 line."""
         line = record_to_line(record)
+        if self.crc:
+            line = encode_record_line(line)
         with self._lock:
             if self._handle is None:
                 self._handle = self.records_path.open("a", encoding="utf-8")
@@ -111,25 +221,80 @@ class CheckpointStore:
                 self._handle.close()
                 self._handle = None
 
-    def _iter_lines(self):
+    # ------------------------------------------------------------------
+    def scan(self) -> CheckpointScan:
+        """Validate every line of ``records.jsonl``.
+
+        Returns the parsed entries plus a :class:`LineIssue` per
+        defective line; only a defect on the *final* line is classified
+        as a tolerated torn tail.  A well-formed line without a
+        ``message_index`` is reported as ``missing-index`` corruption —
+        it cannot be resumed from or loaded, no matter how valid its
+        JSON is.  The file is read as bytes and decoded line by line:
+        corruption that destroys the UTF-8 encoding itself (a flipped
+        high bit, for instance) is reported as ``bad-encoding`` rather
+        than aborting the whole pass.
+        """
+        scan = CheckpointScan()
         if not self.records_path.exists():
-            return
-        with self.records_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final line from a killed writer: everything
-                    # before it is intact, the interrupted record will
-                    # simply be re-analyzed on resume.
-                    continue
+            return scan
+        chunks = self.records_path.read_bytes().split(b"\n")
+        if chunks and not chunks[-1]:
+            chunks.pop()  # trailing newline, not an empty final line
+        raw_lines: list[tuple[int, str | None, bytes]] = []
+        for line_number, chunk in enumerate(chunks, start=1):
+            scan.total_lines = line_number
+            try:
+                text = chunk.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                raw_lines.append((line_number, None, chunk))
+                continue
+            if text:
+                raw_lines.append((line_number, text, chunk))
+        last_line_number = raw_lines[-1][0] if raw_lines else 0
+        for line_number, line, chunk in raw_lines:
+            if line is None:
+                scan.issues.append(
+                    LineIssue(
+                        line_number=line_number,
+                        kind="bad-encoding",
+                        detail=repr(chunk[:60]),
+                        torn_tail=line_number == last_line_number,
+                    )
+                )
+                continue
+            data, defect = parse_record_line(line)
+            if defect is not None:
+                scan.issues.append(
+                    LineIssue(
+                        line_number=line_number,
+                        kind=defect,
+                        detail=line[:80],
+                        torn_tail=line_number == last_line_number,
+                    )
+                )
+                continue
+            if data.get("message_index") is None:
+                scan.issues.append(
+                    LineIssue(
+                        line_number=line_number,
+                        kind="missing-index",
+                        detail=line[:80],
+                    )
+                )
+                continue
+            scan.entries.append(data)
+        return scan
+
+    def _iter_lines(self):
+        """Parsed dicts of every intact, indexable line (legacy shim:
+        silently skips defective lines — use :meth:`scan` to *see*
+        them)."""
+        yield from self.scan().entries
 
     def completed_indices(self) -> set[int]:
         """Message indices with a durable record (resume skips these)."""
-        return {data["message_index"] for data in self._iter_lines()}
+        return self.scan().indices
 
     def load_records(self) -> list[MessageRecord]:
         """All durable records, sorted into corpus (message index) order.
@@ -142,6 +307,34 @@ class CheckpointStore:
             record = record_from_dict(data)
             by_index[record.message_index] = record
         return [by_index[index] for index in sorted(by_index)]
+
+    # ------------------------------------------------------------------
+    # fsck / repair
+    # ------------------------------------------------------------------
+    def salvage_to(self, destination: str | pathlib.Path) -> "CheckpointStore":
+        """Write every intact record (last append wins) plus an adjusted
+        manifest to a fresh checkpoint directory, and return its store.
+
+        The repaired manifest keeps the source's identity (seed, scale,
+        faults, budget) but recomputes ``completed`` from the salvaged
+        records and marks the run ``interrupted`` so a bare ``resume``
+        re-analyzes whatever corruption destroyed.
+        """
+        repaired = CheckpointStore(destination)
+        by_index: dict[int, MessageRecord] = {}
+        for data in self.scan().entries:
+            record = record_from_dict(data)
+            by_index[record.message_index] = record
+        for index in sorted(by_index):
+            repaired.append(by_index[index])
+        repaired.close()
+        manifest = self.read_manifest()
+        if manifest is not None:
+            manifest.completed = len(by_index)
+            manifest.status = "interrupted"
+            manifest.drained = []
+            repaired.write_manifest(manifest)
+        return repaired
 
     # ------------------------------------------------------------------
     # Manifest

@@ -35,6 +35,7 @@ import multiprocessing
 import os
 import pickle
 import queue as stdlib_queue
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 
@@ -46,11 +47,10 @@ _POLL_INTERVAL = 0.25
 #: Seconds to wait for workers to acknowledge a stop before terminating.
 _STOP_GRACE = 5.0
 
-#: Seconds of total silence (no results, no crashes, work outstanding)
-#: before the parent declares the pool wedged and aborts loudly.  Far
-#: above any single-message analysis time; this converts a worker killed
-#: mid-queue-write — which leaves the shared write lock held and every
-#: other worker blocked — from an infinite hang into a hard error.
+#: Default seconds of total silence (no results, no crashes, work
+#: outstanding) before the parent reaps the stalled workers.  Far above
+#: any single-message analysis time; overridable per run via
+#: ``CorpusRunner(stall_timeout=...)``.
 _STALL_TIMEOUT = 60.0
 
 
@@ -58,6 +58,15 @@ class WorkerCrash(TransientFault):
     """A worker process died with in-flight jobs (treated as transient:
     the crash may be environmental, so the indices get retried on a
     fresh worker before being dead-lettered)."""
+
+
+class WorkerStalled(TransientFault):
+    """A worker produced no output past the stall timeout and was
+    reaped.  Transient like a crash — the stall may be environmental —
+    but once an index exhausts its attempts on stalls it is
+    *quarantined* (a durable record naming the watchdog) rather than
+    dead-lettered: a message that deterministically wedges workers must
+    never re-enter the pool on the next resume."""
 
 
 @dataclass(frozen=True)
@@ -80,7 +89,9 @@ class RunnerConfig:
     #: Test-only fault injection, applied inside the worker:
     #: ``"crash:<index>"`` hard-exits the process when analyzing that
     #: message; ``"transient:<index>:<n>"`` raises TransientFault on the
-    #: first ``n`` attempts at that message.
+    #: first ``n`` attempts at that message; ``"wedge:<index>"`` sleeps
+    #: far past any stall timeout (a hard wedge the cooperative budget
+    #: cannot interrupt), exercising the reap-to-quarantine path.
     fault: str = ""
     #: Fault-injection profile for the simulated internet
     #: (``off | light | heavy | hostile``); each worker installs the
@@ -88,6 +99,18 @@ class RunnerConfig:
     #: the same deterministic weather as thread runs.
     faults: str = "off"
     fault_seed: int = 0
+    #: Per-message work-unit budget override (None = pipeline default,
+    #: 0 = unlimited); the CLI's ``--budget``.
+    budget: int | None = None
+    #: Truncate the regenerated corpus to its first N messages (None =
+    #: all).  Parent and workers address messages by index, so a run
+    #: over a corpus *sample* must truncate identically on both sides.
+    corpus_prefix: int | None = None
+    #: Append a seeded hostile corpus (``repro.dataset.hostile``) after
+    #: the (possibly truncated) generated corpus: ``"<seed>:<copies>"``.
+    #: Index-stable on every worker, so hostile-ingest runs stay
+    #: byte-identical across backends.
+    hostile: str = ""
 
     # ------------------------------------------------------------------
     def build(self):
@@ -99,6 +122,16 @@ class RunnerConfig:
         from repro.runner.profile import StageProfiler
 
         corpus = CorpusGenerator(seed=self.seed, scale=self.scale).generate()
+        messages = corpus.messages
+        if self.corpus_prefix is not None:
+            messages = messages[: self.corpus_prefix]
+        if self.hostile:
+            from repro.dataset.hostile import hostile_corpus
+
+            hostile_seed, _, copies = self.hostile.partition(":")
+            messages = messages + hostile_corpus(
+                seed=int(hostile_seed), copies=int(copies or 1)
+            )
         if self.faults != "off":
             from repro.web.faults import FaultEngine, fault_profile
 
@@ -106,7 +139,14 @@ class RunnerConfig:
                 FaultEngine(fault_profile(self.faults), seed=self.fault_seed)
             )
         profiler = StageProfiler() if self.profile else None
-        box = CrawlerBox.for_world(corpus.world, profiler=profiler, stages=self.stages)
+        pipeline_config = None
+        if self.budget is not None:
+            from repro.core import PipelineConfig
+
+            pipeline_config = PipelineConfig(budget_work_units=self.budget or None)
+        box = CrawlerBox.for_world(
+            corpus.world, profiler=profiler, stages=self.stages, config=pipeline_config
+        )
         if self.crawler_profile != "notabot":
             box.crawler = Crawler(
                 corpus.world.network,
@@ -114,7 +154,7 @@ class RunnerConfig:
                 rng=box.crawler.rng,
                 retain_results=False,
             )
-        return corpus.messages, box
+        return messages, box
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +168,8 @@ def _parse_fault(spec: str):
         return ("crash", int(parts[1]))
     if parts[0] == "transient":
         return ("transient", int(parts[1]), int(parts[2]) if len(parts) > 2 else 1)
+    if parts[0] == "wedge":
+        return ("wedge", int(parts[1]))
     raise ValueError(f"unknown fault spec {spec!r}")
 
 
@@ -142,6 +184,16 @@ def _portable_error(error: BaseException) -> BaseException:
 
 def _worker_main(worker_id: int, config: RunnerConfig, inq, outq) -> None:
     """Worker process entry point: build once, analyze batches forever."""
+    try:
+        import signal
+
+        # A terminal Ctrl-C reaches the whole process group; the drain
+        # protocol wants workers to *finish* their current message, so
+        # only the parent acts on SIGINT.  SIGTERM (the reaper) still
+        # kills us.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
     try:
         messages, box = config.build()
     except BaseException as error:  # noqa: BLE001 - reported to the parent
@@ -160,6 +212,14 @@ def _worker_main(worker_id: int, config: RunnerConfig, inq, outq) -> None:
         for index in command[1]:
             try:
                 if fault is not None and fault[1] == index:
+                    if fault[0] == "wedge":
+                        # A hard wedge the cooperative budget cannot see
+                        # (native-code loop, deadlocked lock, ...): go
+                        # silent until the parent's stall watchdog reaps
+                        # this process.  Every attempt wedges, so the
+                        # index deterministically exhausts its retries
+                        # and lands in quarantine.
+                        time.sleep(3600.0)
                     if fault[0] == "crash":
                         # Simulate a hard worker death — but flush the
                         # result queue's feeder thread first: exiting
@@ -224,22 +284,32 @@ class ProcessPool:
         #: Per-index error reprs across attempts, for dead-letter history.
         self.attempt_errors: dict[int, list[str]] = {}
 
+        stall_timeout = getattr(runner, "stall_timeout", None) or _STALL_TIMEOUT
+
         for _ in range(min(self.jobs, max(1, len(pending)))):
             self._spawn_worker()
         try:
             idle_polls = 0
+            draining = False
             while self.remaining and runner._fatal is None:
+                if runner._drain.is_set():
+                    if not draining:
+                        # Graceful shutdown: drop the backlog so no new
+                        # batch dispatches; already-dispatched batches
+                        # finish (their records checkpoint normally).
+                        draining = True
+                        self.pending.clear()
+                        self.retries.clear()
+                    if not any(self.inflight.values()):
+                        break
                 try:
                     message = self.outq.get(timeout=_POLL_INTERVAL)
                 except stdlib_queue.Empty:
                     self._reap_crashed_workers(batch)
                     idle_polls += 1
-                    if idle_polls * _POLL_INTERVAL >= _STALL_TIMEOUT:
-                        raise RuntimeError(
-                            f"process pool stalled: no worker output for "
-                            f"{_STALL_TIMEOUT:.0f}s with "
-                            f"{len(self.remaining)} message(s) outstanding"
-                        )
+                    if idle_polls * _POLL_INTERVAL >= stall_timeout:
+                        idle_polls = 0
+                        self._reap_stalled(batch, stall_timeout)
                     continue
                 idle_polls = 0
                 self._handle(message, batch)
@@ -327,14 +397,17 @@ class ProcessPool:
             self.retries.append(index)
         else:
             self.remaining.discard(index)
-            # Process retries re-dispatch immediately (no backoff sleep),
-            # hence backoff=0; the attempt history still travels.
-            runner._record_dead(
-                index,
-                self.attempts[index],
-                repr(error),
-                history=tuple(self.attempt_errors.pop(index, [])),
-            )
+            history = tuple(self.attempt_errors.pop(index, []))
+            if isinstance(error, WorkerStalled):
+                # Deterministic hard wedge: a durable quarantined record
+                # (not a dead letter) so a resume never re-runs it.
+                runner._quarantine_stalled(index, self.attempts[index], history)
+            else:
+                # Process retries re-dispatch immediately (no backoff
+                # sleep), hence backoff=0; the history still travels.
+                runner._record_dead(
+                    index, self.attempts[index], repr(error), history=history
+                )
 
     def _reap_crashed_workers(self, batch: int) -> None:
         for worker_id, process in list(self.workers.items()):
@@ -350,8 +423,50 @@ class ProcessPool:
             )
             for index in lost:
                 self._count_failure(index, crash)
-            if self.remaining and self.runner._fatal is None:
+            if self._should_respawn():
                 self._spawn_worker()  # replacement picks the retries up
+        self._dispatch_idle(batch)
+
+    def _should_respawn(self) -> bool:
+        runner = self.runner
+        return bool(
+            self.remaining and runner._fatal is None and not runner._drain.is_set()
+        )
+
+    def _reap_stalled(self, batch: int, stall_timeout: float) -> None:
+        """Terminate workers that went silent with work in flight.
+
+        The lost indices are charged a :class:`WorkerStalled` attempt
+        each (retried on a fresh worker, quarantined once exhausted);
+        replacements are spawned.  If the silence had *no* in-flight
+        work behind it, scheduling itself is broken — that is a bug in
+        this pool, not hostile input, and it raises.
+        """
+        stalled = [
+            worker_id for worker_id, inflight in self.inflight.items() if inflight
+        ]
+        if not stalled:
+            raise RuntimeError(
+                f"process pool stalled: no worker output for "
+                f"{stall_timeout:.0f}s with {len(self.remaining)} message(s) "
+                f"outstanding and none in flight"
+            )
+        for worker_id in stalled:
+            process = self.workers.pop(worker_id, None)
+            lost = sorted(self.inflight.pop(worker_id, set()) & self.remaining)
+            self.inqs.pop(worker_id, None)
+            self.idle.discard(worker_id)
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=_STOP_GRACE)
+            stall = WorkerStalled(
+                f"worker produced no output for {stall_timeout:g}s with "
+                f"{len(lost)} job(s) in flight; reaped"
+            )
+            for index in lost:
+                self._count_failure(index, stall)
+            if self._should_respawn():
+                self._spawn_worker()
         self._dispatch_idle(batch)
 
     # ------------------------------------------------------------------

@@ -188,3 +188,29 @@ def format_fault_report(stats) -> str:
     for kind, count in sorted(stats.fault_kinds.items(), key=lambda item: (-item[1], item[0])):
         lines.append(f"  {kind:<22s} {count:>8d}")
     return "\n".join(lines)
+
+
+def format_quarantine_report(records) -> str:
+    """Post-run summary of quarantined messages.
+
+    A per-limit violation histogram followed by one line per quarantined
+    record (index, reason, first violation), so an operator can tell at
+    a glance *which* guard each hostile message tripped.  Printed by the
+    CLI only when the run quarantined something; also the artifact body
+    of the CI hostile-ingest job.
+    """
+    quarantined = [record for record in records if record.quarantine is not None]
+    if not quarantined:
+        return "quarantine: 0 messages"
+    limits: Counter = Counter()
+    for record in quarantined:
+        for violation in record.quarantine.violations:
+            limits[violation.limit] += 1
+    lines = [f"quarantine: {len(quarantined)} message(s)"]
+    for limit, count in sorted(limits.items(), key=lambda item: (-item[1], item[0])):
+        lines.append(f"  {limit:<22s} {count:>8d}")
+    for record in quarantined:
+        head = record.quarantine.violations[0] if record.quarantine.violations else None
+        detail = f" [{head.limit}: {head.observed} > cap {head.cap}]" if head else ""
+        lines.append(f"  #{record.message_index}: {record.quarantine.reason}{detail}")
+    return "\n".join(lines)

@@ -72,6 +72,10 @@ class RunResult:
     resumed_indices: tuple[int, ...] = ()
     #: Backend that actually ran ('thread' | 'process').
     executor: str = "thread"
+    #: True when a drain request (SIGINT/SIGTERM) stopped the run with
+    #: work still pending; the manifest holds ``status: interrupted``
+    #: and a bare ``resume`` continues byte-identically.
+    interrupted: bool = False
 
 
 class CorpusRunner:
@@ -92,6 +96,7 @@ class CorpusRunner:
         run_info: dict | None = None,
         profiler=None,
         batch_size: int | None = None,
+        stall_timeout: float = 60.0,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -117,9 +122,20 @@ class CorpusRunner:
         self.profiler = profiler
         #: Indices per dispatch to a process worker (None = auto).
         self.batch_size = batch_size
+        #: Seconds of total worker silence before the process pool reaps
+        #: the stalled workers (their messages quarantine once retries
+        #: exhaust); far above any single-message analysis time.
+        self.stall_timeout = stall_timeout
 
         self._lock = threading.Lock()
         self._jitter_rng = random.Random(0xB0FF)
+        #: Graceful-shutdown flag: once set, no new message starts;
+        #: in-flight messages finish and checkpoint, then the run
+        #: returns with ``interrupted=True``.
+        self._drain = threading.Event()
+        self._drained: list[int] = []
+        self._workers: list[Worker] = []
+        self._queue: JobQueue | None = None
 
     # ------------------------------------------------------------------
     def resolve_executor(self) -> str:
@@ -138,9 +154,38 @@ class CorpusRunner:
         return "thread"
 
     # ------------------------------------------------------------------
+    def request_drain(self) -> bool:
+        """Ask the run to stop gracefully (signal-handler safe).
+
+        Workers finish the message they are on (its record checkpoints
+        normally) and no further message starts; :meth:`run` then
+        returns with ``interrupted=True`` and an ``interrupted``
+        manifest listing the drained indices.  Returns False if a drain
+        was already in progress (the caller may then force-exit — the
+        checkpoint is consistent at every line boundary).
+        """
+        first = not self._drain.is_set()
+        self._drain.set()
+        queue = self._queue
+        if queue is not None and first:
+            # Thread backend: drop the backlog and wake every idle
+            # worker; busy workers notice on their next get().
+            queue.close(discard_pending=True)
+            # _outstanding never reaches zero now, so _finish_one will
+            # not fire _done; release run() once the workers park.
+            threading.Thread(target=self._watch_drain, daemon=True).start()
+        return first
+
+    def _watch_drain(self) -> None:
+        for worker in list(self._workers):
+            worker.join()
+        self._done.set()
+
+    # ------------------------------------------------------------------
     def run(self, messages: list) -> RunResult:
         """Analyze ``messages``, resuming from the checkpoint if present."""
         total = len(messages)
+        self._messages = messages
         self._records: dict[int, MessageRecord] = {}
         self._stats = RunningStats()
         self._dead: list[DeadLetter] = []
@@ -174,7 +219,10 @@ class CorpusRunner:
 
         if self.profiler is not None and executor == "thread":
             self.profiler.merge_into_stats(self._stats)
-        self._write_manifest(status="complete")
+        interrupted = self._drain.is_set() and (
+            len(self._records) + len(self._dead) < total
+        )
+        self._write_manifest(status="interrupted" if interrupted else "complete")
         if self.checkpoint is not None:
             self.checkpoint.close()
         records = [self._records[index] for index in sorted(self._records)]
@@ -184,6 +232,7 @@ class CorpusRunner:
             dead_letters=sorted(self._dead, key=lambda letter: letter.index),
             resumed_indices=tuple(sorted(resumed)),
             executor=executor,
+            interrupted=interrupted,
         )
 
     # ------------------------------------------------------------------
@@ -194,11 +243,16 @@ class CorpusRunner:
             raise ValueError("the thread executor needs a box_factory")
         self._queue = JobQueue(maxsize=self.queue_size)
         workers = spawn_workers(self.jobs, self._queue, self.box_factory, self._handle)
+        self._workers = workers
+        if self._drain.is_set():
+            # Drain requested before the queue existed: park immediately.
+            self._queue.close(discard_pending=True)
+            threading.Thread(target=self._watch_drain, daemon=True).start()
         try:
             for index in pending:
                 self._queue.put(Job(index=index, payload=messages[index]))
         except QueueClosed:
-            pass  # a fatal failure tore the run down mid-enqueue
+            pass  # a fatal failure or drain tore the run down mid-enqueue
         self._done.wait()
         for worker in workers:
             worker.join()
@@ -219,6 +273,10 @@ class CorpusRunner:
                 self.checkpoint.append(record)
             self._records[index] = record
             self._stats.update(record)
+            if self._drain.is_set():
+                # In-flight work a graceful shutdown waited for; the
+                # interrupted manifest lists these for the operator.
+                self._drained.append(index)
             completed = len(self._records)
             report = self.progress is not None and (
                 completed % self.progress_every == 0 or completed == self._total
@@ -246,6 +304,47 @@ class CorpusRunner:
                 DeadLetter(index, attempts, error, history=history, backoff_seconds=backoff)
             )
             self._stats.dead_lettered += 1
+
+    def _quarantine_stalled(self, index: int, attempts: int, history: tuple[str, ...]) -> None:
+        """Checkpoint a quarantined record for a message whose worker
+        repeatedly hard-wedged (reaped by the process pool's stall
+        watchdog after exhausting its retries).
+
+        The message never produced analysis output, so the record is
+        built parent-side from corpus metadata: category
+        ``quarantined``, every stage ``skipped``, and a
+        :class:`~repro.mail.guard.QuarantineReport` whose reason names
+        the watchdog — machine-readable, like a guard rejection, and
+        never an infinite retry loop or an unexplained dead letter.
+        """
+        from repro.core.outcomes import MessageCategory
+        from repro.core.stages import registered_stage_names
+        from repro.core.stages.base import StageStatus
+        from repro.mail.guard import GuardViolation, QuarantineReport, triage_headers
+
+        message = self._messages[index]
+        record = MessageRecord(
+            message_index=index,
+            delivered_at=message.delivered_at,
+            recipient=message.recipient,
+            sender_domain=message.sender_domain,
+            ground_truth=dict(message.ground_truth),
+        )
+        record.category = MessageCategory.QUARANTINED
+        record.stage_status = {
+            name: StageStatus.SKIPPED for name in registered_stage_names()
+        }
+        record.quarantine = QuarantineReport(
+            reason=f"worker-stall: analysis wedged {attempts} worker(s); "
+            f"reaped after {self.stall_timeout:g}s of silence each",
+            violations=(
+                GuardViolation(
+                    "stall-timeout", attempts, self.retry_policy.max_attempts
+                ),
+            ),
+            headers=triage_headers(message),
+        )
+        self._record_success(index, record)
 
     def _note_retry(self) -> None:
         with self._lock:
@@ -321,6 +420,7 @@ class CorpusRunner:
     def _write_manifest(self, status: str) -> None:
         if self.checkpoint is None:
             return
+        budget = self.run_info.get("budget")
         with self._lock:
             manifest = RunManifest(
                 seed=int(self.run_info.get("seed", 0)),
@@ -333,5 +433,7 @@ class CorpusRunner:
                 stats=self._stats.as_dict(),
                 faults=str(self.run_info.get("faults", "off")),
                 fault_seed=int(self.run_info.get("fault_seed", 0)),
+                drained=sorted(self._drained) if status == "interrupted" else [],
+                budget=int(budget) if budget is not None else None,
             )
         self.checkpoint.write_manifest(manifest)

@@ -38,6 +38,13 @@ class RunningStats:
     console_hijack: int = 0
     dead_lettered: int = 0
     retried: int = 0
+    #: Messages rejected by the ingestion guard (or reaped by the stall
+    #: watchdog) with a durable :class:`~repro.mail.guard.QuarantineReport`.
+    quarantined: int = 0
+    #: Stages degraded to ``failed`` by the per-message work budget
+    #: (:class:`repro._budget.BudgetExceeded`) — distinct from the
+    #: network fault engine's ``fault_budget_exhausted``.
+    budget_stage_failures: int = 0
     #: Per-stage profiling totals (populated only under ``--profile``;
     #: see :mod:`repro.runner.profile`).
     stage_calls: Counter = field(default_factory=Counter)
@@ -62,6 +69,13 @@ class RunningStats:
 
         self.analyzed += 1
         self.categories[record.category] += 1
+        if record.quarantine is not None:
+            self.quarantined += 1
+        self.budget_stage_failures += sum(
+            1
+            for error in record.stage_errors.values()
+            if error.startswith("BudgetExceeded")
+        )
         if record.category == MessageCategory.ACTIVE_PHISHING:
             self.active += 1
             if record.spear_brand is not None:
@@ -108,6 +122,8 @@ class RunningStats:
             "console_hijack",
             "dead_lettered",
             "retried",
+            "quarantined",
+            "budget_stage_failures",
             "fault_requests",
             "fault_retries",
             "fault_backoff_seconds",
@@ -165,6 +181,12 @@ class RunningStats:
                 for name in sorted(self.stage_calls)
             },
         }
+        # Hostile-input counters appear only when nonzero: clean-corpus
+        # manifests keep the historical key set byte-for-byte.
+        if self.quarantined:
+            data["quarantined"] = self.quarantined
+        if self.budget_stage_failures:
+            data["budget_stage_failures"] = self.budget_stage_failures
         # Emitted only under an active fault engine: faults-off manifests
         # keep the historical key set byte-for-byte.
         if self.has_fault_activity:

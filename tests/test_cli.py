@@ -81,6 +81,43 @@ class TestParser:
         assert args.faults is None
         assert args.fault_seed is None
 
+    def test_run_budget_default_is_pipeline_default(self):
+        assert build_parser().parse_args(["run"]).budget is None
+
+    def test_run_budget_options(self):
+        assert build_parser().parse_args(["run", "--budget", "50000"]).budget == 50000
+        # 0 = explicitly unlimited (distinct from "not given").
+        assert build_parser().parse_args(["run", "--budget", "0"]).budget == 0
+
+    def test_run_budget_rejects_negative(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--budget", "-1"])
+
+    def test_run_hostile_spec(self):
+        assert build_parser().parse_args(["run"]).hostile is None
+        assert build_parser().parse_args(["run", "--hostile", "7"]).hostile == "7"
+        assert build_parser().parse_args(["run", "--hostile", "7:3"]).hostile == "7:3"
+
+    def test_run_hostile_rejects_malformed_spec(self):
+        for bad in ("seven", "7:none", "7:0", ":3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "--hostile", bad])
+
+    def test_resume_budget_and_hostile_default_to_manifest(self):
+        args = build_parser().parse_args(["resume", "ckpt"])
+        assert args.budget is None
+        assert args.hostile is None
+
+    def test_fsck_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fsck"])
+
+    def test_fsck_options(self):
+        args = build_parser().parse_args(["fsck", "ckpt", "--repair", "fixed"])
+        assert args.checkpoint == "ckpt"
+        assert args.repair == "fixed"
+        assert build_parser().parse_args(["fsck", "ckpt"]).repair is None
+
 
 class TestFlows:
     def test_run_and_report(self, tmp_path, capsys):
@@ -143,6 +180,31 @@ class TestFlows:
             assert record.get("crawls", []) == []
             assert record["stage_status"]["crawl"] == "skipped"
             assert record["stage_status"]["parse"] == "ok"
+
+    def test_run_with_hostile_corpus_quarantines_and_reports(self, capsys):
+        exit_code = main(["run", "--scale", "0.02", "--seed", "9",
+                          "--hostile", "7", "--budget", "500000"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "+ 9 hostile messages (spec '7')" in output
+        assert "Per-message budget: 500000 work units" in output
+        # Eight shapes trip the guard; the ninth (js-loop) burns the
+        # budget instead — both surface in the post-run report.
+        assert "quarantine: 8 message(s)" in output
+        assert "mime-depth" in output
+        assert "Budget-exhausted stages: 1" in output
+
+    def test_hostile_run_resumes_with_respecified_spec(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt"
+        assert main(["run", "--scale", "0.02", "--seed", "9", "--hostile", "7",
+                     "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        # Without the spec the regenerated corpus is short: refuse with
+        # a hint rather than resuming against the wrong index space.
+        assert main(["resume", str(checkpoint)]) == 1
+        assert "--hostile spec again" in capsys.readouterr().out
+        assert main(["resume", str(checkpoint), "--hostile", "7"]) == 0
+        assert "0 analysed" in capsys.readouterr().out
 
     def test_resume_without_manifest_fails(self, tmp_path, capsys):
         assert main(["resume", str(tmp_path / "nothing")]) == 1

@@ -6,9 +6,14 @@ import base64
 import textwrap
 from datetime import datetime, timezone
 
+import pytest
+
 from repro.mail.ingest import (
     DEFAULT_EPOCH,
+    IngestError,
     ingest_directory,
+    ingest_directory_report,
+    ingest_eml_bytes,
     ingest_eml_file,
     ingest_eml_text,
 )
@@ -143,6 +148,49 @@ class TestPartMapping:
         assert inner.sender == "original@spammer.ru"
         report = EmailParser().parse(message)
         assert [u.url for u in report.urls] == ["https://inner.example/x"]
+
+
+class TestIngestResilience:
+    """One hostile or truncated .eml must not abort a corpus ingestion."""
+
+    def test_headerless_bytes_raise_ingest_error(self):
+        with pytest.raises(IngestError, match="no headers parsed"):
+            ingest_eml_bytes(b"\x00\x01\x02 not a message at all")
+
+    def test_empty_file_raises_ingest_error(self):
+        with pytest.raises(IngestError):
+            ingest_eml_bytes(b"")
+
+    def test_directory_skips_defective_files_and_continues(self, tmp_path):
+        # Regression: a single undecodable sample used to abort the
+        # whole directory; now it lands in the skip list with a reason
+        # and every healthy neighbour still ingests.
+        (tmp_path / "a_good.eml").write_text(SAMPLE)
+        (tmp_path / "b_garbage.eml").write_bytes(b"\x00\xff\xfe garbage")
+        (tmp_path / "c_unreadable.eml").mkdir()  # read fails with OSError
+        (tmp_path / "d_good.eml").write_text(SAMPLE)
+
+        report = ingest_directory_report(tmp_path)
+        assert len(report.messages) == 2
+        assert report.messages[0].ground_truth["source"].endswith("a_good.eml")
+        assert report.messages[1].ground_truth["source"].endswith("d_good.eml")
+
+        skipped = {entry["path"]: entry["reason"] for entry in report.skipped}
+        assert len(skipped) == 2
+        assert "no headers parsed" in skipped[str(tmp_path / "b_garbage.eml")]
+        assert skipped[str(tmp_path / "c_unreadable.eml")].startswith("unreadable:")
+
+    def test_legacy_directory_ingestion_skips_silently(self, tmp_path):
+        (tmp_path / "good.eml").write_text(SAMPLE)
+        (tmp_path / "bad.eml").write_bytes(b"\x00")
+        messages = ingest_directory(tmp_path)
+        assert len(messages) == 1
+
+    def test_clean_directory_reports_no_skips(self, tmp_path):
+        (tmp_path / "one.eml").write_text(SAMPLE)
+        report = ingest_directory_report(tmp_path)
+        assert report.skipped == []
+        assert len(report.messages) == 1
 
 
 class TestPipelineIntegration:

@@ -29,6 +29,7 @@ from repro.runner import (
     RetryPolicy,
     RunnerConfig,
     StageProfiler,
+    parse_record_line,
 )
 
 SEED, SCALE = 31, 0.02
@@ -193,6 +194,114 @@ class TestWorkerCrash:
         assert [r.message_index for r in result.records] == list(range(8))
         assert all(r.fault_telemetry is not None for r in result.records)
         lines = (tmp_path / "ckpt" / "records.jsonl").read_text().splitlines()
-        indices = [json.loads(line)["message_index"] for line in lines]
+        parsed = [parse_record_line(line) for line in lines]
+        assert all(issue is None for _, issue in parsed)  # every line CRC-clean
+        indices = [data["message_index"] for data, _ in parsed]
         assert indices.count(flaky) == 1
         assert sorted(indices) == list(range(8))
+
+
+# ----------------------------------------------------------------------
+# Hard wedges: the stall watchdog reaps into quarantine
+# ----------------------------------------------------------------------
+class TestWorkerStall:
+    def test_wedged_index_quarantined_not_dead_lettered(
+        self, runner_corpus, serial_records
+    ):
+        from repro.core.outcomes import MessageCategory
+        from repro.core.stages.base import StageStatus
+
+        wedged = 2
+        runner = _runner(
+            runner_corpus,
+            config=RunnerConfig(seed=SEED, scale=SCALE, fault=f"wedge:{wedged}"),
+            retry_policy=FAST_RETRY,
+            stall_timeout=1.0,
+        )
+        result = runner.run(runner_corpus.messages[:6])
+        # A hard wedge (native loop, deadlock) is hostile *input*, not
+        # infrastructure: it must end as a durable quarantined record,
+        # never a dead letter or an infinite retry.
+        assert not result.dead_letters
+        assert [r.message_index for r in result.records] == list(range(6))
+        record = result.records[wedged]
+        assert record.category == MessageCategory.QUARANTINED
+        assert record.quarantine is not None
+        assert record.quarantine.reason.startswith("worker-stall")
+        assert record.quarantine.violations[0].limit == "stall-timeout"
+        assert record.quarantine.violations[0].observed == FAST_RETRY.max_attempts
+        assert set(record.stage_status.values()) == {StageStatus.SKIPPED}
+        assert result.stats.quarantined == 1
+        # Batch-mates of the reaped workers complete normally.
+        for other in result.records:
+            if other.message_index != wedged:
+                assert record_to_dict(other) == record_to_dict(
+                    serial_records[other.message_index]
+                )
+
+
+# ----------------------------------------------------------------------
+# Hostile ingest: both backends, byte-identical, nothing crashes
+# ----------------------------------------------------------------------
+class TestHostileCorpusAcrossBackends:
+    BUDGET = 500_000  # calibrated messages stay far below; js-loop trips it
+
+    def _run(self, corpus, executor: str, jobs: int):
+        from repro.core import PipelineConfig
+        from repro.dataset.hostile import hostile_corpus
+
+        config = RunnerConfig(
+            seed=SEED, scale=SCALE, corpus_prefix=4, hostile="7:1",
+            budget=self.BUDGET,
+        )
+        # The thread backend analyzes on the parent-side box, so it
+        # needs the same pipeline budget the process workers rebuild
+        # from the RunnerConfig (exactly what the CLI wires up).
+        pipeline = PipelineConfig(budget_work_units=self.BUDGET)
+        messages = corpus.messages[:4] + hostile_corpus(seed=7, copies=1)
+        runner = CorpusRunner(
+            box_factory=lambda worker_id: CrawlerBox.for_world(
+                corpus.world, config=pipeline
+            ),
+            jobs=jobs,
+            executor=executor,
+            config=config,
+        )
+        return messages, runner.run(messages)
+
+    def test_hostile_corpus_survives_both_backends_byte_identical(
+        self, runner_corpus
+    ):
+        from repro.dataset.hostile import EXPECTED_VIOLATIONS, SHAPES
+
+        messages, process_result = self._run(runner_corpus, "process", 2)
+        # Zero worker crashes, zero dead letters: every hostile message
+        # became a record.
+        assert not process_result.dead_letters
+        assert [r.message_index for r in process_result.records] == list(
+            range(len(messages))
+        )
+        # Each shape met the defense it targets: quarantined with the
+        # intended headline limit, or degraded by the work budget.
+        for position, shape in enumerate(SHAPES):
+            record = process_result.records[4 + position]
+            expected = EXPECTED_VIOLATIONS[shape]
+            if expected:
+                assert record.quarantine is not None, shape
+                assert record.quarantine.violations[0].limit == expected
+            else:
+                assert record.quarantine is None
+                assert record.stage_errors, shape
+                assert any(
+                    reason.startswith("BudgetExceeded")
+                    for reason in record.stage_errors.values()
+                )
+        assert process_result.stats.quarantined == sum(
+            1 for limit in EXPECTED_VIOLATIONS.values() if limit
+        )
+        assert process_result.stats.budget_stage_failures >= 1
+
+        _, thread_result = self._run(runner_corpus, "thread", 1)
+        assert json.dumps(export_records(process_result.records)) == json.dumps(
+            export_records(thread_result.records)
+        )
