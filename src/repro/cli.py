@@ -15,6 +15,15 @@ Commands:
 - ``fsck``    validate a checkpoint's records.jsonl (per-line CRC) and
               manifest; optionally salvage the intact records to a
               repaired checkpoint directory.
+- ``serve``   run the always-on analysis daemon: line-delimited JSON
+              ingestion over a socket (raw RFC-822 bytes + reporter id
+              in, verdict records out), per-reporter fair scheduling,
+              deterministic load-shedding, rolling checkpoint
+              compaction, SIGTERM drain (see :mod:`repro.serve`).
+- ``submit``  send .eml files to a running daemon and print (or
+              export) the verdicts.
+- ``compact`` rewrite a checkpoint's records.jsonl keeping the last
+              record per message index (fsck-clean, CRC-v2 output).
 
 Graceful shutdown: during ``run``/``resume`` the first SIGINT/SIGTERM
 requests a drain — workers finish the message they are on, the
@@ -42,6 +51,17 @@ def _budget_arg(value: str) -> int:
     if units < 0:
         raise argparse.ArgumentTypeError("must be >= 0 (0 = unlimited)")
     return units
+
+
+def _guard_limit_arg(value: str) -> tuple[str, int]:
+    """One ``--guard-limit key=value`` override, validated at parse time
+    (unknown keys list the full vocabulary instead of failing mid-run)."""
+    from repro.mail.guard import GuardLimitError, parse_guard_limit
+
+    try:
+        return parse_guard_limit(value)
+    except GuardLimitError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _hostile_spec(value: str) -> str:
@@ -148,7 +168,8 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
                   executor: str = "auto", profile: bool = False,
                   stages: tuple[str, ...] | None = None,
                   faults: str = "off", fault_seed: int = 0,
-                  budget: int | None = None, hostile: str = ""):
+                  budget: int | None = None, hostile: str = "",
+                  guard_limits: tuple[tuple[str, int], ...] | None = None):
     """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes.
 
     ``stages`` (a validated ``--stages`` selection) reaches both
@@ -160,10 +181,12 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
     worker rebuilds an identical engine.
 
     ``budget`` (the CLI's ``--budget``; None = pipeline default, 0 =
-    unlimited) and ``hostile`` (a ``"<seed>:<copies>"`` hostile-corpus
-    spec) likewise reach both backends via PipelineConfig/RunnerConfig.
+    unlimited), ``guard_limits`` (parsed ``--guard-limit`` pairs) and
+    ``hostile`` (a ``"<seed>:<copies>"`` hostile-corpus spec) likewise
+    reach both backends via PipelineConfig/RunnerConfig.
     """
-    from repro import CrawlerBox, PipelineConfig
+    from repro import CrawlerBox
+    from repro.core.pipeline import build_pipeline_config
     from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
 
     if faults != "off":
@@ -174,9 +197,7 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
         )
     checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     profiler = StageProfiler() if profile else None
-    pipeline_config = (
-        PipelineConfig(budget_work_units=budget or None) if budget is not None else None
-    )
+    pipeline_config = build_pipeline_config(budget, guard_limits)
 
     def progress(stats, completed, total):
         print(f"  ... {completed}/{total} analysed "
@@ -187,6 +208,8 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
                 "faults": faults, "fault_seed": fault_seed}
     if budget is not None:
         run_info["budget"] = budget
+    if guard_limits:
+        run_info["guard_limits"] = [[key, value] for key, value in guard_limits]
     return CorpusRunner(
         box_factory=lambda worker_id: CrawlerBox.for_world(
             corpus.world, profiler=profiler, stages=stages, config=pipeline_config
@@ -195,7 +218,8 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
         executor=executor,
         config=RunnerConfig(seed=seed, scale=scale, stages=stages,
                             faults=faults, fault_seed=fault_seed,
-                            budget=budget, hostile=hostile),
+                            budget=budget, hostile=hostile,
+                            guard_limits=tuple(guard_limits) if guard_limits else None),
         checkpoint=checkpoint,
         progress=progress,
         progress_every=200,
@@ -278,12 +302,16 @@ def cmd_run(args) -> int:
                            executor=args.executor, profile=args.profile,
                            stages=args.stages,
                            faults=args.faults, fault_seed=fault_seed,
-                           budget=args.budget, hostile=args.hostile or "")
+                           budget=args.budget, hostile=args.hostile or "",
+                           guard_limits=tuple(args.guard_limit or ()))
     if args.faults != "off":
         print(f"Fault injection: profile={args.faults}, fault-seed={fault_seed}")
     if args.budget is not None:
         print(f"Per-message budget: "
               f"{'unlimited' if args.budget == 0 else f'{args.budget} work units'}")
+    if args.guard_limit:
+        print("Guard limits: " + ", ".join(
+            f"{key}={value}" for key, value in args.guard_limit))
     print(f"Running CrawlerBox over the corpus "
           f"(jobs={args.jobs}, executor={runner.resolve_executor()}) ...")
     _install_drain_handlers(runner)
@@ -309,6 +337,15 @@ def cmd_resume(args) -> int:
     if manifest is None:
         print(f"No manifest under {args.checkpoint}; nothing to resume")
         return 1
+    if manifest.is_service:
+        print(f"{args.checkpoint} belongs to a `repro serve` daemon "
+              f"(status {manifest.status!r}), not an interrupted batch run.\n"
+              f"Restart the daemon instead:\n"
+              f"  python -m repro serve --checkpoint {args.checkpoint}\n"
+              f"(it restores its admission state and message indices from "
+              f"the manifest; clients resubmit anything that was rejected "
+              f"while it drained)")
+        return 1
     jobs = args.jobs if args.jobs is not None else manifest.jobs
     # Fault settings default to what the interrupted run used, so a
     # plain `resume` reproduces the same weather; --faults overrides.
@@ -316,9 +353,14 @@ def cmd_resume(args) -> int:
     fault_seed = (args.fault_seed if args.fault_seed is not None
                   else (manifest.fault_seed if manifest.faults != "off"
                         else manifest.seed))
-    # The budget likewise defaults to the interrupted run's, so a bare
-    # `resume` reproduces its limits (and its stage outcomes) exactly.
+    # The budget (and guard limits) likewise default to the interrupted
+    # run's, so a bare `resume` reproduces its limits exactly.
     budget = args.budget if args.budget is not None else manifest.budget
+    guard_limits = (
+        tuple(args.guard_limit)
+        if args.guard_limit
+        else tuple((key, int(value)) for key, value in manifest.guard_limits or ())
+    )
     scan = store.scan()
     if scan.corruption:
         print(f"WARNING: {len(scan.corruption)} corrupt line(s) in "
@@ -353,7 +395,8 @@ def cmd_resume(args) -> int:
                            executor=args.executor, profile=args.profile,
                            stages=args.stages,
                            faults=faults, fault_seed=fault_seed,
-                           budget=budget, hostile=args.hostile or "")
+                           budget=budget, hostile=args.hostile or "",
+                           guard_limits=guard_limits)
     _install_drain_handlers(runner)
     result = runner.run(messages)
     print(f"  {len(result.resumed_indices)} records reused, "
@@ -444,6 +487,178 @@ def cmd_fsck(args) -> int:
     return 1 if (corrupt or manifest_broken) else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the always-on analysis daemon (see :mod:`repro.serve`)."""
+    import signal
+
+    from repro._budget import DEFAULT_WORK_LIMIT
+    from repro.serve import ServeConfig, ServeDaemon
+    from repro.serve.admission import AdmissionConfig
+
+    # Admission budgets are denominated in the per-message work budget:
+    # the operator thinks in messages per arrival, the buckets in the
+    # work units those messages may consume.
+    cost = args.budget if args.budget else DEFAULT_WORK_LIMIT
+
+    def units(messages: float | None) -> int | None:
+        return None if messages is None else int(messages * cost)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        batch_size=args.batch_size,
+        admission=AdmissionConfig(
+            cost=cost,
+            global_rate=units(args.admit_rate),
+            global_burst=units(args.admit_burst),
+            reporter_rate=units(args.reporter_rate),
+            reporter_burst=units(args.reporter_burst),
+        ),
+        backlog_high_water=args.backlog,
+        backlog_low_water=max(1, args.backlog // 4),
+        compact_lines=args.compact_lines,
+        retain=args.retain,
+        budget=args.budget,
+        guard_limits=tuple(args.guard_limit or ()) or None,
+    )
+    daemon = ServeDaemon(config, args.checkpoint)
+
+    def handle(signum, frame):
+        daemon.request_shutdown()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, handle)
+        except ValueError:
+            pass
+    try:
+        daemon.start()
+    except RuntimeError as exc:
+        print(f"Cannot serve: {exc}")
+        return 1
+    print(f"repro serve: listening on {config.host}:{daemon.port} "
+          f"(seed={config.seed}, scale={config.scale}, jobs={config.jobs}); "
+          f"endpoint written to {daemon.directory}/endpoint.json; "
+          f"SIGTERM drains.", flush=True)
+    if args.admit_rate is not None:
+        print(f"  admission: {args.admit_rate:g} msg/arrival global"
+              + (f", {args.reporter_rate:g} msg/arrival per reporter"
+                 if args.reporter_rate is not None else ""), flush=True)
+    code = daemon.wait()
+    print(f"repro serve: drained ({daemon.completed} completed, "
+          f"{daemon.shed} shed, {daemon.rejected} rejected); "
+          f"manifest status 'stopped'.", flush=True)
+    return code
+
+
+def cmd_submit(args) -> int:
+    """Send .eml files to a running daemon; print/export the verdicts."""
+    import json
+    import pathlib
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ENDPOINT_NAME
+
+    host, port = args.host, args.port
+    if port is None:
+        if not args.checkpoint:
+            print("submit needs --port or --checkpoint DIR "
+                  "(to read the daemon's endpoint.json)")
+            return 1
+        endpoint_path = pathlib.Path(args.checkpoint) / ENDPOINT_NAME
+        if not endpoint_path.exists():
+            print(f"No {endpoint_path}; is the daemon running?")
+            return 1
+        endpoint = json.loads(endpoint_path.read_text(encoding="utf-8"))
+        host, port = endpoint["host"], endpoint["port"]
+
+    paths: list[pathlib.Path] = []
+    for spec in args.paths:
+        path = pathlib.Path(spec)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.eml")))
+        else:
+            paths.append(path)
+    if not paths:
+        print("Nothing to submit (no .eml files found)")
+        return 1
+
+    problems = 0
+    exported: list[dict] = []
+    try:
+        with ServeClient(host, port, timeout=args.timeout) as client:
+            by_id: dict[str, pathlib.Path] = {}
+            for path in paths:
+                outcome = client.submit_file(path, reporter=args.reporter)
+                by_id[outcome.client_id] = path
+                if outcome.status == "accepted":
+                    print(f"{path}: accepted (message index {outcome.message_index})")
+                else:
+                    problems += 1
+                    extra = (f"; retry after {outcome.retry_after_submissions} "
+                             f"submission(s)"
+                             if outcome.retry_after_submissions is not None else "")
+                    print(f"{path}: {outcome.status} ({outcome.reason}){extra}")
+            outcomes = client.wait_verdicts(timeout=args.timeout)
+            for outcome in outcomes:
+                path = by_id.get(outcome.client_id)
+                if outcome.status == "verdict":
+                    record = outcome.record or {}
+                    print(f"{path}: verdict index={outcome.message_index} "
+                          f"category={record.get('category')}")
+                    exported.append(record)
+                elif outcome.status == "failed":
+                    problems += 1
+                    print(f"{path}: FAILED after retries: {outcome.error}")
+    except (OSError, EOFError, TimeoutError) as exc:
+        print(f"submit failed: {exc}")
+        return 1
+    if args.export and exported:
+        pathlib.Path(args.export).write_text(
+            json.dumps(exported, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"{len(exported)} verdict record(s) exported to {args.export}")
+    return 1 if problems else 0
+
+
+def cmd_compact(args) -> int:
+    """Rewrite records.jsonl keeping the last record per message index."""
+    from repro.runner import CheckpointStore
+
+    store = CheckpointStore(args.checkpoint)
+    if not store.records_path.exists():
+        print(f"No records at {store.records_path}")
+        return 1
+    try:
+        manifest = store.read_manifest()
+    except ValueError as exc:
+        print(f"Unreadable manifest under {args.checkpoint}: {exc}; "
+              f"run `repro fsck` first")
+        return 1
+    if manifest is not None and manifest.status in ("running", "serving"):
+        print(f"{args.checkpoint} is live (manifest status {manifest.status!r}): "
+              f"its owner holds the records file open and compacting under it "
+              f"would race the writer.\n"
+              f"Stop it first (SIGTERM drains cleanly), or — for a daemon — "
+              f"let `repro serve --compact-lines` compact in place.")
+        return 1
+    result = store.compact(retain=args.retain)
+    print(f"{store.records_path}: {result.lines_before} -> {result.lines_after} "
+          f"line(s)")
+    print(f"  superseded duplicates dropped: {result.duplicates_dropped}")
+    print(f"  defective lines dropped:       {result.corrupt_dropped}")
+    if result.retired:
+        print(f"  retired by --retain cap:       {result.retired}")
+    print(f"  bytes: {result.bytes_before} -> {result.bytes_after} "
+          f"({result.reclaimed_bytes} reclaimed); output is fsck-clean "
+          f"(CRC v2, ascending index order)")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from repro.crawlers.assessment import assess_all_crawlers
 
@@ -503,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "exhausts it has that stage degraded to 'failed' "
                                  "instead of wedging a worker; 0 = unlimited "
                                  "(default: the pipeline's built-in 2,000,000)")
+    run_parser.add_argument("--guard-limit", type=_guard_limit_arg, action="append",
+                            default=None, metavar="KEY=VALUE",
+                            help="override one ingestion-guard structural cap "
+                                 "(repeatable), e.g. --guard-limit max_parts=64 "
+                                 "--guard-limit max_depth=10; unknown keys list "
+                                 "the vocabulary; reaches thread and process "
+                                 "workers identically")
     run_parser.add_argument("--hostile", type=_hostile_spec, default=None,
                             metavar="SEED[:COPIES]",
                             help="append the seeded hostile corpus "
@@ -541,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="per-message work budget (see 'run --budget'); "
                                     "defaults to the interrupted run's budget from "
                                     "the manifest")
+    resume_parser.add_argument("--guard-limit", type=_guard_limit_arg, action="append",
+                               default=None, metavar="KEY=VALUE",
+                               help="override one ingestion-guard cap (repeatable; "
+                                    "see 'run --guard-limit'); defaults to the "
+                                    "interrupted run's overrides from the manifest")
     resume_parser.add_argument("--hostile", type=_hostile_spec, default=None,
                                metavar="SEED[:COPIES]",
                                help="re-specify the hostile-corpus spec of the "
@@ -567,6 +794,100 @@ def build_parser() -> argparse.ArgumentParser:
                                   "marked 'interrupted' so lost records re-analyse "
                                   "on resume")
     fsck_parser.set_defaults(handler=cmd_fsck)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the always-on analysis daemon (socket ingestion API)")
+    serve_parser.add_argument("--checkpoint", metavar="DIR", required=True,
+                              help="daemon state directory: records.jsonl, manifest "
+                                   "(status 'serving'/'stopped'), and endpoint.json "
+                                   "with the bound port; restart with the same DIR "
+                                   "to resume byte-identically")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="listening port (default 0 = ephemeral; the "
+                                   "bound port lands in DIR/endpoint.json)")
+    serve_parser.add_argument("--seed", type=int, default=2024,
+                              help="world seed; verdicts are byte-identical to a "
+                                   "batch run with the same seed")
+    serve_parser.add_argument("--scale", type=float, default=0.15,
+                              help="world scale (see 'run --scale')")
+    serve_parser.add_argument("--jobs", type=_positive_int, default=1)
+    serve_parser.add_argument("--executor", choices=("auto", "thread", "process"),
+                              default="auto",
+                              help="worker backend (see 'run --executor')")
+    serve_parser.add_argument("--batch-size", type=_positive_int, default=8,
+                              help="submissions per micro-batch handed to a worker")
+    serve_parser.add_argument("--admit-rate", type=float, default=None,
+                              metavar="MSGS",
+                              help="global admission rate in messages per arriving "
+                                   "submission (e.g. 0.5 = admit at most half the "
+                                   "sustained stream); excess is shed with an "
+                                   "explicit 'overloaded' response; default: no "
+                                   "global limit")
+    serve_parser.add_argument("--admit-burst", type=float, default=None,
+                              metavar="MSGS",
+                              help="global admission burst capacity in messages "
+                                   "(default 64)")
+    serve_parser.add_argument("--reporter-rate", type=float, default=None,
+                              metavar="MSGS",
+                              help="per-reporter admission rate in messages per "
+                                   "arriving submission (default: no per-reporter "
+                                   "limit)")
+    serve_parser.add_argument("--reporter-burst", type=float, default=None,
+                              metavar="MSGS",
+                              help="per-reporter burst capacity in messages "
+                                   "(default 16)")
+    serve_parser.add_argument("--backlog", type=_positive_int, default=256,
+                              help="accepted-but-unfinished submissions above which "
+                                   "sessions stop reading (lossless backpressure, "
+                                   "distinct from admission shedding)")
+    serve_parser.add_argument("--budget", type=_budget_arg, default=None,
+                              metavar="UNITS",
+                              help="per-message work budget (see 'run --budget'); "
+                                   "also denominates the admission buckets")
+    serve_parser.add_argument("--guard-limit", type=_guard_limit_arg, action="append",
+                              default=None, metavar="KEY=VALUE",
+                              help="override one ingestion-guard cap (repeatable; "
+                                   "see 'run --guard-limit')")
+    serve_parser.add_argument("--compact-lines", type=int, default=100_000,
+                              metavar="N",
+                              help="compact records.jsonl in place once it exceeds "
+                                   "N lines (0 = never)")
+    serve_parser.add_argument("--retain", type=_positive_int, default=None,
+                              metavar="N",
+                              help="when compacting, keep only the N newest message "
+                                   "indices (verdicts were already streamed to "
+                                   "submitters; default: keep all)")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="send .eml files to a running daemon")
+    submit_parser.add_argument("paths", nargs="+",
+                               help=".eml files and/or directories of *.eml")
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=None,
+                               help="daemon port (default: read from "
+                                    "--checkpoint DIR/endpoint.json)")
+    submit_parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                               help="the daemon's state directory, used to "
+                                    "discover its endpoint when --port is absent")
+    submit_parser.add_argument("--reporter", default="anonymous",
+                               help="reporter identity for fair scheduling and "
+                                    "per-reporter admission budgets")
+    submit_parser.add_argument("--timeout", type=float, default=120.0,
+                               help="seconds to wait for admission and verdicts")
+    submit_parser.add_argument("--export", metavar="PATH", default=None,
+                               help="write the verdict records to a JSON file")
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    compact_parser = subparsers.add_parser(
+        "compact", help="rewrite a checkpoint keeping the last record per index")
+    compact_parser.add_argument("checkpoint", help="checkpoint directory to compact")
+    compact_parser.add_argument("--retain", type=_positive_int, default=None,
+                                metavar="N",
+                                help="keep only the N newest message indices "
+                                     "(default: keep all, dedupe only)")
+    compact_parser.set_defaults(handler=cmd_compact)
     return parser
 
 

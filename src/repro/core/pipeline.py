@@ -91,6 +91,33 @@ class PipelineConfig:
     budget_deadline_seconds: float | None = None
 
 
+def build_pipeline_config(
+    budget: int | None = None,
+    guard_limits: tuple[tuple[str, int], ...] | None = None,
+) -> PipelineConfig | None:
+    """The pipeline config the CLI's ``--budget`` / ``--guard-limit``
+    overrides resolve to, or None when neither is set (so callers keep
+    passing ``config=None`` and stay byte-identical to default runs).
+
+    ``budget`` uses the CLI convention: None = pipeline default, 0 =
+    unlimited.  ``guard_limits`` takes the picklable ``(key, value)``
+    pair form of :func:`~repro.mail.guard.parse_guard_limit`.  Shared by
+    ``repro run``, the process workers' ``RunnerConfig.build``, and the
+    ``repro serve`` daemon, so every backend resolves overrides the same
+    way.
+    """
+    if budget is None and not guard_limits:
+        return None
+    overrides: dict = {}
+    if budget is not None:
+        overrides["budget_work_units"] = budget or None
+    if guard_limits:
+        from repro.mail.guard import guard_limits_from_overrides
+
+        overrides["guard_limits"] = guard_limits_from_overrides(guard_limits)
+    return PipelineConfig(**overrides)
+
+
 class CrawlerBox:
     """The analysis infrastructure."""
 

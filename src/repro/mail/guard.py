@@ -35,7 +35,7 @@ quarantine decisions are byte-identical across workers and backends.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.mail.attachments import ArchiveFile, FileBlob, HtaFile
 from repro.mail.message import EmailMessage, MessagePart
@@ -58,6 +58,64 @@ class GuardLimits:
     max_decoded_bytes: int = 4 << 20
     max_total_decoded_bytes: int = 16 << 20
     max_archive_entries: int = 512
+
+
+#: Every tunable limit name, in declaration order — the vocabulary the
+#: CLI's repeatable ``--guard-limit key=value`` validates against.
+GUARD_LIMIT_KEYS: tuple[str, ...] = tuple(f.name for f in fields(GuardLimits))
+
+
+class GuardLimitError(ValueError):
+    """An override names an unknown limit or a non-positive value."""
+
+
+def parse_guard_limit(spec: str) -> tuple[str, int]:
+    """One ``key=value`` override -> a validated ``(key, value)`` pair.
+
+    Unknown keys are rejected with the full vocabulary in the message so
+    a typo (``max_part=...``) fails loudly instead of silently leaving
+    the default cap in place.
+    """
+    key, separator, value = spec.partition("=")
+    key = key.strip()
+    if not separator:
+        raise GuardLimitError(
+            f"expected key=value, got {spec!r} (keys: {', '.join(GUARD_LIMIT_KEYS)})"
+        )
+    if key not in GUARD_LIMIT_KEYS:
+        raise GuardLimitError(
+            f"unknown guard limit {key!r}; valid keys: {', '.join(GUARD_LIMIT_KEYS)}"
+        )
+    try:
+        cap = int(value)
+    except ValueError:
+        raise GuardLimitError(f"guard limit {key} needs an integer, got {value!r}") from None
+    if cap < 1:
+        raise GuardLimitError(f"guard limit {key} must be >= 1, got {cap}")
+    return key, cap
+
+
+def guard_limits_from_overrides(
+    overrides: tuple[tuple[str, int], ...] | None,
+) -> GuardLimits | None:
+    """Apply ``(key, value)`` overrides to the default caps.
+
+    ``None``/empty means "no overrides" and returns None so callers can
+    distinguish "defaults" from "explicitly the default values" (the
+    pipeline treats a None limits object as the stock GuardLimits).
+    The pair form — rather than a GuardLimits instance — is what travels
+    inside the picklable RunnerConfig to process workers.
+    """
+    if not overrides:
+        return None
+    limits = GuardLimits()
+    for key, cap in overrides:
+        if key not in GUARD_LIMIT_KEYS:
+            raise GuardLimitError(
+                f"unknown guard limit {key!r}; valid keys: {', '.join(GUARD_LIMIT_KEYS)}"
+            )
+        limits = replace(limits, **{key: int(cap)})
+    return limits
 
 
 @dataclass(frozen=True)

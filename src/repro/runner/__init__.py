@@ -35,6 +35,7 @@ from repro._budget import BudgetExceeded, MessageBudget
 from repro.runner.checkpoint import (
     CheckpointScan,
     CheckpointStore,
+    CompactionResult,
     LineIssue,
     RunManifest,
     encode_record_line,
@@ -58,6 +59,7 @@ __all__ = [
     "BudgetExceeded",
     "CheckpointScan",
     "CheckpointStore",
+    "CompactionResult",
     "CorpusRunner",
     "DeadLetter",
     "EXECUTORS",

@@ -39,6 +39,7 @@ parse:
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import threading
 import zlib
@@ -116,6 +117,28 @@ class CheckpointScan:
         return {entry["message_index"] for entry in self.entries}
 
 
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :meth:`CheckpointStore.compact` pass did."""
+
+    lines_before: int
+    lines_after: int
+    #: Superseded appends dropped (an older record for a message index
+    #: that was appended again later — last append wins).
+    duplicates_dropped: int
+    #: Defective lines dropped (CRC mismatch, bad JSON, bad encoding,
+    #: missing index) — the compacted file is ``fsck``-clean.
+    corrupt_dropped: int
+    #: Oldest-index records dropped by a ``retain`` cap (0 = no cap hit).
+    retired: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+
 @dataclass
 class RunManifest:
     """Everything needed to reconstruct and resume a run."""
@@ -125,7 +148,12 @@ class RunManifest:
     jobs: int = 1
     total_messages: int = 0
     completed: int = 0
-    status: str = "running"  # 'running' | 'complete' | 'failed' | 'interrupted'
+    #: Batch lifecycle: 'running' | 'complete' | 'failed' | 'interrupted'.
+    #: Service lifecycle (``repro serve``): 'serving' while the daemon is
+    #: live, 'stopped' after a clean drain — distinct states so a daemon
+    #: restart is distinguishable from an interrupted batch run (a bare
+    #: ``resume`` on either service state is an actionable error).
+    status: str = "running"
     dead_letters: list[dict] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
     faults: str = "off"
@@ -137,6 +165,16 @@ class RunManifest:
     #: ``--budget`` work-unit override (None = pipeline default), kept
     #: so a bare ``resume`` reproduces the interrupted run's limits.
     budget: int | None = None
+    #: ``--guard-limit`` overrides as ``[key, value]`` pairs, kept for
+    #: the same reason as ``budget``.  None/empty = guard defaults.
+    guard_limits: list | None = None
+    #: Service-mode state (``repro serve`` only): submission counters,
+    #: the next message index, and the admission-controller snapshot a
+    #: restarted daemon restores so replaying the remaining transcript
+    #: sheds and accepts exactly as an uninterrupted daemon would.
+    #: None for batch runs — the key is omitted so batch manifests stay
+    #: byte-identical to pre-service ones.
+    service: dict | None = None
     manifest_version: int = MANIFEST_VERSION
 
     def as_dict(self) -> dict:
@@ -159,6 +197,10 @@ class RunManifest:
             data["drained"] = list(self.drained)
         if self.budget is not None:
             data["budget"] = self.budget
+        if self.guard_limits:
+            data["guard_limits"] = [list(pair) for pair in self.guard_limits]
+        if self.service is not None:
+            data["service"] = self.service
         return data
 
     @classmethod
@@ -180,7 +222,14 @@ class RunManifest:
             fault_seed=data.get("fault_seed", 0),
             drained=list(data.get("drained") or ()),
             budget=data.get("budget"),
+            guard_limits=data.get("guard_limits"),
+            service=data.get("service"),
         )
+
+    @property
+    def is_service(self) -> bool:
+        """True when this checkpoint belongs to a ``repro serve`` daemon."""
+        return self.service is not None or self.status in ("serving", "stopped")
 
 
 class CheckpointStore:
@@ -335,6 +384,97 @@ class CheckpointStore:
             manifest.drained = []
             repaired.write_manifest(manifest)
         return repaired
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, retain: int | None = None) -> CompactionResult:
+        """Rewrite ``records.jsonl`` keeping the *last* record per
+        message index, in ascending index order.
+
+        Always-on daemons (``repro serve``) append one line per verdict
+        plus one per crash-retry re-delivery; over a month the file
+        accumulates superseded appends and tolerated torn tails without
+        bound.  Compaction rewrites it in place — atomically, via a
+        temp file and ``os.replace`` — so that:
+
+        - every surviving line is the newest append for its index
+          (exactly the record :meth:`load_records` would have chosen);
+        - surviving payload bytes are preserved verbatim (the JSON is
+          *not* re-serialized; v1 lines are upgraded to the v2 CRC
+          format around their original payload);
+        - defective lines (including the torn tail) are dropped, so the
+          output is ``fsck``-clean;
+        - with ``retain=N``, only the N highest message indices survive
+          (service mode: verdicts were already streamed to submitters,
+          so the live file is a rolling window, not an archive).
+
+        Thread-safe against concurrent :meth:`append`: the store lock is
+        held for the whole rewrite, so an appender blocks rather than
+        writing into the file being replaced.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            if not self.records_path.exists():
+                return CompactionResult(0, 0, 0, 0, 0, 0, 0)
+            raw = self.records_path.read_bytes()
+            bytes_before = len(raw)
+            chunks = raw.split(b"\n")
+            if chunks and not chunks[-1]:
+                chunks.pop()
+            lines_before = len(chunks)
+            corrupt = 0
+            #: index -> verbatim JSON payload of its newest append.
+            payloads: dict[int, str] = {}
+            for chunk in chunks:
+                try:
+                    text = chunk.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    corrupt += 1
+                    continue
+                if not text:
+                    continue
+                payload, separator, crc = text.rpartition(_CRC_SEPARATOR)
+                if separator:
+                    if _crc_suffix(payload) != crc:
+                        corrupt += 1
+                        continue
+                else:
+                    payload = text  # v1 line: no suffix to verify
+                try:
+                    index = json.loads(payload).get("message_index")
+                except json.JSONDecodeError:
+                    corrupt += 1
+                    continue
+                if not isinstance(index, int):
+                    corrupt += 1
+                    continue
+                payloads[index] = payload
+            duplicates = lines_before - corrupt - len(payloads)
+            survivors = sorted(payloads)
+            retired = 0
+            if retain is not None and len(survivors) > retain:
+                retired = len(survivors) - retain
+                survivors = survivors[retired:]
+            temp = self.records_path.with_suffix(".jsonl.tmp")
+            with temp.open("w", encoding="utf-8") as handle:
+                for index in survivors:
+                    handle.write(encode_record_line(payloads[index]) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self.records_path)
+            bytes_after = self.records_path.stat().st_size
+            return CompactionResult(
+                lines_before=lines_before,
+                lines_after=len(survivors),
+                duplicates_dropped=duplicates,
+                corrupt_dropped=corrupt,
+                retired=retired,
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
+            )
 
     # ------------------------------------------------------------------
     # Manifest

@@ -102,6 +102,11 @@ class RunnerConfig:
     #: Per-message work-unit budget override (None = pipeline default,
     #: 0 = unlimited); the CLI's ``--budget``.
     budget: int | None = None
+    #: Ingestion-guard cap overrides as ``(key, value)`` pairs — the
+    #: picklable form of the CLI's repeatable ``--guard-limit`` — so
+    #: thread and process workers enforce identical structural limits
+    #: (None/empty = the stock :class:`~repro.mail.guard.GuardLimits`).
+    guard_limits: tuple[tuple[str, int], ...] | None = None
     #: Truncate the regenerated corpus to its first N messages (None =
     #: all).  Parent and workers address messages by index, so a run
     #: over a corpus *sample* must truncate identically on both sides.
@@ -139,11 +144,9 @@ class RunnerConfig:
                 FaultEngine(fault_profile(self.faults), seed=self.fault_seed)
             )
         profiler = StageProfiler() if self.profile else None
-        pipeline_config = None
-        if self.budget is not None:
-            from repro.core import PipelineConfig
+        from repro.core.pipeline import build_pipeline_config
 
-            pipeline_config = PipelineConfig(budget_work_units=self.budget or None)
+        pipeline_config = build_pipeline_config(self.budget, self.guard_limits)
         box = CrawlerBox.for_world(
             corpus.world, profiler=profiler, stages=self.stages, config=pipeline_config
         )
@@ -209,6 +212,26 @@ def _worker_main(worker_id: int, config: RunnerConfig, inq, outq) -> None:
                 outq.put(("profile", worker_id, box.profiler.snapshot()))
             outq.put(("stopped", worker_id))
             return
+        if command[0] == "eml-batch":
+            # Service-mode dispatch (``repro serve``): submissions are
+            # raw RFC-822 bytes that do not exist in the regenerated
+            # corpus, so the bytes themselves travel — the one case
+            # where message content crosses the process boundary.  The
+            # record stays a pure function of (seed material, index),
+            # exactly like corpus messages.
+            from repro.core.export import record_to_dict
+            from repro.mail.ingest import ingest_eml_bytes
+
+            for index, raw in command[1]:
+                try:
+                    message = ingest_eml_bytes(raw)
+                    record = box.analyze(message, message_index=index)
+                except BaseException as error:  # noqa: BLE001 - routed to parent
+                    outq.put(("fail", worker_id, index, _portable_error(error)))
+                else:
+                    outq.put(("ok", worker_id, index, record_to_dict(record)))
+            outq.put(("batch-done", worker_id))
+            continue
         for index in command[1]:
             try:
                 if fault is not None and fault[1] == index:

@@ -435,5 +435,9 @@ class CorpusRunner:
                 fault_seed=int(self.run_info.get("fault_seed", 0)),
                 drained=sorted(self._drained) if status == "interrupted" else [],
                 budget=int(budget) if budget is not None else None,
+                guard_limits=[
+                    [str(key), int(value)]
+                    for key, value in self.run_info.get("guard_limits") or ()
+                ] or None,
             )
         self.checkpoint.write_manifest(manifest)

@@ -209,3 +209,48 @@ class RunningStats:
         for record in records:
             stats.update(record)
         return stats
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunningStats":
+        """Inverse of :meth:`as_dict` (absent optional keys read as 0).
+
+        Service mode depends on this roundtrip: a restarted daemon whose
+        checkpoint was compacted with a retention cap can no longer
+        recount old records, so it restores the manifest's snapshot and
+        keeps merging live updates into it.
+        """
+        stats = cls()
+        for name in (
+            "analyzed",
+            "spear",
+            "active",
+            "credential_messages",
+            "turnstile",
+            "recaptcha",
+            "faulty_qr",
+            "console_hijack",
+            "dead_lettered",
+            "retried",
+            "quarantined",
+            "budget_stage_failures",
+        ):
+            setattr(stats, name, int(data.get(name, 0)))
+        stats.categories = Counter(
+            {category: int(count) for category, count in (data.get("categories") or {}).items()}
+        )
+        for name, entry in (data.get("stages") or {}).items():
+            stats.stage_calls[name] = int(entry["calls"])
+            stats.stage_seconds[name] = float(entry["seconds"])
+        faults = data.get("faults") or {}
+        stats.fault_requests = int(faults.get("requests", 0))
+        stats.fault_retries = int(faults.get("retries", 0))
+        stats.fault_backoff_seconds = float(faults.get("backoff_seconds", 0.0))
+        stats.fault_deadline_hits = int(faults.get("deadline_hits", 0))
+        stats.fault_breaker_trips = int(faults.get("breaker_trips", 0))
+        stats.fault_unreachable = int(faults.get("unreachable", 0))
+        stats.fault_budget_exhausted = int(faults.get("budget_exhausted", 0))
+        stats.fault_enrich_failures = int(faults.get("enrich_failures", 0))
+        stats.fault_kinds = Counter(
+            {kind: int(count) for kind, count in (faults.get("kinds") or {}).items()}
+        )
+        return stats

@@ -1,0 +1,66 @@
+"""Service mode: the always-on analysis daemon behind ``repro serve``.
+
+The paper's CrawlerBox was not a batch job — it ran continuously for
+ten months against a live reporting stream from five companies,
+analyzing each message "as soon as they are tagged by experts".  This
+package turns the batch engine of :mod:`repro.runner` into that shape:
+
+- :mod:`~repro.serve.protocol` — the line-delimited JSON session
+  protocol (plus minimal HTTP for ``/stats`` and ``/healthz``): raw
+  RFC-822 bytes in, per-message verdict records out, every refusal
+  machine-readable.
+- :mod:`~repro.serve.admission` — deterministic token-bucket admission
+  control on a *logical* clock (the arrival sequence number), so the
+  shed set is a pure function of arrival order + budget, denominated
+  in the PR-5 work units each admitted message may consume.
+- :mod:`~repro.serve.scheduler` — per-reporter fair queues drained
+  round-robin into micro-batches, modeling the paper's five-company
+  reporting stream: one flooding reporter cannot starve the others.
+- :mod:`~repro.serve.engine` — persistent thread/process worker pools
+  reusing the runner's JobQueue/worker machinery, fed incrementally
+  instead of from a fixed corpus.
+- :mod:`~repro.serve.server` — the daemon: sessions, backpressure,
+  checkpointing, rolling compaction, drain-on-SIGTERM, manifest
+  lifecycle (``serving`` -> ``stopped``).
+- :mod:`~repro.serve.client` — the submission client behind
+  ``repro submit`` (and the tests).
+
+Determinism contract (the PR-5 invariant, extended end to end): every
+record depends only on (seed material, admission index), admission
+state snapshots into the manifest at drain, and a restarted daemon
+replaying the remaining transcript produces records byte-identical to
+an uninterrupted daemon — and to a batch run over the same messages.
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from repro.serve.client import ServeClient, SubmissionOutcome
+from repro.serve.engine import ProcessEngine, ServeJob, ThreadEngine, build_engine
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    http_response,
+)
+from repro.serve.scheduler import FairScheduler
+from repro.serve.server import ServeConfig, ServeDaemon
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "FairScheduler",
+    "MAX_LINE_BYTES",
+    "ProcessEngine",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeJob",
+    "SubmissionOutcome",
+    "ThreadEngine",
+    "build_engine",
+    "decode_line",
+    "encode_line",
+    "http_response",
+]

@@ -1,0 +1,198 @@
+"""Deterministic admission control: load-shedding on a logical clock.
+
+The daemon must shed under overload with an explicit ``overloaded``
+response — never a silent drop — *and* the PR-5 determinism invariant
+must survive: replaying the same submission transcript after a restart
+has to shed exactly the same submissions.  Wall-clock-based shedding
+(queue depth, completion rate) breaks that: a faster machine sheds
+less.  So admission here runs on a **logical clock** — the global
+arrival sequence number — and the shed set is a pure function of
+``(arrival order, budget configuration)``:
+
+- Each submission is one *tick*.  Token buckets (one global, one per
+  reporter) refill ``rate`` work units per tick up to ``burst`` and are
+  charged ``cost`` work units per admitted message.
+- ``cost`` is the per-message work budget from PR 5 (the pipeline's
+  ``budget_work_units``): an admitted message may consume at most that
+  much analysis work, so the bucket rates literally bound admitted
+  *work per arrival*, not just message counts.
+- All state is integer arithmetic, so a snapshot (persisted in the
+  daemon manifest at drain) restores bit-exactly on restart.
+
+What this deliberately does **not** do is adapt to machine speed: if
+the hardware falls behind the configured admission rate, the daemon
+applies *backpressure* (it stops reading from submitter sockets once
+the accepted backlog crosses a high-water mark — see
+:mod:`repro.serve.server`) rather than shedding.  Blocking delays
+arrivals without reordering them, so backpressure is invisible to this
+controller and determinism holds under any load.
+
+Under 2x overload — offered work per tick at twice the configured
+``global_rate`` — the steady state sheds half of the offered stream,
+each shed answered with ``overloaded`` and a ``retry_after_submissions``
+hint derived from the refill rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._budget import DEFAULT_WORK_LIMIT
+
+#: Reason strings on an :class:`AdmissionDecision` (machine-readable).
+ADMITTED = "admitted"
+SHED_GLOBAL = "global-admission-budget"
+SHED_REPORTER = "reporter-admission-budget"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Budget knobs, denominated in PR-5 work units.
+
+    ``None`` rates/bursts resolve to "never shed" defaults (rate =
+    ``cost`` per tick: every arrival refills exactly one message's
+    worth).  Operators express limits on the CLI in messages-per-
+    submission and the CLI multiplies by ``cost``.
+    """
+
+    #: Work units one admitted message may consume (PR-5 budget).
+    cost: int = DEFAULT_WORK_LIMIT
+    #: Global bucket: refill per arrival tick / capacity.
+    global_rate: int | None = None
+    global_burst: int | None = None
+    #: Per-reporter buckets: refill per *global* tick / capacity, so a
+    #: reporter's sustainable share is ``reporter_rate / cost`` of the
+    #: total stream regardless of how hard it floods.
+    reporter_rate: int | None = None
+    reporter_burst: int | None = None
+
+    def resolved(self) -> tuple[int, int, int, int, int]:
+        cost = max(1, int(self.cost))
+        global_rate = cost if self.global_rate is None else int(self.global_rate)
+        global_burst = 64 * cost if self.global_burst is None else int(self.global_burst)
+        reporter_rate = cost if self.reporter_rate is None else int(self.reporter_rate)
+        reporter_burst = 16 * cost if self.reporter_burst is None else int(self.reporter_burst)
+        return cost, global_rate, global_burst, reporter_rate, reporter_burst
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one arrival."""
+
+    admitted: bool
+    reason: str
+    #: Arrival tick this decision happened on (0-based).
+    tick: int
+    #: For sheds: full ticks until the constraining bucket could afford
+    #: one message again, assuming no competing arrivals.  None when the
+    #: rate is zero (the budget can never recover on its own).
+    retry_after_submissions: int | None = None
+
+
+class _Bucket:
+    """One integer token bucket on the logical clock."""
+
+    __slots__ = ("tokens", "last_tick")
+
+    def __init__(self, tokens: int, last_tick: int = 0):
+        self.tokens = tokens
+        self.last_tick = last_tick
+
+    def refill(self, tick: int, rate: int, burst: int) -> None:
+        elapsed = tick - self.last_tick
+        if elapsed > 0:
+            self.tokens = min(burst, self.tokens + rate * elapsed)
+        self.last_tick = tick
+
+    def deficit_ticks(self, cost: int, rate: int) -> int | None:
+        """Ticks until ``cost`` tokens are available (None if never)."""
+        missing = cost - self.tokens
+        if missing <= 0:
+            return 0
+        if rate <= 0:
+            return None
+        return -(-missing // rate)  # ceil division
+
+    def snapshot(self) -> list[int]:
+        return [self.tokens, self.last_tick]
+
+
+class AdmissionController:
+    """Pure-transition admission: one :meth:`admit` call per arrival.
+
+    Not thread-safe by itself — the daemon serializes arrivals under
+    its admission lock, which is also what *defines* the arrival order
+    the determinism contract speaks about.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        (
+            self._cost,
+            self._global_rate,
+            self._global_burst,
+            self._reporter_rate,
+            self._reporter_burst,
+        ) = self.config.resolved()
+        self.arrivals = 0
+        self._global = _Bucket(self._global_burst)
+        self._reporters: dict[str, _Bucket] = {}
+
+    # ------------------------------------------------------------------
+    def admit(self, reporter: str) -> AdmissionDecision:
+        """Process one arrival; deducts on admit, always advances time."""
+        tick = self.arrivals
+        self.arrivals += 1
+        self._global.refill(tick, self._global_rate, self._global_burst)
+        bucket = self._reporters.get(reporter)
+        if bucket is None:
+            # A reporter's first arrival starts with a full burst.
+            bucket = self._reporters[reporter] = _Bucket(self._reporter_burst, tick)
+        else:
+            bucket.refill(tick, self._reporter_rate, self._reporter_burst)
+
+        if self._global.tokens < self._cost:
+            return AdmissionDecision(
+                admitted=False,
+                reason=SHED_GLOBAL,
+                tick=tick,
+                retry_after_submissions=self._global.deficit_ticks(
+                    self._cost, self._global_rate
+                ),
+            )
+        if bucket.tokens < self._cost:
+            return AdmissionDecision(
+                admitted=False,
+                reason=SHED_REPORTER,
+                tick=tick,
+                retry_after_submissions=bucket.deficit_ticks(
+                    self._cost, self._reporter_rate
+                ),
+            )
+        self._global.tokens -= self._cost
+        bucket.tokens -= self._cost
+        return AdmissionDecision(admitted=True, reason=ADMITTED, tick=tick)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (manifest persistence across daemon restarts)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Integer-exact state for the manifest's ``service.admission``."""
+        return {
+            "arrivals": self.arrivals,
+            "global": self._global.snapshot(),
+            "reporters": {
+                name: bucket.snapshot()
+                for name, bucket in sorted(self._reporters.items())
+            },
+        }
+
+    def restore(self, data: dict) -> None:
+        """Adopt a :meth:`snapshot` so replayed remainders shed identically."""
+        self.arrivals = int(data.get("arrivals", 0))
+        tokens, last_tick = data.get("global", [self._global_burst, 0])
+        self._global = _Bucket(int(tokens), int(last_tick))
+        self._reporters = {
+            name: _Bucket(int(state[0]), int(state[1]))
+            for name, state in (data.get("reporters") or {}).items()
+        }

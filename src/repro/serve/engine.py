@@ -1,0 +1,289 @@
+"""Persistent analysis engines: the runner's workers, fed forever.
+
+The batch :class:`~repro.runner.runner.CorpusRunner` takes a complete
+message list, runs it to exhaustion, and tears its pool down.  A daemon
+needs the same two backends — GIL-bound threads and fork-based
+processes — but *persistent*: built once at startup, fed micro-batches
+for as long as the daemon lives, and drained on shutdown.
+
+Both engines reuse the existing machinery rather than duplicating it:
+
+- :class:`ThreadEngine` is the runner's :class:`~repro.runner.queue.
+  JobQueue` + :func:`~repro.runner.workers.spawn_workers` combination,
+  with each worker holding a private CrawlerBox over the shared world.
+- :class:`ProcessEngine` drives the same ``_worker_main`` loop as the
+  batch :class:`~repro.runner.executor.ProcessPool`, using its
+  service-mode ``eml-batch`` command: raw RFC-822 bytes ship to the
+  worker, which ingests and analyzes them against the world it rebuilt
+  from the picklable :class:`~repro.runner.executor.RunnerConfig`.
+
+Engines are deliberately policy-free: they report each attempt's
+outcome (a :class:`~repro.core.artifacts.MessageRecord` or the raised
+exception) through one callback, and the daemon owns retries,
+checkpointing, stats, and responses.  A worker-process death surfaces
+as a :class:`~repro.runner.executor.WorkerCrash` per in-flight
+submission — the same transient the batch pool reports — and a
+replacement worker is spawned.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as stdlib_queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.artifacts import MessageRecord
+from repro.runner.executor import RunnerConfig, WorkerCrash, _worker_main
+from repro.runner.queue import Job, JobQueue, QueueClosed
+from repro.runner.workers import spawn_workers
+
+#: Seconds between liveness polls of the process workers.
+_POLL_INTERVAL = 0.25
+
+#: Seconds to wait for workers to acknowledge a stop before terminating.
+_STOP_GRACE = 5.0
+
+
+@dataclass
+class ServeJob:
+    """One admitted submission travelling through an engine."""
+
+    #: The admission index — the daemon-wide message index this record
+    #: is seeded from (and checkpointed under).
+    index: int
+    reporter: str
+    #: Client-chosen correlation token, echoed on every response.
+    client_id: str
+    #: The raw RFC-822 submission (what process workers ingest).
+    eml_bytes: bytes
+    #: Parent-side parse of the same bytes (what thread workers analyze).
+    message: object = None
+    #: The session to stream the verdict back to (None once it closed).
+    session: object = None
+    #: Wall clock at admission, for latency stats only — never records.
+    submitted_at: float = 0.0
+    attempts: int = 0
+    error_history: list = field(default_factory=list)
+
+
+#: on_result(job, record, error): exactly one of record/error is None.
+OnResult = Callable[[ServeJob, MessageRecord | None, BaseException | None], None]
+
+
+class ThreadEngine:
+    """N persistent worker threads over the runner's JobQueue."""
+
+    name = "thread"
+
+    def __init__(self, box_factory: Callable[[int], object], jobs: int, on_result: OnResult):
+        self.on_result = on_result
+        self._queue = JobQueue()  # unbounded: admission already gates intake
+        self._workers = spawn_workers(jobs, self._queue, box_factory, self._handle)
+
+    def submit(self, jobs: list[ServeJob]) -> None:
+        for job in jobs:
+            self._queue.put(Job(index=job.index, payload=job))
+
+    def _handle(self, worker, queue_job: Job) -> None:
+        job: ServeJob = queue_job.payload
+        try:
+            record = worker.box.analyze(job.message, message_index=job.index)
+        except BaseException as error:  # noqa: BLE001 - the daemon owns retry policy
+            self.on_result(job, None, error)
+        else:
+            self.on_result(job, record, None)
+
+    def stop(self) -> None:
+        try:
+            self._queue.close()
+        except QueueClosed:
+            pass
+        for worker in self._workers:
+            worker.join(timeout=_STOP_GRACE)
+
+
+class ProcessEngine:
+    """N persistent worker processes speaking ``eml-batch``."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        config: RunnerConfig,
+        jobs: int,
+        on_result: OnResult,
+        batch_size: int = 8,
+        on_fatal: Callable[[str], None] | None = None,
+    ):
+        self.config = config
+        self.jobs = jobs
+        self.on_result = on_result
+        self.batch_size = max(1, batch_size)
+        self.on_fatal = on_fatal or (lambda reason: None)
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        self._outq = self._context.Queue()
+        self._lock = threading.Lock()
+        self._workers: dict[int, object] = {}
+        self._inqs: dict[int, object] = {}
+        self._inflight: dict[int, set[int]] = {}
+        self._ready: set[int] = set()
+        self._stopped_workers: set[int] = set()
+        self._jobs: dict[int, ServeJob] = {}
+        self._pending: list[ServeJob] = []
+        self._next_worker_id = 0
+        self._stopping = threading.Event()
+        for _ in range(jobs):
+            self._spawn_worker()
+        self._loop = threading.Thread(
+            target=self._event_loop, name="repro-serve-engine", daemon=True
+        )
+        self._loop.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, jobs: list[ServeJob]) -> None:
+        with self._lock:
+            self._pending.extend(jobs)
+            for job in jobs:
+                self._jobs[job.index] = job
+            self._dispatch_idle_locked()
+
+    def _spawn_worker(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        inq = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self.config, inq, self._outq),
+            name=f"repro-serve-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = process
+        self._inqs[worker_id] = inq
+        self._inflight[worker_id] = set()
+
+    def _dispatch_idle_locked(self) -> None:
+        for worker_id in sorted(self._ready):
+            if not self._pending:
+                return
+            batch = self._pending[: self.batch_size]
+            del self._pending[: len(batch)]
+            self._ready.discard(worker_id)
+            self._inflight[worker_id] = {job.index for job in batch}
+            self._inqs[worker_id].put(
+                ("eml-batch", [(job.index, job.eml_bytes) for job in batch])
+            )
+
+    # ------------------------------------------------------------------
+    def _event_loop(self) -> None:
+        from repro.core.export import record_from_dict
+
+        while not self._stopping.is_set():
+            try:
+                message = self._outq.get(timeout=_POLL_INTERVAL)
+            except stdlib_queue.Empty:
+                self._reap_crashed()
+                continue
+            kind, worker_id = message[0], message[1]
+            if kind in ("ready", "batch-done"):
+                with self._lock:
+                    self._ready.add(worker_id)
+                    self._dispatch_idle_locked()
+            elif kind == "ok":
+                index, payload = message[2], message[3]
+                job = self._finish(worker_id, index)
+                if job is not None:
+                    self.on_result(job, record_from_dict(payload), None)
+            elif kind == "fail":
+                index, error = message[2], message[3]
+                job = self._finish(worker_id, index)
+                if job is not None:
+                    self.on_result(job, None, error)
+            elif kind == "stopped":
+                self._stopped_workers.add(worker_id)
+            elif kind == "init-failed":
+                self.on_fatal(f"serve worker {worker_id} failed to initialize: {message[2]}")
+
+    def _finish(self, worker_id: int, index: int) -> ServeJob | None:
+        with self._lock:
+            self._inflight.get(worker_id, set()).discard(index)
+            return self._jobs.pop(index, None)
+
+    def _reap_crashed(self) -> None:
+        crashed: list[tuple[int, object, set[int]]] = []
+        with self._lock:
+            for worker_id, process in list(self._workers.items()):
+                if process.is_alive() or worker_id in self._stopped_workers:
+                    continue
+                lost = self._inflight.pop(worker_id, set())
+                del self._workers[worker_id]
+                self._inqs.pop(worker_id, None)
+                self._ready.discard(worker_id)
+                crashed.append((worker_id, process, lost))
+            if crashed and not self._stopping.is_set():
+                for _ in crashed:
+                    self._spawn_worker()
+                self._dispatch_idle_locked()
+        for worker_id, process, lost in crashed:
+            crash = WorkerCrash(
+                f"serve worker died (exit code {process.exitcode}) "
+                f"with {len(lost)} submission(s) in flight"
+            )
+            for index in sorted(lost):
+                with self._lock:
+                    job = self._jobs.pop(index, None)
+                if job is not None:
+                    self.on_result(job, None, crash)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._stopping.set()
+        self._loop.join(timeout=_STOP_GRACE)
+        for inq in self._inqs.values():
+            try:
+                inq.put(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + _STOP_GRACE
+        for process in self._workers.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_STOP_GRACE)
+        self._outq.cancel_join_thread()
+        for inq in self._inqs.values():
+            inq.cancel_join_thread()
+
+
+def build_engine(
+    executor: str,
+    jobs: int,
+    on_result: OnResult,
+    box_factory: Callable[[int], object] | None = None,
+    config: RunnerConfig | None = None,
+    batch_size: int = 8,
+    on_fatal: Callable[[str], None] | None = None,
+):
+    """Resolve ``auto|thread|process`` into a live engine.
+
+    ``auto`` mirrors the batch runner: process when the run is parallel
+    and a picklable config exists, else threads.
+    """
+    if executor == "auto":
+        executor = "process" if (jobs > 1 and config is not None) else "thread"
+    if executor == "thread":
+        if box_factory is None:
+            raise ValueError("the thread engine needs a box_factory")
+        return ThreadEngine(box_factory, jobs, on_result)
+    if executor == "process":
+        if config is None:
+            raise ValueError("the process engine needs a picklable RunnerConfig")
+        return ProcessEngine(
+            config, jobs, on_result, batch_size=batch_size, on_fatal=on_fatal
+        )
+    raise ValueError(f"unknown executor {executor!r}")

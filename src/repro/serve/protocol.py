@@ -1,0 +1,103 @@
+"""The ingestion session protocol: line-delimited JSON over a socket.
+
+One connection carries one *session*.  The client writes one compact
+JSON object per line; the daemon answers on the same connection — an
+immediate admission response per submission, then an asynchronous
+verdict line once the analysis completes.  Framing is a plain ``\\n``:
+``json.dumps`` escapes control characters, so a newline can never occur
+inside a payload.
+
+Client -> server ops::
+
+    {"op": "submit", "reporter": "acme", "id": "c-17", "eml": "<base64>"}
+    {"op": "stats"}                  # same payload as GET /stats
+    {"op": "ping"}                   # liveness probe -> pong
+    {"op": "bye"}                    # flush my pending verdicts, close
+
+Server -> client ops::
+
+    {"op": "accepted",   "id": "c-17", "message_index": 412}
+    {"op": "verdict",    "id": "c-17", "message_index": 412, "record": {...}}
+    {"op": "overloaded", "id": "c-17", "reason": "...", "retry_after_submissions": 3}
+    {"op": "rejected",   "id": "c-17", "reason": "..."}
+    {"op": "failed",     "id": "c-17", "message_index": 412, "error": "..."}
+    {"op": "pong" | "stats" | "goodbye" | "error", ...}
+
+Every refusal is explicit and machine-readable: a submission is either
+``accepted`` (a verdict **will** follow — it is durable before the
+daemon exits), ``overloaded`` (admission shed; the client owns the
+retry), or ``rejected`` (the bytes can never be analyzed — malformed
+RFC-822, oversized line, draining daemon).  There are no silent drops
+and no dead letters.
+
+The same listening port also answers plain HTTP ``GET /stats`` and
+``GET /healthz`` (the first bytes of a session disambiguate), so stock
+monitoring can scrape the daemon without speaking the session protocol.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Hard cap on one protocol line (a submission carries a whole base64
+#: message, so this bounds daemon memory per connection the same way
+#: GuardLimits bounds decoded structure).  32 MiB comfortably fits the
+#: guard's default 16 MiB total-decoded cap after base64 expansion.
+MAX_LINE_BYTES = 32 << 20
+
+#: Methods whose first socket bytes flag an HTTP probe, not a session.
+_HTTP_PREFIXES = (b"GET ", b"HEAD ")
+
+
+class ProtocolError(ValueError):
+    """One malformed protocol line (bad JSON, missing op, oversized)."""
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol message -> its compact single-line wire form."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """One wire line -> the message dict (:class:`ProtocolError` on junk)."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable protocol line: {error}") from error
+    if not isinstance(payload, dict) or not isinstance(payload.get("op"), str):
+        raise ProtocolError("protocol message must be a JSON object with a string 'op'")
+    return payload
+
+
+def read_line(stream, limit: int = MAX_LINE_BYTES) -> bytes | None:
+    """Read one bounded line from a socket file object.
+
+    Returns the line without its newline, ``None`` at EOF, and raises
+    :class:`ProtocolError` when the line exceeds ``limit`` — the caller
+    answers with a machine-readable rejection and closes, rather than
+    buffering an attacker-sized line.
+    """
+    line = stream.readline(limit + 1)
+    if not line:
+        return None
+    if len(line) > limit:
+        raise ProtocolError(f"line exceeds {limit} bytes")
+    return line.rstrip(b"\n")
+
+
+def looks_like_http(first_line: bytes) -> bool:
+    """True when a session's first line is an HTTP request line."""
+    return first_line.startswith(_HTTP_PREFIXES)
+
+
+def http_response(status: int, payload: dict) -> bytes:
+    """A minimal one-shot HTTP/1.0 JSON response (connection closes)."""
+    reasons = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+    body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.0 {status} {reasons.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return head + body

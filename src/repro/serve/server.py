@@ -1,0 +1,759 @@
+"""The always-on analysis daemon behind ``repro serve``.
+
+One process, five moving parts:
+
+- **Sessions** — one thread per connection reads line-delimited JSON
+  submissions (:mod:`repro.serve.protocol`).  The same port answers
+  HTTP ``GET /stats`` / ``GET /healthz`` for monitoring.
+- **Admission** — a single lock serializes arrivals, which *defines*
+  the arrival order; the deterministic controller
+  (:mod:`repro.serve.admission`) sheds with explicit ``overloaded``
+  responses, and accepted submissions get the next message index.
+- **Fair scheduling + micro-batching** — accepted submissions queue
+  per reporter (:mod:`repro.serve.scheduler`); a dispatcher thread
+  drains round-robin micro-batches into the persistent engine
+  (:mod:`repro.serve.engine`).
+- **Durability** — every verdict appends to the PR-5 CRC checkpoint
+  before it streams back to the submitter; rolling compaction rewrites
+  the JSONL once it grows past a threshold, so a month-long daemon
+  stays bounded.  The manifest carries ``status: serving`` plus a
+  ``service`` block (counters, next index, admission snapshot).
+- **Drain** — SIGTERM stops intake (new submissions are ``rejected``
+  with reason ``draining``), flushes every accepted submission through
+  analysis and checkpoint, writes ``status: stopped`` with the exact
+  admission snapshot, and exits 0.  A restarted daemon restores that
+  snapshot, so replaying the remaining transcript produces records
+  byte-identical to an uninterrupted daemon — and to a batch run over
+  the same messages, because records depend only on (seed material,
+  admission index).
+
+Backpressure vs shedding: when the hardware falls behind, a session
+stops *reading* once the accepted backlog passes ``backlog_high_water``
+(TCP pushes back on the submitter) and resumes below the low-water
+mark.  Blocking delays arrivals without reordering or dropping them,
+so the deterministic shed set is unaffected by machine speed.
+"""
+
+from __future__ import annotations
+
+import base64
+import collections
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.runner.checkpoint import CheckpointStore, RunManifest
+from repro.runner.executor import RunnerConfig
+from repro.runner.retry import RetryPolicy
+from repro.runner.stats import RunningStats
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.engine import ServeJob, build_engine
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    http_response,
+    looks_like_http,
+    read_line,
+)
+from repro.serve.scheduler import FairScheduler
+
+#: Name of the discovery file written into the checkpoint directory so
+#: clients (and tests) can find the bound port of a daemon they spawned.
+ENDPOINT_NAME = "endpoint.json"
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` tunes."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in endpoint.json
+    seed: int = 2024
+    scale: float = 0.15
+    jobs: int = 1
+    executor: str = "auto"  # 'auto' | 'thread' | 'process'
+    batch_size: int = 8
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Accepted-but-unfinished submissions above which sessions stop
+    #: reading (flow control); reading resumes at the low-water mark.
+    backlog_high_water: int = 256
+    backlog_low_water: int = 64
+    #: Compact records.jsonl once it exceeds this many lines (0 = never).
+    compact_lines: int = 100_000
+    #: Keep only the newest N message indices when compacting (None =
+    #: dedupe only).  Verdicts were already streamed to submitters, so
+    #: the live checkpoint may be a rolling window.
+    retain: int | None = None
+    #: Per-message work budget (CLI ``--budget`` semantics).
+    budget: int | None = None
+    #: Guard-limit overrides as ``(key, value)`` pairs (``--guard-limit``).
+    guard_limits: tuple[tuple[str, int], ...] | None = None
+    max_line_bytes: int = MAX_LINE_BYTES
+    #: Rewrite the manifest every N completions (and always at drain).
+    manifest_every: int = 50
+    #: Verdict latencies kept for the /stats percentiles.
+    latency_window: int = 2048
+
+
+class _Session:
+    """One live client connection (response side)."""
+
+    _next_id = 0
+    _id_lock = threading.Lock()
+
+    def __init__(self, conn: socket.socket):
+        with _Session._id_lock:
+            _Session._next_id += 1
+            self.session_id = _Session._next_id
+        self.conn = conn
+        self._write_lock = threading.Lock()
+        self.alive = True
+        #: Accepted message indices whose verdict has not streamed yet
+        #: (what ``bye`` waits for).
+        self.outstanding: set[int] = set()
+        self.flushed = threading.Condition()
+
+    def send(self, payload: dict) -> bool:
+        data = encode_line(payload)
+        with self._write_lock:
+            if not self.alive:
+                return False
+            try:
+                self.conn.sendall(data)
+                return True
+            except OSError:
+                self.alive = False
+                return False
+
+    def finish(self, index: int) -> None:
+        with self.flushed:
+            self.outstanding.discard(index)
+            self.flushed.notify_all()
+
+    def close(self) -> None:
+        with self._write_lock:
+            self.alive = False
+            try:
+                self.conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class ServeDaemon:
+    """The long-lived analysis service.  ``run()`` blocks until drained."""
+
+    def __init__(self, config: ServeConfig, checkpoint_dir: str | pathlib.Path):
+        self.config = config
+        self.directory = pathlib.Path(checkpoint_dir)
+        self.checkpoint = CheckpointStore(self.directory)
+        self.admission = AdmissionController(config.admission)
+        self.scheduler = FairScheduler()
+        self.retry_policy = RetryPolicy()
+        self.stats = RunningStats()
+        #: Serializes arrivals; holding it defines the arrival order the
+        #: determinism contract is stated in.
+        self._admission_lock = threading.Lock()
+        #: Guards counters + checkpoint bookkeeping on the verdict path.
+        self._completion = threading.Condition()
+        self._sessions: dict[int, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._drained = threading.Event()
+        self._draining = False
+        self._stop_accepting = False
+        self._fatal: str | None = None
+        self.started_at = time.monotonic()
+        self.port: int | None = None
+        # Cumulative service counters (restored across restarts).
+        self.next_index = 0
+        self.submitted = 0
+        self.accepted = 0
+        self.shed = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.compactions = 0
+        self.checkpoint_lines = 0
+        self.reporters: dict[str, collections.Counter] = {}
+        self._latencies: collections.deque = collections.deque(
+            maxlen=max(1, config.latency_window)
+        )
+        self._engine = None
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Restore state, build the engine, bind, and go live."""
+        self._restore()
+        self._build_engine()
+        listener = socket.create_server(
+            (self.config.host, self.config.port), backlog=64, reuse_port=False
+        )
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._write_endpoint()
+        self._write_manifest("serving")
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._threads = [acceptor, dispatcher]
+        acceptor.start()
+        dispatcher.start()
+
+    def run(self) -> int:
+        """start(), block until a shutdown request, drain, exit code."""
+        self.start()
+        return self.wait()
+
+    def wait(self) -> int:
+        """Block until a shutdown request, then drain; the exit code."""
+        self._shutdown.wait()
+        self._drain()
+        return 1 if self._fatal else 0
+
+    def request_shutdown(self) -> None:
+        """Signal-handler safe: ask the daemon to drain and stop."""
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    def _restore(self) -> None:
+        """Adopt a prior daemon's manifest + checkpoint, if any."""
+        try:
+            manifest = self.checkpoint.read_manifest()
+        except ValueError as error:
+            raise RuntimeError(f"unreadable manifest under {self.directory}: {error}")
+        scan = self.checkpoint.scan()
+        self.checkpoint_lines = scan.total_lines
+        durable = scan.indices
+        if manifest is not None:
+            if not manifest.is_service:
+                raise RuntimeError(
+                    f"{self.directory} holds a batch checkpoint "
+                    f"(status {manifest.status!r}); `repro serve` cannot adopt it — "
+                    f"use `repro resume` for batch runs or point --checkpoint at "
+                    f"a fresh directory"
+                )
+            if (manifest.seed, manifest.scale) != (self.config.seed, self.config.scale):
+                raise RuntimeError(
+                    f"checkpoint belongs to seed={manifest.seed} scale={manifest.scale}; "
+                    f"restart with matching --seed/--scale or the replayed transcript "
+                    f"cannot be byte-identical"
+                )
+            service = manifest.service or {}
+            self.stats = RunningStats.from_dict(manifest.stats)
+            self.next_index = int(service.get("next_index", 0))
+            self.submitted = int(service.get("submitted", 0))
+            self.accepted = int(service.get("accepted", 0))
+            self.shed = int(service.get("shed", 0))
+            self.rejected = int(service.get("rejected", 0))
+            self.completed = int(service.get("completed", 0))
+            self.failed = int(service.get("failed", 0))
+            self.compactions = int(service.get("compactions", 0))
+            for name, counters in (service.get("reporters") or {}).items():
+                self.reporters[name] = collections.Counter(
+                    {key: int(value) for key, value in counters.items() if key != "queued"}
+                )
+            if service.get("admission"):
+                self.admission.restore(service["admission"])
+        # A daemon killed without a drain (kill -9) leaves the manifest
+        # stale relative to records.jsonl: trust the records for index
+        # allocation so no index is ever reused.
+        if durable:
+            self.next_index = max(self.next_index, max(durable) + 1)
+            floor = len(durable)
+            if self.completed < floor:
+                self.completed = floor
+            if self.accepted < self.completed + self.failed:
+                self.accepted = self.completed + self.failed
+            if self.submitted < self.accepted + self.shed + self.rejected:
+                self.submitted = self.accepted + self.shed + self.rejected
+
+    def _build_engine(self) -> None:
+        from repro.core import CrawlerBox
+        from repro.core.pipeline import build_pipeline_config
+        from repro.dataset import CorpusGenerator
+
+        config = self.config
+        runner_config = RunnerConfig(
+            seed=config.seed,
+            scale=config.scale,
+            budget=config.budget,
+            guard_limits=config.guard_limits,
+            corpus_prefix=0,  # workers need the world, not the corpus
+        )
+        executor = config.executor
+        if executor == "auto":
+            executor = "process" if config.jobs > 1 else "thread"
+        box_factory = None
+        if executor == "thread":
+            corpus = CorpusGenerator(seed=config.seed, scale=config.scale).generate()
+            pipeline_config = build_pipeline_config(config.budget, config.guard_limits)
+
+            def box_factory(worker_id: int):
+                return CrawlerBox.for_world(corpus.world, config=pipeline_config)
+
+        self._engine = build_engine(
+            executor,
+            config.jobs,
+            self._on_result,
+            box_factory=box_factory,
+            config=runner_config,
+            batch_size=config.batch_size,
+            on_fatal=self._on_fatal,
+        )
+
+    def _write_endpoint(self) -> None:
+        payload = json.dumps(
+            {"host": self.config.host, "port": self.port, "pid": os.getpid()},
+            indent=2,
+            sort_keys=True,
+        )
+        temp = self.directory / (ENDPOINT_NAME + ".tmp")
+        temp.write_text(payload, encoding="utf-8")
+        temp.replace(self.directory / ENDPOINT_NAME)
+
+    def _on_fatal(self, reason: str) -> None:
+        self._fatal = reason
+        self.request_shutdown()
+
+    # ------------------------------------------------------------------
+    # Intake: sessions
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: drain in progress
+            if self._stop_accepting:
+                # The drain's wake-up poke (closing a listener does not
+                # reliably interrupt a blocked accept()).
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-session",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rb")
+        session = _Session(conn)
+        try:
+            line = read_line(stream, self.config.max_line_bytes)
+            if line is None:
+                return
+            if looks_like_http(line):
+                self._serve_http(conn, line)
+                return
+            with self._sessions_lock:
+                self._sessions[session.session_id] = session
+            while line is not None:
+                try:
+                    payload = decode_line(line)
+                except ProtocolError as error:
+                    session.send({"op": "error", "reason": str(error)})
+                    return
+                if not self._handle_op(session, payload):
+                    return
+                self._backpressure_wait()
+                line = read_line(stream, self.config.max_line_bytes)
+        except ProtocolError as error:
+            session.send({"op": "error", "reason": str(error)})
+        except OSError:
+            pass
+        finally:
+            with self._sessions_lock:
+                self._sessions.pop(session.session_id, None)
+            session.close()
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def _serve_http(self, conn: socket.socket, request_line: bytes) -> None:
+        try:
+            path = request_line.split()[1].decode("ascii", "replace")
+        except IndexError:
+            path = "/"
+        path = path.split("?", 1)[0]
+        if path == "/stats":
+            response = http_response(200, self.stats_payload())
+        elif path == "/healthz":
+            status = 503 if self._draining else 200
+            response = http_response(status, self.health_payload())
+        else:
+            response = http_response(404, {"error": f"no such endpoint {path!r}"})
+        try:
+            conn.sendall(response)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def _handle_op(self, session: _Session, payload: dict) -> bool:
+        """Dispatch one protocol message; False closes the session."""
+        op = payload["op"]
+        if op == "submit":
+            self._handle_submit(session, payload)
+            return True
+        if op == "ping":
+            session.send({"op": "pong", "draining": self._draining})
+            return True
+        if op == "stats":
+            session.send({"op": "stats", "stats": self.stats_payload()})
+            return True
+        if op == "bye":
+            self._flush_session(session)
+            session.send({"op": "goodbye"})
+            return False
+        session.send({"op": "error", "reason": f"unknown op {op!r}"})
+        return True
+
+    def _handle_submit(self, session: _Session, payload: dict) -> None:
+        from repro.mail.ingest import IngestError, ingest_eml_bytes
+
+        client_id = str(payload.get("id") or "")
+        reporter = str(payload.get("reporter") or "anonymous")
+
+        def reject(reason: str) -> None:
+            with self._completion:
+                self.submitted += 1
+                self.rejected += 1
+                self._reporter(reporter)["submitted"] += 1
+                self._reporter(reporter)["rejected"] += 1
+            session.send({"op": "rejected", "id": client_id, "reason": reason})
+
+        if self._draining:
+            reject("draining: the daemon is shutting down; resubmit after restart")
+            return
+        raw_b64 = payload.get("eml")
+        if not isinstance(raw_b64, str):
+            reject("missing 'eml' (base64 RFC-822 bytes)")
+            return
+        try:
+            raw = base64.b64decode(raw_b64.encode("ascii"), validate=True)
+        except (ValueError, UnicodeEncodeError):
+            reject("eml is not valid base64")
+            return
+        try:
+            message = ingest_eml_bytes(raw)
+        except IngestError as error:
+            reject(f"ingest-error: {error}")
+            return
+
+        # Arrival: the admission lock defines the arrival order; the
+        # draining flag is re-checked under it so a drain boundary is a
+        # clean cut in the transcript (rejected submissions never tick
+        # the admission clock and are safe to replay after restart).
+        with self._admission_lock:
+            if self._draining:
+                pass  # fall through to the draining reject below
+            else:
+                decision = self.admission.admit(reporter)
+                with self._completion:
+                    self.submitted += 1
+                    self._reporter(reporter)["submitted"] += 1
+                    if decision.admitted:
+                        index = self.next_index
+                        self.next_index += 1
+                        self.accepted += 1
+                        self._reporter(reporter)["accepted"] += 1
+                    else:
+                        self.shed += 1
+                        self._reporter(reporter)["shed"] += 1
+                if not decision.admitted:
+                    session.send(
+                        {
+                            "op": "overloaded",
+                            "id": client_id,
+                            "reason": decision.reason,
+                            "retry_after_submissions": decision.retry_after_submissions,
+                        }
+                    )
+                    return
+                job = ServeJob(
+                    index=index,
+                    reporter=reporter,
+                    client_id=client_id,
+                    eml_bytes=raw,
+                    message=message,
+                    session=session,
+                    submitted_at=time.monotonic(),
+                )
+                with session.flushed:
+                    session.outstanding.add(index)
+                session.send(
+                    {"op": "accepted", "id": client_id, "message_index": index}
+                )
+                self.scheduler.push(reporter, job)
+                return
+        reject("draining: the daemon is shutting down; resubmit after restart")
+
+    def _flush_session(self, session: _Session, timeout: float = 300.0) -> None:
+        """Block a ``bye`` until every accepted verdict streamed back."""
+        deadline = time.monotonic() + timeout
+        with session.flushed:
+            while session.outstanding and session.alive:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                session.flushed.wait(min(0.25, remaining))
+
+    def _backpressure_wait(self) -> None:
+        """Flow control: pause reading while the backlog is too deep."""
+        high = self.config.backlog_high_water
+        if high <= 0:
+            return
+        low = min(self.config.backlog_low_water, high)
+        with self._completion:
+            if self._backlog() <= high:
+                return
+            while not self._draining and self._backlog() > low:
+                self._completion.wait(0.25)
+
+    def _backlog(self) -> int:
+        return self.accepted - self.completed - self.failed
+
+    def _reporter(self, name: str) -> collections.Counter:
+        counter = self.reporters.get(name)
+        if counter is None:
+            counter = self.reporters[name] = collections.Counter()
+        return counter
+
+    # ------------------------------------------------------------------
+    # Dispatch + completion
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.scheduler.next_batch(self.config.batch_size, timeout=0.25)
+            if batch:
+                self._engine.submit(batch)
+            elif self.scheduler.closed and not len(self.scheduler):
+                return
+
+    def _on_result(self, job: ServeJob, record, error) -> None:
+        """Engine callback: exactly one verdict per accepted submission."""
+        if error is not None:
+            job.attempts += 1
+            job.error_history.append(repr(error))
+            if (
+                self.retry_policy.is_transient(error)
+                and job.attempts < self.retry_policy.max_attempts
+            ):
+                with self._completion:
+                    self.stats.retried += 1
+                self._engine.submit([job])
+                return
+            with self._completion:
+                self.failed += 1
+                self.stats.dead_lettered += 1
+                self._reporter(job.reporter)["failed"] += 1
+                self._completion.notify_all()
+            if job.session is not None:
+                job.session.send(
+                    {
+                        "op": "failed",
+                        "id": job.client_id,
+                        "message_index": job.index,
+                        "error": job.error_history[-1],
+                        "attempts": job.attempts,
+                    }
+                )
+                job.session.finish(job.index)
+            self._manifest_maybe()
+            return
+
+        from repro.core.export import record_to_dict
+
+        self.checkpoint.append(record)
+        compacted = False
+        with self._completion:
+            self.checkpoint_lines += 1
+            if (
+                self.config.compact_lines
+                and self.checkpoint_lines >= self.config.compact_lines
+            ):
+                result = self.checkpoint.compact(retain=self.config.retain)
+                self.checkpoint_lines = result.lines_after
+                self.compactions += 1
+                compacted = True
+            self.stats.update(record)
+            self.completed += 1
+            self._reporter(job.reporter)["completed"] += 1
+            if job.submitted_at:
+                self._latencies.append(time.monotonic() - job.submitted_at)
+            self._completion.notify_all()
+        if job.session is not None:
+            job.session.send(
+                {
+                    "op": "verdict",
+                    "id": job.client_id,
+                    "message_index": job.index,
+                    "record": record_to_dict(record),
+                }
+            )
+            job.session.finish(job.index)
+        self._manifest_maybe(force=compacted)
+
+    def _manifest_maybe(self, force: bool = False) -> None:
+        every = max(1, self.config.manifest_every)
+        if force or (self.completed + self.failed) % every == 0:
+            self._write_manifest("serving")
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Finish everything accepted, persist exact state, stop."""
+        with self._admission_lock:
+            self._draining = True
+            self.scheduler.close()
+        with self._completion:
+            self._completion.notify_all()  # wake backpressure waiters
+        self._stop_accepting = True
+        if self._listener is not None:
+            # Wake a blocked accept() with a throwaway connection (closing
+            # the listener alone does not reliably interrupt it), then close.
+            host = self.config.host if self.config.host not in ("", "0.0.0.0") else "127.0.0.1"
+            try:
+                socket.create_connection((host, self.port), timeout=1.0).close()
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=60.0)
+        # Every accepted submission resolves to a verdict or a final
+        # failure; the engine's crash/retry machinery guarantees progress.
+        with self._completion:
+            while self._backlog() > 0:
+                self._completion.wait(0.25)
+        if self._engine is not None:
+            self._engine.stop()
+        self._write_manifest("stopped")
+        self.checkpoint.close()
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def _latency_quantiles(self) -> dict:
+        window = sorted(self._latencies)
+        if not window:
+            return {"count": 0, "p50_ms": None, "p99_ms": None}
+
+        def at(q: float) -> float:
+            position = min(len(window) - 1, int(q * (len(window) - 1)))
+            return round(window[position] * 1000.0, 3)
+
+        return {"count": len(window), "p50_ms": at(0.50), "p99_ms": at(0.99)}
+
+    def stats_payload(self) -> dict:
+        with self._completion:
+            queued = len(self.scheduler)
+            in_flight = max(0, self._backlog() - queued)
+            reporters = {
+                name: dict(counter) for name, counter in sorted(self.reporters.items())
+            }
+            payload = {
+                "status": "draining" if self._draining else "serving",
+                "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+                "executor": getattr(self._engine, "name", self.config.executor),
+                "jobs": self.config.jobs,
+                "seed": self.config.seed,
+                "scale": self.config.scale,
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "queued": queued,
+                "in_flight": in_flight,
+                "latency": self._latency_quantiles(),
+                "checkpoint": {
+                    "directory": str(self.directory),
+                    "lines": self.checkpoint_lines,
+                    "compactions": self.compactions,
+                    "retain": self.config.retain,
+                },
+                "analysis": self.stats.as_dict(),
+            }
+        depths = self.scheduler.depths()
+        for name, depth in depths.items():
+            reporters.setdefault(name, {})["queued"] = depth
+        payload["reporters"] = reporters
+        return payload
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "pid": os.getpid(),
+            "port": self.port,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "backlog": self._backlog(),
+        }
+
+    def _service_state(self) -> dict:
+        return {
+            "next_index": self.next_index,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "compactions": self.compactions,
+            "executor": getattr(self._engine, "name", self.config.executor),
+            "reporters": {
+                name: dict(counter) for name, counter in sorted(self.reporters.items())
+            },
+            "admission": self.admission.snapshot(),
+        }
+
+    def _write_manifest(self, status: str) -> None:
+        with self._completion:
+            manifest = RunManifest(
+                seed=self.config.seed,
+                scale=self.config.scale,
+                jobs=self.config.jobs,
+                total_messages=self.accepted,
+                completed=self.completed,
+                status=status,
+                stats=self.stats.as_dict(),
+                budget=self.config.budget,
+                guard_limits=[list(pair) for pair in self.config.guard_limits or ()] or None,
+                service=self._service_state(),
+            )
+        self.checkpoint.write_manifest(manifest)

@@ -1,0 +1,343 @@
+"""The ``repro serve`` daemon, end to end: live sockets, real signals.
+
+The determinism contract under test (the PR-5 invariant extended to
+service mode): every verdict record depends only on (seed material,
+admission index), so
+
+- a daemon killed with SIGTERM drains its accepted submissions, and a
+  restarted daemon replaying the remaining transcript produces a
+  records.jsonl byte-identical to an uninterrupted daemon's;
+- the daemon's records are byte-identical to a *batch* analysis of the
+  same messages in admission order;
+- under sustained overload the daemon sheds with explicit machine-
+  readable ``overloaded`` responses — never silent drops — and the shed
+  set is identical on every replay of the same arrival order.
+
+The SIGTERM tests drive the real CLI in a subprocess, mirroring
+``test_shutdown.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro._budget import DEFAULT_WORK_LIMIT
+from repro.serve import ServeClient, ServeConfig, ServeDaemon
+from repro.serve.admission import AdmissionConfig
+
+SEED, SCALE = 31, 0.02
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _eml(i: int) -> bytes:
+    return (
+        f"From: \"IT Support\" <support@spammer{i}.ru>\n"
+        f"To: victim@corp.example\n"
+        f"Subject: Password expires today {i}\n"
+        f"Date: Tue, 12 Mar 2024 10:30:00 +0000\n"
+        f"MIME-Version: 1.0\n"
+        f"Content-Type: text/html; charset=utf-8\n"
+        f"\n"
+        f"<html><body><a href=\"https://phish{i}.example/portal\">Open</a>"
+        f"</body></html>\n"
+    ).encode()
+
+
+MESSAGES = [_eml(i) for i in range(8)]
+
+
+@contextlib.contextmanager
+def _daemon(directory, **overrides):
+    config = ServeConfig(
+        seed=SEED, scale=SCALE, jobs=overrides.pop("jobs", 2),
+        executor=overrides.pop("executor", "thread"),
+        batch_size=overrides.pop("batch_size", 3),
+        **overrides,
+    )
+    daemon = ServeDaemon(config, directory)
+    daemon.start()
+    try:
+        yield daemon
+    finally:
+        daemon.request_shutdown()
+        assert daemon.wait() == 0
+
+
+def _records_lines(directory) -> list[bytes]:
+    return sorted(pathlib.Path(directory, "records.jsonl").read_bytes().splitlines())
+
+
+def _assert_reconciled(stats: dict) -> None:
+    """The /stats invariant: every submission is accounted for exactly."""
+    assert stats["submitted"] == (
+        stats["accepted"] + stats["shed"] + stats["rejected"]
+    )
+    assert stats["accepted"] == (
+        stats["completed"] + stats["failed"] + stats["queued"] + stats["in_flight"]
+    )
+
+
+class TestDaemonEndToEnd:
+    def test_submit_verdicts_stats_and_http(self, tmp_path):
+        with _daemon(tmp_path) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                assert client.ping()["op"] == "pong"
+                outcomes = [
+                    client.submit_bytes(raw, reporter=f"company-{i % 3}")
+                    for i, raw in enumerate(MESSAGES)
+                ]
+                assert all(o.accepted for o in outcomes)
+                assert [o.message_index for o in outcomes] == list(range(8))
+                client.wait_verdicts(timeout=120)
+                assert all(o.status == "verdict" for o in outcomes)
+                assert all(o.record.get("category") for o in outcomes)
+                stats = client.stats()
+            _assert_reconciled(stats)
+            assert stats["completed"] == 8 and stats["shed"] == 0
+            assert stats["reporters"]["company-0"]["completed"] == 3
+            assert stats["latency"]["count"] == 8
+            assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"]
+
+            # Same port, plain HTTP, for stock monitoring.
+            base = f"http://127.0.0.1:{daemon.port}"
+            with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+                health = json.loads(response.read())
+                assert response.status == 200
+                assert health["status"] == "ok" and health["pid"] == os.getpid()
+            with urllib.request.urlopen(f"{base}/stats", timeout=30) as response:
+                _assert_reconciled(json.loads(response.read()))
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{base}/nope", timeout=30)
+            assert info.value.code == 404
+
+        # Clean drain: manifest stopped, service block present.
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["status"] == "stopped"
+        assert manifest["service"]["next_index"] == 8
+        assert manifest["service"]["admission"]["arrivals"] == 8
+
+    def test_malformed_submissions_are_rejected_not_dropped(self, tmp_path):
+        with _daemon(tmp_path) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=60) as client:
+                client._send({"op": "submit", "id": "bad-1", "reporter": "acme",
+                              "eml": "###not-base64###"})
+                while True:
+                    payload = client._pump_one()
+                    if payload.get("id") == "bad-1":
+                        assert payload["op"] == "rejected"
+                        assert "base64" in payload["reason"]
+                        break
+                client._send({"op": "submit", "id": "bad-2", "reporter": "acme"})
+                while True:
+                    payload = client._pump_one()
+                    if payload.get("id") == "bad-2":
+                        assert payload["op"] == "rejected"
+                        break
+                # Rejections never tick the admission clock.
+                stats = client.stats()
+                assert stats["rejected"] == 2 and stats["accepted"] == 0
+                _assert_reconciled(stats)
+
+    def test_unknown_op_is_answered(self, tmp_path):
+        with _daemon(tmp_path) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=60) as client:
+                client._send({"op": "frobnicate"})
+                while True:
+                    payload = client._pump_one()
+                    if payload.get("op") == "error":
+                        assert "frobnicate" in payload["reason"]
+                        break
+
+
+class TestOverloadShedding:
+    def _overload_config(self) -> AdmissionConfig:
+        # Sustainable rate = half the offered stream, tiny burst: a 2x
+        # overload must shed ~half with explicit responses.
+        cost = DEFAULT_WORK_LIMIT
+        return AdmissionConfig(cost=cost, global_rate=cost // 2, global_burst=cost)
+
+    def _run(self, directory) -> tuple[list[str], dict]:
+        with _daemon(directory, admission=self._overload_config()) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                outcomes = [
+                    client.submit_bytes(raw, reporter="acme") for raw in MESSAGES
+                ]
+                client.wait_verdicts(timeout=120)
+                stats = client.stats()
+        shed_ids = [o.client_id for o in outcomes if o.status == "overloaded"]
+        # Every shed is explicit and machine-readable; nothing hangs.
+        for outcome in outcomes:
+            assert outcome.status in ("verdict", "overloaded")
+            if outcome.status == "overloaded":
+                assert outcome.reason == "global-admission-budget"
+                assert outcome.retry_after_submissions is not None
+        return shed_ids, stats
+
+    def test_two_x_overload_sheds_deterministically(self, tmp_path):
+        shed_a, stats_a = self._run(tmp_path / "a")
+        shed_b, stats_b = self._run(tmp_path / "b")
+        # The shed set is a pure function of arrival order + budget.
+        assert shed_a == shed_b
+        assert 0.25 <= len(shed_a) / len(MESSAGES) <= 0.75
+        # Zero dead letters, exact accounting.
+        for stats in (stats_a, stats_b):
+            _assert_reconciled(stats)
+            assert stats["failed"] == 0
+            assert stats["shed"] == len(shed_a)
+            assert stats["completed"] == len(MESSAGES) - len(shed_a)
+        # Shed accounting survives the drain into the manifest.
+        manifest = json.loads((tmp_path / "a" / "manifest.json").read_text())
+        assert manifest["service"]["shed"] == len(shed_a)
+
+
+class TestRestartByteIdentity:
+    def test_restart_replay_matches_uninterrupted_and_batch(self, tmp_path):
+        full_dir, split_dir = tmp_path / "full", tmp_path / "split"
+        with _daemon(full_dir) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                for raw in MESSAGES:
+                    client.submit_bytes(raw, reporter="acme")
+                client.wait_verdicts(timeout=120)
+
+        # The same transcript split across a drain + restart.
+        for part in (MESSAGES[:5], MESSAGES[5:]):
+            with _daemon(split_dir) as daemon:
+                with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                    for raw in part:
+                        client.submit_bytes(raw, reporter="acme")
+                    client.wait_verdicts(timeout=120)
+
+        assert _records_lines(split_dir) == _records_lines(full_dir)
+        manifest = json.loads((split_dir / "manifest.json").read_text())
+        assert manifest["status"] == "stopped"
+        assert manifest["service"]["next_index"] == len(MESSAGES)
+
+        # And both equal a batch analysis of the same messages in
+        # admission order, through the same pipeline entry points.
+        from repro.core import CrawlerBox
+        from repro.core.export import record_to_line
+        from repro.dataset import CorpusGenerator
+        from repro.mail.ingest import ingest_eml_bytes
+        from repro.runner.checkpoint import encode_record_line
+
+        corpus = CorpusGenerator(seed=SEED, scale=SCALE).generate()
+        box = CrawlerBox.for_world(corpus.world)
+        batch = sorted(
+            encode_record_line(
+                record_to_line(box.analyze(ingest_eml_bytes(raw), message_index=i))
+            ).encode()
+            for i, raw in enumerate(MESSAGES)
+        )
+        assert batch == _records_lines(full_dir)
+
+    def test_process_engine_matches_thread_engine(self, tmp_path):
+        thread_dir, process_dir = tmp_path / "thread", tmp_path / "process"
+        for directory, executor in ((thread_dir, "thread"), (process_dir, "process")):
+            with _daemon(directory, executor=executor) as daemon:
+                with ServeClient("127.0.0.1", daemon.port, timeout=240) as client:
+                    for raw in MESSAGES:
+                        client.submit_bytes(raw, reporter="acme")
+                    client.wait_verdicts(timeout=240)
+        assert _records_lines(process_dir) == _records_lines(thread_dir)
+
+
+# ----------------------------------------------------------------------
+# Real signals against the real CLI, mirroring test_shutdown.py
+# ----------------------------------------------------------------------
+def _launch_serve(checkpoint) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--checkpoint", str(checkpoint),
+         "--seed", str(SEED), "--scale", str(SCALE),
+         "--jobs", "2", "--executor", "thread"],
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        start_new_session=True,
+    )
+
+
+def _wait_for_endpoint(checkpoint, process, timeout: float = 120.0) -> dict:
+    deadline = time.time() + timeout
+    endpoint_path = pathlib.Path(checkpoint) / "endpoint.json"
+    while time.time() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early ({process.returncode}):\n{process.stdout.read()}"
+            )
+        if endpoint_path.exists():
+            try:
+                endpoint = json.loads(endpoint_path.read_text())
+            except json.JSONDecodeError:
+                endpoint = None
+            if endpoint and endpoint.get("pid") == process.pid:
+                return endpoint
+        time.sleep(0.1)
+    raise AssertionError(f"no endpoint.json after {timeout}s")
+
+
+class TestSigtermDrain:
+    def test_kill_between_submissions_then_restart_is_byte_identical(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        with _daemon(baseline_dir) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                for raw in MESSAGES:
+                    client.submit_bytes(raw, reporter="acme")
+                client.wait_verdicts(timeout=120)
+
+        served_dir = tmp_path / "served"
+        process = _launch_serve(served_dir)
+        try:
+            endpoint = _wait_for_endpoint(served_dir, process)
+            client = ServeClient(endpoint["host"], endpoint["port"], timeout=120)
+            accepted = [client.submit_bytes(raw, reporter="acme") for raw in MESSAGES[:5]]
+            assert all(o.accepted for o in accepted)
+            # SIGTERM lands between submissions, possibly with analysis
+            # still in flight: the daemon must drain every accepted
+            # submission before exiting 0.
+            os.killpg(process.pid, signal.SIGTERM)
+            assert process.wait(timeout=240) == 0
+            with contextlib.suppress(Exception):
+                client.close(bye=False)
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=60)
+
+        manifest = json.loads((served_dir / "manifest.json").read_text())
+        assert manifest["status"] == "stopped"
+        assert manifest["service"]["next_index"] == 5
+        assert len(_records_lines(served_dir)) == 5  # drained, durable
+
+        # Restart on the same checkpoint; the client replays the rest.
+        (served_dir / "endpoint.json").unlink()
+        process = _launch_serve(served_dir)
+        try:
+            endpoint = _wait_for_endpoint(served_dir, process)
+            with ServeClient(endpoint["host"], endpoint["port"], timeout=120) as client:
+                outcomes = [
+                    client.submit_bytes(raw, reporter="acme") for raw in MESSAGES[5:]
+                ]
+                assert [o.message_index for o in outcomes] == [5, 6, 7]
+                client.wait_verdicts(timeout=120)
+                stats = client.stats()
+                _assert_reconciled(stats)
+                assert stats["completed"] == 8  # restored + new
+            os.killpg(process.pid, signal.SIGTERM)
+            assert process.wait(timeout=240) == 0
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+                process.wait(timeout=60)
+
+        assert _records_lines(served_dir) == _records_lines(baseline_dir)
