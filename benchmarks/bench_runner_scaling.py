@@ -10,9 +10,17 @@ serializes the *thread* backend — thread sharding buys resilience,
 bounded memory, and checkpointing rather than raw speedup on a stock
 interpreter.  The *process* backend rebuilds the world per worker from
 a picklable :class:`RunnerConfig` and is where ``--jobs N`` actually
-scales.  Set ``REPRO_BENCH_MIN_SPEEDUP`` (e.g. ``1.5``) to fail the
-bench when the process backend's jobs=4 throughput falls below that
-multiple of jobs=1; the gate auto-skips on hosts with < 4 CPUs.
+scales.  Process measurements prewarm the worker pool first, so timed
+runs capture analysis throughput, not corpus regeneration.
+
+Honest reporting on small hosts: a speedup ratio measured with more
+workers than schedulable cores is noise, not signal — CI containers
+routinely pin the suite to 1–2 cores.  Every ratio is therefore
+reported against the *effective* core count (the scheduling affinity
+mask, not ``os.cpu_count()``), rows where ``jobs`` exceeds it carry an
+explicit ``insufficient-cores`` verdict instead of a misleading
+multiplier, and the speedup gate (``REPRO_BENCH_MIN_SPEEDUP``, e.g.
+``1.5``) records the exact reason whenever it declines to run.
 
 Also runnable standalone::
 
@@ -29,6 +37,8 @@ import time
 from repro.core import CrawlerBox
 from repro.core.export import export_records
 from repro.runner import CorpusRunner, RunnerConfig
+from repro.runner.executor import prewarm_process_pool
+from repro.runner.pool import effective_cpu_count
 
 JOB_COUNTS = (1, 2, 4, 8)
 SAMPLE_SIZE = 120
@@ -38,8 +48,11 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
 
 #: Minimum process-backend jobs=4 / jobs=1 throughput ratio to enforce
 #: (0 disables the gate; CI sets 1.5 — a generous floor for shared
-#: runners).  Never enforced on hosts with fewer than 4 CPUs.
+#: runners).  Never enforced on hosts with < 4 effective cores.
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "0"))
+
+#: Cores the gate needs before a jobs=4 ratio means anything.
+_GATE_JOBS = 4
 
 
 def _make_runner(corpus, executor: str, jobs: int, seed: int, scale: float):
@@ -56,6 +69,10 @@ def _measure(corpus, sample, executor: str, job_counts, seed: int, scale: float)
     throughputs: dict[int, float] = {}
     exports: dict[int, str] = {}
     for jobs in job_counts:
+        if executor == "process":
+            # Park a ready pool at this exact width so the timed run
+            # reuses warm workers instead of paying their world build.
+            prewarm_process_pool(RunnerConfig(seed=seed, scale=scale), jobs)
         runner = _make_runner(corpus, executor, jobs, seed, scale)
         started = time.perf_counter()
         result = runner.run(sample)
@@ -67,33 +84,55 @@ def _measure(corpus, sample, executor: str, job_counts, seed: int, scale: float)
     return throughputs, exports
 
 
-def _speedup_gate(throughputs: dict[int, float]) -> tuple[bool, str]:
-    """(enforced, verdict) for the process backend's jobs=4 ratio."""
+def _ratio_label(throughputs: dict[int, float], jobs: int, base_jobs: int,
+                 cores: int) -> str:
+    """A jobs-row annotation: a ratio when it is meaningful, a loud
+    ``insufficient-cores`` verdict when the host cannot schedule it."""
+    ratio = throughputs[jobs] / throughputs[base_jobs]
+    if jobs > cores:
+        return (f"insufficient-cores: {cores} effective core(s) cannot "
+                f"run {jobs} workers in parallel; ratio suppressed")
+    return f"{ratio:.2f}x vs jobs={base_jobs}"
+
+
+def _speedup_gate(throughputs: dict[int, float], cores: int) -> tuple[bool, str]:
+    """(enforced, verdict) for the process backend's jobs=4 ratio.
+
+    The verdict string always states *why* when the gate declines, so a
+    green CI run on a throttled runner is distinguishable from a pass.
+    """
     if MIN_SPEEDUP <= 0:
-        return False, "gate disabled (REPRO_BENCH_MIN_SPEEDUP unset)"
-    cpus = os.cpu_count() or 1
-    if cpus < 4:
-        return False, f"gate skipped (host has {cpus} CPU(s), need >= 4)"
-    ratio = throughputs[4] / throughputs[1]
-    return True, (f"jobs=4/jobs=1 = {ratio:.2f}x "
+        return False, "gate disabled (REPRO_BENCH_MIN_SPEEDUP unset or 0)"
+    if cores < _GATE_JOBS:
+        return False, (f"insufficient-cores: gate skipped — host exposes "
+                       f"{cores} effective core(s) (affinity mask), the "
+                       f"jobs={_GATE_JOBS} gate needs >= {_GATE_JOBS}; "
+                       f"a ratio measured here would be scheduler noise")
+    ratio = throughputs[_GATE_JOBS] / throughputs[1]
+    return True, (f"jobs={_GATE_JOBS}/jobs=1 = {ratio:.2f}x "
                   f"(floor {MIN_SPEEDUP:.2f}x): "
                   f"{'pass' if ratio >= MIN_SPEEDUP else 'FAIL'}")
 
 
 def bench_runner_scaling(benchmark, full_corpus, comparison):
     sample = full_corpus.messages[:SAMPLE_SIZE]
+    cores = effective_cpu_count()
+    comparison.note(f"effective cores: {cores} (os.cpu_count={os.cpu_count()})")
+    comparison.metric("effective_cores", cores)
+    comparison.metric("cpu_count", os.cpu_count())
+
     results = {}
     for executor in ("thread", "process"):
         throughputs, exports = _measure(
             full_corpus, sample, executor, JOB_COUNTS, BENCH_SEED, BENCH_SCALE)
         results[executor] = (throughputs, exports)
 
-        base = throughputs[JOB_COUNTS[0]]
         for jobs in JOB_COUNTS:
             comparison.row(
                 f"[{executor}] messages/sec at jobs={jobs}",
                 "n/a",
-                f"{throughputs[jobs]:.1f} ({throughputs[jobs] / base:.2f}x)",
+                f"{throughputs[jobs]:.1f} "
+                f"({_ratio_label(throughputs, jobs, JOB_COUNTS[0], cores)})",
             )
             comparison.metric(f"{executor}_jobs{jobs}_msgs_per_sec",
                               throughputs[jobs])
@@ -112,14 +151,13 @@ def bench_runner_scaling(benchmark, full_corpus, comparison):
     comparison.metric("cross_executor_byte_identical", cross)
     assert cross
 
-    enforced, verdict = _speedup_gate(results["process"][0])
+    enforced, verdict = _speedup_gate(results["process"][0], cores)
     comparison.note(f"process speedup gate: {verdict}")
     comparison.metric("speedup_gate_enforced", enforced)
     comparison.metric("speedup_gate_verdict", verdict)
     comparison.metric("min_speedup_floor", MIN_SPEEDUP)
-    comparison.metric("cpu_count", os.cpu_count())
     if enforced:
-        ratio = results["process"][0][4] / results["process"][0][1]
+        ratio = results["process"][0][_GATE_JOBS] / results["process"][0][1]
         assert ratio >= MIN_SPEEDUP, verdict
 
     # pytest-benchmark timing for the jobs=4 process configuration.
@@ -137,33 +175,66 @@ def main(argv=None) -> int:
                         help="comma-separated worker counts (default 1,2,4,8)")
     parser.add_argument("--sample", type=int, default=SAMPLE_SIZE,
                         help=f"messages to analyse (default {SAMPLE_SIZE})")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the measurements to a JSON file "
+                             "(what the CI scaling job archives)")
     args = parser.parse_args(argv)
     job_counts = tuple(int(part) for part in args.jobs.split(","))
 
     from repro.dataset import CorpusGenerator
 
+    cores = effective_cpu_count()
     print(f"Generating corpus (seed={BENCH_SEED}, scale={BENCH_SCALE}) ...")
     corpus = CorpusGenerator(seed=BENCH_SEED, scale=BENCH_SCALE).generate()
     sample = corpus.messages[:args.sample]
     print(f"  {len(sample)} messages, executor={args.executor}, "
-          f"jobs={job_counts}")
+          f"jobs={job_counts}, effective cores={cores} "
+          f"(os.cpu_count={os.cpu_count()})")
 
     throughputs, exports = _measure(
         corpus, sample, args.executor, job_counts, BENCH_SEED, BENCH_SCALE)
-    base = throughputs[job_counts[0]]
     for jobs in job_counts:
         print(f"  jobs={jobs}: {throughputs[jobs]:.1f} msgs/sec "
-              f"({throughputs[jobs] / base:.2f}x)")
+              f"({_ratio_label(throughputs, jobs, job_counts[0], cores)})")
     identical = all(exports[jobs] == exports[job_counts[0]]
                     for jobs in job_counts)
     print(f"  records byte-identical across job counts = {identical}")
+
+    enforced = False
+    verdict = ("gate not applicable (needs --executor process with jobs "
+               f"1 and {_GATE_JOBS} measured)")
+    if args.executor == "process" and 1 in job_counts and _GATE_JOBS in job_counts:
+        enforced, verdict = _speedup_gate(throughputs, cores)
+        print(f"  speedup gate: {verdict}")
+
+    if args.json:
+        report = {
+            "executor": args.executor,
+            "sample": len(sample),
+            "seed": BENCH_SEED,
+            "scale": BENCH_SCALE,
+            "effective_cores": cores,
+            "cpu_count": os.cpu_count(),
+            "throughputs_msgs_per_sec": {
+                str(jobs): throughputs[jobs] for jobs in job_counts
+            },
+            "byte_identical": identical,
+            "speedup_gate": {
+                "enforced": enforced,
+                "verdict": verdict,
+                "floor": MIN_SPEEDUP,
+            },
+        }
+        os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
+
     if not identical:
         return 1
-    if args.executor == "process" and 1 in job_counts and 4 in job_counts:
-        enforced, verdict = _speedup_gate(throughputs)
-        print(f"  speedup gate: {verdict}")
-        if enforced and throughputs[4] / throughputs[1] < MIN_SPEEDUP:
-            return 1
+    if enforced and throughputs[_GATE_JOBS] / throughputs[1] < MIN_SPEEDUP:
+        return 1
     return 0
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import zlib
 
 from repro.browser.session import SessionSignals
 from repro.core.artifacts import MessageRecord, UrlCrawl
@@ -141,6 +142,81 @@ def record_to_line(record: MessageRecord) -> str:
 def record_from_line(line: str) -> MessageRecord:
     """Inverse of :func:`record_to_line`."""
     return record_from_dict(json.loads(line))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint wire format (v2)
+# ----------------------------------------------------------------------
+# The JSONL checkpoint's framed line format lives here, next to the
+# serialization it frames, so *workers* can render a record all the way
+# to its final on-disk bytes: compact JSON + a literal TAB + a CRC32
+# suffix.  The TAB is impossible inside the payload (``json.dumps``
+# escapes control characters), so the suffix is unambiguous.
+# :mod:`repro.runner.checkpoint` builds its scan/compact machinery on
+# these primitives.
+
+CRC_SEPARATOR = "\t#crc32="
+CRC_SEPARATOR_BYTES = CRC_SEPARATOR.encode("utf-8")
+
+
+def crc_suffix(payload: str) -> str:
+    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_record_line(payload: str) -> str:
+    """``payload`` (one compact JSON document) with its CRC32 suffix."""
+    return payload + CRC_SEPARATOR + crc_suffix(payload)
+
+
+def record_to_wire(record: MessageRecord) -> bytes:
+    """One record as its final checkpoint wire form (no newline).
+
+    This is *the* record→bytes function of the data plane: process
+    workers render results with it so the parent's hot loop is
+    append-bytes-and-ack, and the thread/serial backends render with
+    the same function, which is what keeps every backend's checkpoint
+    byte-identical.
+    """
+    return encode_record_line(record_to_line(record)).encode("utf-8")
+
+
+def wire_payload(wire: bytes) -> str:
+    """The compact JSON document inside one wire line (suffix stripped)."""
+    text = wire.decode("utf-8")
+    payload, separator, _ = text.rpartition(CRC_SEPARATOR)
+    return payload if separator else text
+
+
+def record_from_wire(wire: bytes) -> MessageRecord:
+    """Inverse of :func:`record_to_wire` (the CRC is not re-verified —
+    use :func:`repro.runner.checkpoint.parse_record_line` to validate)."""
+    return record_from_dict(json.loads(wire_payload(wire)))
+
+
+class WireRecord:
+    """A worker-serialized record: wire bytes first, object on demand.
+
+    The serve data plane hands these to the daemon so its hot path —
+    checkpoint append plus verdict splice — reuses the bytes the worker
+    already rendered instead of re-parsing and re-serializing JSON.
+    """
+
+    __slots__ = ("wire", "_record")
+
+    def __init__(self, wire: bytes, record: MessageRecord | None = None):
+        self.wire = wire
+        self._record = record
+
+    @property
+    def payload(self) -> str:
+        """The compact JSON document (CRC suffix stripped)."""
+        return wire_payload(self.wire)
+
+    @property
+    def record(self) -> MessageRecord:
+        if self._record is None:
+            self._record = record_from_dict(json.loads(self.payload))
+        return self._record
 
 
 # ----------------------------------------------------------------------

@@ -255,6 +255,22 @@ class CrawlerBox:
             )
         return record
 
+    def analyze_to_wire(
+        self, message: EmailMessage, message_index: int = 0
+    ) -> tuple[MessageRecord, bytes]:
+        """``(record, wire)``: the record plus its checkpoint wire form.
+
+        The record→bytes rendering of the data plane lives behind this
+        one method: process workers call it so checkpoint lines ship
+        fully serialized (compact JSON + CRC32 suffix) and the parent
+        appends bytes without re-rendering; the thread backend calls the
+        same method, which is what keeps every backend byte-identical.
+        """
+        from repro.core.export import record_to_wire
+
+        record = self.analyze(message, message_index=message_index)
+        return record, record_to_wire(record)
+
     def analyze_corpus(self, messages: list[EmailMessage]) -> list[MessageRecord]:
         """Analyze a whole corpus, keeping the records.
 

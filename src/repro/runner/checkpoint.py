@@ -42,28 +42,33 @@ import json
 import os
 import pathlib
 import threading
-import zlib
 from dataclasses import dataclass, field
 
 from repro.core.artifacts import MessageRecord
-from repro.core.export import record_from_dict, record_to_line
+from repro.core.export import (
+    CRC_SEPARATOR_BYTES as _CRC_SEPARATOR_BYTES,
+)
+from repro.core.export import (
+    CRC_SEPARATOR as _CRC_SEPARATOR,
+)
+from repro.core.export import (
+    crc_suffix as _crc_suffix,
+)
+from repro.core.export import (
+    encode_record_line,
+    record_from_dict,
+    record_to_line,
+    record_to_wire,
+)
 
 MANIFEST_VERSION = 1
 
 #: Line-format generation written by :meth:`CheckpointStore.append`.
 #: v1 = bare compact JSON; v2 = JSON + TAB + ``#crc32=<8 hex digits>``.
+#: The framing primitives themselves (separator, CRC, encoder) live in
+#: :mod:`repro.core.export` so workers can render records to their
+#: final wire bytes; ``encode_record_line`` is re-exported here.
 RECORDS_FORMAT_VERSION = 2
-
-_CRC_SEPARATOR = "\t#crc32="
-
-
-def _crc_suffix(payload: str) -> str:
-    return format(zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x")
-
-
-def encode_record_line(payload: str) -> str:
-    """``payload`` (one compact JSON document) with its CRC32 suffix."""
-    return payload + _CRC_SEPARATOR + _crc_suffix(payload)
 
 
 def parse_record_line(line: str) -> tuple[dict | None, str | None]:
@@ -255,13 +260,26 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     def append(self, record: MessageRecord) -> None:
         """Append one finished record, flushed so a kill loses <= 1 line."""
-        line = record_to_line(record)
         if self.crc:
-            line = encode_record_line(line)
+            self._append_bytes(record_to_wire(record))
+        else:
+            self._append_bytes(record_to_line(record).encode("utf-8"))
+
+    def append_wire(self, wire: bytes) -> None:
+        """Append one *worker-serialized* record line (compact JSON +
+        CRC suffix, no newline) without parsing or re-rendering it —
+        the parent side of the process backend's hot loop."""
+        if not self.crc:
+            payload, separator, _ = wire.rpartition(_CRC_SEPARATOR_BYTES)
+            if separator:
+                wire = payload
+        self._append_bytes(wire)
+
+    def _append_bytes(self, data: bytes) -> None:
         with self._lock:
             if self._handle is None:
-                self._handle = self.records_path.open("a", encoding="utf-8")
-            self._handle.write(line + "\n")
+                self._handle = self.records_path.open("ab")
+            self._handle.write(data + b"\n")
             self._handle.flush()
 
     def close(self) -> None:

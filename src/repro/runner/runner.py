@@ -136,6 +136,8 @@ class CorpusRunner:
         self._drained: list[int] = []
         self._workers: list[Worker] = []
         self._queue: JobQueue | None = None
+        #: Live process-backend pool (drain wakeups go through it).
+        self._process_pool = None
 
     # ------------------------------------------------------------------
     def resolve_executor(self) -> str:
@@ -166,6 +168,12 @@ class CorpusRunner:
         """
         first = not self._drain.is_set()
         self._drain.set()
+        pool = self._process_pool
+        if pool is not None and first:
+            # Process backend: the parent blocks on the result queue
+            # (no poll interval), so post an explicit wakeup for it to
+            # notice the flag.
+            pool.wake()
         queue = self._queue
         if queue is not None and first:
             # Thread backend: drop the backlog and wake every idle
@@ -187,6 +195,9 @@ class CorpusRunner:
         total = len(messages)
         self._messages = messages
         self._records: dict[int, MessageRecord] = {}
+        #: Worker-serialized records (process backend): index -> wire
+        #: bytes, parsed into ``_records`` only once the run settles.
+        self._wire: dict[int, bytes] = {}
         self._stats = RunningStats()
         self._dead: list[DeadLetter] = []
         self._fatal: BaseException | None = None
@@ -216,6 +227,14 @@ class CorpusRunner:
                 if self.checkpoint is not None:
                     self.checkpoint.close()
                 raise self._fatal
+        if self._wire:
+            # Materialize worker-serialized records exactly once, after
+            # the hot loop: the parent never parsed them in flight.
+            from repro.core.export import record_from_wire
+
+            for index, wire in self._wire.items():
+                self._records.setdefault(index, record_from_wire(wire))
+            self._wire.clear()
 
         if self.profiler is not None and executor == "thread":
             self.profiler.merge_into_stats(self._stats)
@@ -265,31 +284,78 @@ class CorpusRunner:
     # Shared bookkeeping (thread-safe; called from worker threads and
     # from the process pool's event loop)
     # ------------------------------------------------------------------
-    def _record_success(self, index: int, record: MessageRecord) -> None:
+    def _record_success(
+        self, index: int, record: MessageRecord, wire: bytes | None = None
+    ) -> None:
         with self._lock:
-            if index in self._records:
+            if index in self._records or index in self._wire:
                 return  # duplicate delivery (crash-retry race): first wins
-            if self.checkpoint is not None:
-                self.checkpoint.append(record)
             self._records[index] = record
             self._stats.update(record)
-            if self._drain.is_set():
-                # In-flight work a graceful shutdown waited for; the
-                # interrupted manifest lists these for the operator.
-                self._drained.append(index)
-            completed = len(self._records)
-            report = self.progress is not None and (
-                completed % self.progress_every == 0 or completed == self._total
-            )
-            manifest_due = (
-                self.checkpoint is not None
-                and completed % self.progress_every == 0
-                and completed < self._total
-            )
+            completed, report, manifest_due = self._progress_bookkeeping(index)
+        if self.checkpoint is not None:
+            # Outside the runner lock: the store serializes appends with
+            # its own lock, so success bookkeeping on other workers is
+            # not blocked behind this one's disk write.  Delivery is
+            # exactly-once per index on every backend, so the dup check
+            # above fully guards the append.
+            if wire is not None:
+                self.checkpoint.append_wire(wire)
+            else:
+                self.checkpoint.append(record)
         if report:
             self.progress(self._stats, completed, self._total)
         if manifest_due:
             self._write_manifest(status="running")
+
+    def _record_wire(self, index: int, wire: bytes) -> bool:
+        """Land one worker-serialized record: append-bytes-and-ack.
+
+        The process backend's hot path — no JSON parse, no dict
+        rebuild, no re-serialization.  Stats arrive separately via
+        :meth:`_absorb_stats` (frame shards).  Returns False on a
+        duplicate delivery (crash-retry race: first wins).
+        """
+        with self._lock:
+            if index in self._records or index in self._wire:
+                return False
+            self._wire[index] = wire
+            completed, report, manifest_due = self._progress_bookkeeping(index)
+        if self.checkpoint is not None:
+            self.checkpoint.append_wire(wire)
+        if report:
+            self.progress(self._stats, completed, self._total)
+        if manifest_due:
+            self._write_manifest(status="running")
+        return True
+
+    def _progress_bookkeeping(self, index: int) -> tuple[int, bool, bool]:
+        """Shared post-success accounting (caller holds ``_lock``)."""
+        if self._drain.is_set():
+            # In-flight work a graceful shutdown waited for; the
+            # interrupted manifest lists these for the operator.
+            self._drained.append(index)
+        completed = len(self._records) + len(self._wire)
+        report = self.progress is not None and (
+            completed % self.progress_every == 0 or completed == self._total
+        )
+        manifest_due = (
+            self.checkpoint is not None
+            and completed % self.progress_every == 0
+            and completed < self._total
+        )
+        return completed, report, manifest_due
+
+    def _absorb_stats(self, shard: RunningStats) -> None:
+        """Fold one worker frame's stats shard into the run totals."""
+        with self._lock:
+            self._stats.absorb(shard)
+
+    def _update_stats(self, record: MessageRecord) -> None:
+        """Per-record fallback when a frame's shard cannot be absorbed
+        wholesale (duplicate delivery inside the frame)."""
+        with self._lock:
+            self._stats.update(record)
 
     def _record_dead(
         self,
@@ -368,14 +434,24 @@ class CorpusRunner:
         try:
             if self.fault_injector is not None:
                 self.fault_injector(job.index, job.attempts)
-            record = worker.box.analyze(job.payload, message_index=job.index)
+            if self.checkpoint is not None:
+                # Render the checkpoint wire form on the worker thread —
+                # same serialization instant the process backend uses —
+                # so the shared success path appends bytes instead of
+                # re-serializing under contention.
+                record, wire = worker.box.analyze_to_wire(
+                    job.payload, message_index=job.index
+                )
+            else:
+                record = worker.box.analyze(job.payload, message_index=job.index)
+                wire = None
         except BaseException as error:  # noqa: BLE001 - routed to retry policy
             self._on_failure(job, error)
         else:
-            self._on_success(job, record)
+            self._on_success(job, record, wire)
 
-    def _on_success(self, job: Job, record: MessageRecord) -> None:
-        self._record_success(job.index, record)
+    def _on_success(self, job: Job, record: MessageRecord, wire: bytes | None = None) -> None:
+        self._record_success(job.index, record, wire)
         self._finish_one()
 
     def _on_failure(self, job: Job, error: BaseException) -> None:
@@ -427,7 +503,7 @@ class CorpusRunner:
                 scale=float(self.run_info.get("scale", 0.0)),
                 jobs=self.jobs,
                 total_messages=self._total,
-                completed=len(self._records),
+                completed=len(self._records) + len(self._wire),
                 status=status,
                 dead_letters=[letter.as_dict() for letter in self._dead],
                 stats=self._stats.as_dict(),

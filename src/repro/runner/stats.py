@@ -108,36 +108,50 @@ class RunningStats:
             self.fault_kinds.update(telemetry.fault_kinds)
 
     # ------------------------------------------------------------------
+    #: Scalar counters combined by summation in absorb/merge.
+    _SCALAR_FIELDS = (
+        "analyzed",
+        "spear",
+        "active",
+        "credential_messages",
+        "turnstile",
+        "recaptcha",
+        "faulty_qr",
+        "console_hijack",
+        "dead_lettered",
+        "retried",
+        "quarantined",
+        "budget_stage_failures",
+        "fault_requests",
+        "fault_retries",
+        "fault_backoff_seconds",
+        "fault_deadline_hits",
+        "fault_breaker_trips",
+        "fault_unreachable",
+        "fault_budget_exhausted",
+        "fault_enrich_failures",
+    )
+
+    def absorb(self, other: "RunningStats") -> None:
+        """Fold ``other`` into this instance in place.
+
+        The parent side of the process backend's stats plane: workers
+        accumulate a local shard per result frame and the parent absorbs
+        one shard per frame instead of recomputing every per-record
+        predicate on its single core.
+        """
+        for name in self._SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.categories.update(other.categories)
+        self.stage_calls.update(other.stage_calls)
+        self.stage_seconds.update(other.stage_seconds)
+        self.fault_kinds.update(other.fault_kinds)
+
     def merge(self, other: "RunningStats") -> "RunningStats":
         """A new RunningStats combining two disjoint partial runs."""
         merged = RunningStats()
-        for name in (
-            "analyzed",
-            "spear",
-            "active",
-            "credential_messages",
-            "turnstile",
-            "recaptcha",
-            "faulty_qr",
-            "console_hijack",
-            "dead_lettered",
-            "retried",
-            "quarantined",
-            "budget_stage_failures",
-            "fault_requests",
-            "fault_retries",
-            "fault_backoff_seconds",
-            "fault_deadline_hits",
-            "fault_breaker_trips",
-            "fault_unreachable",
-            "fault_budget_exhausted",
-            "fault_enrich_failures",
-        ):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
-        merged.categories = self.categories + other.categories
-        merged.stage_calls = self.stage_calls + other.stage_calls
-        merged.stage_seconds = self.stage_seconds + other.stage_seconds
-        merged.fault_kinds = self.fault_kinds + other.fault_kinds
+        merged.absorb(self)
+        merged.absorb(other)
         return merged
 
     # ------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Persistent analysis engines: the runner's workers, fed forever.
 
 The batch :class:`~repro.runner.runner.CorpusRunner` takes a complete
-message list, runs it to exhaustion, and tears its pool down.  A daemon
+message list, runs it to exhaustion, and releases its pool.  A daemon
 needs the same two backends — GIL-bound threads and fork-based
 processes — but *persistent*: built once at startup, fed micro-batches
 for as long as the daemon lives, and drained on shutdown.
@@ -12,38 +12,44 @@ Both engines reuse the existing machinery rather than duplicating it:
   JobQueue` + :func:`~repro.runner.workers.spawn_workers` combination,
   with each worker holding a private CrawlerBox over the shared world.
 - :class:`ProcessEngine` drives the same ``_worker_main`` loop as the
-  batch :class:`~repro.runner.executor.ProcessPool`, using its
+  batch :class:`~repro.runner.executor.ProcessPool`, on the same
+  warm :class:`~repro.runner.pool.WorkerPool` (so a daemon restart with
+  an unchanged config reuses the workers' built worlds), using its
   service-mode ``eml-batch`` command: raw RFC-822 bytes ship to the
   worker, which ingests and analyzes them against the world it rebuilt
   from the picklable :class:`~repro.runner.executor.RunnerConfig`.
 
+Results travel the record data plane: workers render each record to its
+final checkpoint wire form and the engine hands the daemon a
+:class:`~repro.core.export.WireRecord` — bytes the daemon appends and
+splices into the verdict response without re-serializing.  Worker-local
+:class:`~repro.runner.stats.RunningStats` shards arrive through the
+optional ``on_stats`` callback (process engine only; the thread engine
+already holds the parsed record, so the daemon folds it directly).
+
 Engines are deliberately policy-free: they report each attempt's
-outcome (a :class:`~repro.core.artifacts.MessageRecord` or the raised
-exception) through one callback, and the daemon owns retries,
-checkpointing, stats, and responses.  A worker-process death surfaces
-as a :class:`~repro.runner.executor.WorkerCrash` per in-flight
-submission — the same transient the batch pool reports — and a
-replacement worker is spawned.
+outcome (a wire record or the raised exception) through one callback,
+and the daemon owns retries, checkpointing, stats, and responses.  A
+worker-process death surfaces as a
+:class:`~repro.runner.executor.WorkerCrash` per in-flight submission —
+the same transient the batch pool reports — and a replacement worker is
+spawned.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as stdlib_queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.artifacts import MessageRecord
+from repro.core.export import WireRecord
 from repro.runner.executor import RunnerConfig, WorkerCrash, _worker_main
+from repro.runner.pool import acquire_pool, release_pool, unpack_frame
 from repro.runner.queue import Job, JobQueue, QueueClosed
+from repro.runner.stats import RunningStats
 from repro.runner.workers import spawn_workers
 
-#: Seconds between liveness polls of the process workers.
-_POLL_INTERVAL = 0.25
-
-#: Seconds to wait for workers to acknowledge a stop before terminating.
+#: Seconds to wait for workers/threads to wind down on stop.
 _STOP_GRACE = 5.0
 
 
@@ -69,14 +75,19 @@ class ServeJob:
     error_history: list = field(default_factory=list)
 
 
-#: on_result(job, record, error): exactly one of record/error is None.
-OnResult = Callable[[ServeJob, MessageRecord | None, BaseException | None], None]
+#: on_result(job, wire_record, error): exactly one of the pair is None.
+OnResult = Callable[[ServeJob, WireRecord | None, BaseException | None], None]
+
+#: on_stats(shard): a worker-local RunningStats covering delivered records.
+OnStats = Callable[[RunningStats], None]
 
 
 class ThreadEngine:
     """N persistent worker threads over the runner's JobQueue."""
 
     name = "thread"
+    #: The daemon folds stats from the records it already holds.
+    provides_stats = False
 
     def __init__(self, box_factory: Callable[[int], object], jobs: int, on_result: OnResult):
         self.on_result = on_result
@@ -90,11 +101,13 @@ class ThreadEngine:
     def _handle(self, worker, queue_job: Job) -> None:
         job: ServeJob = queue_job.payload
         try:
-            record = worker.box.analyze(job.message, message_index=job.index)
+            record, wire = worker.box.analyze_to_wire(
+                job.message, message_index=job.index
+            )
         except BaseException as error:  # noqa: BLE001 - the daemon owns retry policy
             self.on_result(job, None, error)
         else:
-            self.on_result(job, record, None)
+            self.on_result(job, WireRecord(wire, record), None)
 
     def stop(self) -> None:
         try:
@@ -106,9 +119,17 @@ class ThreadEngine:
 
 
 class ProcessEngine:
-    """N persistent worker processes speaking ``eml-batch``."""
+    """N persistent worker processes speaking ``eml-batch``.
+
+    Built on the shared :class:`~repro.runner.pool.WorkerPool`: results
+    arrive as batched wire frames, worker deaths as sentinel-driven
+    ``worker-died`` messages (no liveness polling), and :meth:`stop`
+    parks the pool warm for the next engine or batch run with the same
+    config.
+    """
 
     name = "process"
+    provides_stats = True
 
     def __init__(
         self,
@@ -117,28 +138,24 @@ class ProcessEngine:
         on_result: OnResult,
         batch_size: int = 8,
         on_fatal: Callable[[str], None] | None = None,
+        on_stats: OnStats | None = None,
     ):
         self.config = config
         self.jobs = jobs
         self.on_result = on_result
+        self.on_stats = on_stats
         self.batch_size = max(1, batch_size)
         self.on_fatal = on_fatal or (lambda reason: None)
-        self._context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-        )
-        self._outq = self._context.Queue()
         self._lock = threading.Lock()
-        self._workers: dict[int, object] = {}
-        self._inqs: dict[int, object] = {}
         self._inflight: dict[int, set[int]] = {}
-        self._ready: set[int] = set()
-        self._stopped_workers: set[int] = set()
         self._jobs: dict[int, ServeJob] = {}
         self._pending: list[ServeJob] = []
-        self._next_worker_id = 0
+        self._stopped_workers: set[int] = set()
         self._stopping = threading.Event()
-        for _ in range(jobs):
-            self._spawn_worker()
+        self._pool = acquire_pool(
+            _worker_main, config, jobs, name_prefix="repro-serve-worker"
+        )
+        self._ready: set[int] = set(self._pool.ready)
         self._loop = threading.Thread(
             target=self._event_loop, name="repro-serve-engine", daemon=True
         )
@@ -152,21 +169,6 @@ class ProcessEngine:
                 self._jobs[job.index] = job
             self._dispatch_idle_locked()
 
-    def _spawn_worker(self) -> None:
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        inq = self._context.Queue()
-        process = self._context.Process(
-            target=_worker_main,
-            args=(worker_id, self.config, inq, self._outq),
-            name=f"repro-serve-worker-{worker_id}",
-            daemon=True,
-        )
-        process.start()
-        self._workers[worker_id] = process
-        self._inqs[worker_id] = inq
-        self._inflight[worker_id] = set()
-
     def _dispatch_idle_locked(self) -> None:
         for worker_id in sorted(self._ready):
             if not self._pending:
@@ -175,89 +177,97 @@ class ProcessEngine:
             del self._pending[: len(batch)]
             self._ready.discard(worker_id)
             self._inflight[worker_id] = {job.index for job in batch}
-            self._inqs[worker_id].put(
-                ("eml-batch", [(job.index, job.eml_bytes) for job in batch])
+            self._pool.send(
+                worker_id, ("eml-batch", [(job.index, job.eml_bytes) for job in batch])
             )
 
     # ------------------------------------------------------------------
     def _event_loop(self) -> None:
-        from repro.core.export import record_from_dict
-
         while not self._stopping.is_set():
-            try:
-                message = self._outq.get(timeout=_POLL_INTERVAL)
-            except stdlib_queue.Empty:
-                self._reap_crashed()
-                continue
+            message = self._pool.get()
             kind, worker_id = message[0], message[1]
             if kind in ("ready", "batch-done"):
                 with self._lock:
-                    self._ready.add(worker_id)
+                    if worker_id in self._pool.workers:
+                        self._pool.note_ready(worker_id)
+                        self._ready.add(worker_id)
                     self._dispatch_idle_locked()
-            elif kind == "ok":
-                index, payload = message[2], message[3]
-                job = self._finish(worker_id, index)
-                if job is not None:
-                    self.on_result(job, record_from_dict(payload), None)
+            elif kind == "frame":
+                self._handle_frame(worker_id, message[2], message[3])
             elif kind == "fail":
                 index, error = message[2], message[3]
                 job = self._finish(worker_id, index)
                 if job is not None:
                     self.on_result(job, None, error)
+            elif kind == "worker-died":
+                self._reap(worker_id)
             elif kind == "stopped":
                 self._stopped_workers.add(worker_id)
             elif kind == "init-failed":
-                self.on_fatal(f"serve worker {worker_id} failed to initialize: {message[2]}")
+                self.on_fatal(
+                    f"serve worker {worker_id} failed to initialize: {message[2]}"
+                )
+            # "wake" / "stall-tick" / stale "synced": no-op wakeups
+
+    def _handle_frame(self, worker_id: int, blob: bytes, shard) -> None:
+        entries = unpack_frame(blob)
+        delivered: list[tuple[ServeJob, bytes]] = []
+        for index, wire in entries:
+            job = self._finish(worker_id, index)
+            if job is not None:
+                delivered.append((job, wire))
+        if self.on_stats is not None and delivered:
+            if len(delivered) == len(entries):
+                self.on_stats(shard)
+            else:
+                # Rare: an entry raced a crash-retry duplicate; recount
+                # just the delivered records instead of the whole shard.
+                recount = RunningStats()
+                for _job, wire in delivered:
+                    recount.update(WireRecord(wire).record)
+                self.on_stats(recount)
+        for job, wire in delivered:
+            self.on_result(job, WireRecord(wire), None)
 
     def _finish(self, worker_id: int, index: int) -> ServeJob | None:
         with self._lock:
             self._inflight.get(worker_id, set()).discard(index)
             return self._jobs.pop(index, None)
 
-    def _reap_crashed(self) -> None:
-        crashed: list[tuple[int, object, set[int]]] = []
+    def _reap(self, worker_id: int) -> None:
+        """A worker sentinel fired: charge its in-flight submissions."""
         with self._lock:
-            for worker_id, process in list(self._workers.items()):
-                if process.is_alive() or worker_id in self._stopped_workers:
-                    continue
-                lost = self._inflight.pop(worker_id, set())
-                del self._workers[worker_id]
-                self._inqs.pop(worker_id, None)
-                self._ready.discard(worker_id)
-                crashed.append((worker_id, process, lost))
-            if crashed and not self._stopping.is_set():
-                for _ in crashed:
-                    self._spawn_worker()
+            if (
+                worker_id in self._stopped_workers
+                or worker_id not in self._pool.workers
+            ):
+                return  # deliberate stop, already handled
+            process = self._pool.discard(worker_id)
+            lost = sorted(self._inflight.pop(worker_id, set()))
+            self._ready.discard(worker_id)
+            if not self._stopping.is_set():
+                self._pool.spawn()
                 self._dispatch_idle_locked()
-        for worker_id, process, lost in crashed:
-            crash = WorkerCrash(
-                f"serve worker died (exit code {process.exitcode}) "
-                f"with {len(lost)} submission(s) in flight"
-            )
-            for index in sorted(lost):
-                with self._lock:
-                    job = self._jobs.pop(index, None)
-                if job is not None:
-                    self.on_result(job, None, crash)
+        exitcode = process.exitcode if process is not None else None
+        crash = WorkerCrash(
+            f"serve worker died (exit code {exitcode}) "
+            f"with {len(lost)} submission(s) in flight"
+        )
+        for index in lost:
+            with self._lock:
+                job = self._jobs.pop(index, None)
+            if job is not None:
+                self.on_result(job, None, crash)
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
         self._stopping.set()
+        self._pool.wake()
         self._loop.join(timeout=_STOP_GRACE)
-        for inq in self._inqs.values():
-            try:
-                inq.put(("stop",))
-            except Exception:
-                pass
-        deadline = time.monotonic() + _STOP_GRACE
-        for process in self._workers.values():
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=_STOP_GRACE)
-        self._outq.cancel_join_thread()
-        for inq in self._inqs.values():
-            inq.cancel_join_thread()
+        # Park the pool warm (same config ⇒ the next daemon or batch run
+        # skips the per-worker world rebuild); ineligible configs tear
+        # down gracefully inside release_pool.
+        release_pool(self._pool)
 
 
 def build_engine(
@@ -268,6 +278,7 @@ def build_engine(
     config: RunnerConfig | None = None,
     batch_size: int = 8,
     on_fatal: Callable[[str], None] | None = None,
+    on_stats: OnStats | None = None,
 ):
     """Resolve ``auto|thread|process`` into a live engine.
 
@@ -284,6 +295,11 @@ def build_engine(
         if config is None:
             raise ValueError("the process engine needs a picklable RunnerConfig")
         return ProcessEngine(
-            config, jobs, on_result, batch_size=batch_size, on_fatal=on_fatal
+            config,
+            jobs,
+            on_result,
+            batch_size=batch_size,
+            on_fatal=on_fatal,
+            on_stats=on_stats,
         )
     raise ValueError(f"unknown executor {executor!r}")

@@ -58,6 +58,24 @@ def encode_line(payload: dict) -> bytes:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
 
 
+def encode_verdict_line(client_id: str, message_index: int, record_payload: str) -> bytes:
+    """A verdict response spliced around an already-serialized record.
+
+    ``record_payload`` is the compact JSON document the worker rendered
+    for the checkpoint (:func:`repro.core.export.record_to_line` form,
+    CRC suffix stripped).  The daemon's hot path splices those bytes
+    into the response instead of parsing and re-serializing the record;
+    the envelope keys are emitted pre-sorted so the result matches what
+    :func:`encode_line` would produce around the same document.
+    """
+    head = json.dumps(
+        {"id": client_id, "message_index": message_index, "op": "verdict"},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return head[:-1].encode("utf-8") + b',"record":' + record_payload.encode("utf-8") + b"}\n"
+
+
 def decode_line(line: bytes) -> dict:
     """One wire line -> the message dict (:class:`ProtocolError` on junk)."""
     try:

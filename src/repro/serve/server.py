@@ -57,6 +57,7 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_line,
     encode_line,
+    encode_verdict_line,
     http_response,
     looks_like_http,
     read_line,
@@ -120,7 +121,10 @@ class _Session:
         self.flushed = threading.Condition()
 
     def send(self, payload: dict) -> bool:
-        data = encode_line(payload)
+        return self.send_raw(encode_line(payload))
+
+    def send_raw(self, data: bytes) -> bool:
+        """Stream pre-encoded line bytes (the verdict splice path)."""
         with self._write_lock:
             if not self.alive:
                 return False
@@ -316,6 +320,7 @@ class ServeDaemon:
             config=runner_config,
             batch_size=config.batch_size,
             on_fatal=self._on_fatal,
+            on_stats=self._on_stats,
         )
 
     def _write_endpoint(self) -> None:
@@ -556,7 +561,12 @@ class ServeDaemon:
             elif self.scheduler.closed and not len(self.scheduler):
                 return
 
-    def _on_result(self, job: ServeJob, record, error) -> None:
+    def _on_stats(self, shard: RunningStats) -> None:
+        """Engine callback: fold one worker-local stats shard."""
+        with self._completion:
+            self.stats.absorb(shard)
+
+    def _on_result(self, job: ServeJob, wire, error) -> None:
         """Engine callback: exactly one verdict per accepted submission."""
         if error is not None:
             job.attempts += 1
@@ -588,9 +598,10 @@ class ServeDaemon:
             self._manifest_maybe()
             return
 
-        from repro.core.export import record_to_dict
-
-        self.checkpoint.append(record)
+        # The worker already rendered the final checkpoint line: append
+        # the bytes and splice them into the verdict — the hot path
+        # never re-serializes the record.
+        self.checkpoint.append_wire(wire.wire)
         compacted = False
         with self._completion:
             self.checkpoint_lines += 1
@@ -602,20 +613,17 @@ class ServeDaemon:
                 self.checkpoint_lines = result.lines_after
                 self.compactions += 1
                 compacted = True
-            self.stats.update(record)
+            if not getattr(self._engine, "provides_stats", False):
+                # Thread engine: no worker shards, fold the record here.
+                self.stats.update(wire.record)
             self.completed += 1
             self._reporter(job.reporter)["completed"] += 1
             if job.submitted_at:
                 self._latencies.append(time.monotonic() - job.submitted_at)
             self._completion.notify_all()
         if job.session is not None:
-            job.session.send(
-                {
-                    "op": "verdict",
-                    "id": job.client_id,
-                    "message_index": job.index,
-                    "record": record_to_dict(record),
-                }
+            job.session.send_raw(
+                encode_verdict_line(job.client_id, job.index, wire.payload)
             )
             job.session.finish(job.index)
         self._manifest_maybe(force=compacted)
