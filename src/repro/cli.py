@@ -170,7 +170,9 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
                   faults: str = "off", fault_seed: int = 0,
                   budget: int | None = None, hostile: str = "",
                   guard_limits: tuple[tuple[str, int], ...] | None = None,
-                  batch_size: int | None = None):
+                  batch_size: int | None = None,
+                  durability: str = "batch",
+                  storage_faults: str = "off", storage_fault_seed: int = 0):
     """A CorpusRunner over ``corpus`` with per-worker CrawlerBoxes.
 
     ``stages`` (a validated ``--stages`` selection) reaches both
@@ -185,10 +187,16 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
     unlimited), ``guard_limits`` (parsed ``--guard-limit`` pairs) and
     ``hostile`` (a ``"<seed>:<copies>"`` hostile-corpus spec) likewise
     reach both backends via PipelineConfig/RunnerConfig.
+
+    ``storage_faults``/``storage_fault_seed`` stay in the *parent*: only
+    this process writes durable state (checkpoint, manifest, export), so
+    the :class:`~repro.storage.faults.StorageFaultEngine` is installed
+    process-wide here and never travels in the RunnerConfig.
     """
     from repro import CrawlerBox
     from repro.core.pipeline import build_pipeline_config
     from repro.runner import CheckpointStore, CorpusRunner, RunnerConfig, StageProfiler
+    from repro.storage.durable import install_storage_faults
 
     if faults != "off":
         from repro.web.faults import FaultEngine, fault_profile
@@ -196,7 +204,20 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
         corpus.world.network.install_faults(
             FaultEngine(fault_profile(faults), seed=fault_seed)
         )
-    checkpoint = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    if storage_faults != "off":
+        from repro.storage.faults import StorageFaultEngine, storage_fault_profile
+
+        install_storage_faults(
+            StorageFaultEngine(
+                storage_fault_profile(storage_faults), seed=storage_fault_seed
+            )
+        )
+    else:
+        install_storage_faults(None)
+    checkpoint = (
+        CheckpointStore(checkpoint_dir, durability=durability)
+        if checkpoint_dir else None
+    )
     profiler = StageProfiler() if profile else None
     pipeline_config = build_pipeline_config(budget, guard_limits)
 
@@ -206,7 +227,9 @@ def _build_runner(corpus, seed: int, scale: float, jobs: int, checkpoint_dir,
               f"retried {stats.retried}, dead-lettered {stats.dead_lettered})")
 
     run_info = {"seed": seed, "scale": scale, "stages": list(stages or ()),
-                "faults": faults, "fault_seed": fault_seed}
+                "faults": faults, "fault_seed": fault_seed,
+                "storage_faults": storage_faults,
+                "storage_fault_seed": storage_fault_seed}
     if budget is not None:
         run_info["budget"] = budget
     if guard_limits:
@@ -300,15 +323,24 @@ def cmd_run(args) -> int:
         print(f"  + {len(hostile)} hostile messages (spec {args.hostile!r})")
 
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    storage_fault_seed = (args.storage_fault_seed
+                          if args.storage_fault_seed is not None else args.seed)
     runner = _build_runner(corpus, args.seed, args.scale, args.jobs, args.checkpoint,
                            executor=args.executor, profile=args.profile,
                            stages=args.stages,
                            faults=args.faults, fault_seed=fault_seed,
                            budget=args.budget, hostile=args.hostile or "",
                            guard_limits=tuple(args.guard_limit or ()),
-                           batch_size=args.batch_size)
+                           batch_size=args.batch_size,
+                           durability=args.durability,
+                           storage_faults=args.storage_faults,
+                           storage_fault_seed=storage_fault_seed)
     if args.faults != "off":
         print(f"Fault injection: profile={args.faults}, fault-seed={fault_seed}")
+    if args.storage_faults != "off":
+        print(f"Storage-fault injection: profile={args.storage_faults}, "
+              f"storage-fault-seed={storage_fault_seed}, "
+              f"durability={args.durability}")
     if args.budget is not None:
         print(f"Per-message budget: "
               f"{'unlimited' if args.budget == 0 else f'{args.budget} work units'}")
@@ -356,6 +388,15 @@ def cmd_resume(args) -> int:
     fault_seed = (args.fault_seed if args.fault_seed is not None
                   else (manifest.fault_seed if manifest.faults != "off"
                         else manifest.seed))
+    # Disk weather likewise: a bare resume replays the interrupted
+    # run's storage-fault schedule (the manifest persists it only when
+    # it was on); --storage-faults overrides.
+    storage_faults = (args.storage_faults if args.storage_faults is not None
+                      else manifest.storage_faults)
+    storage_fault_seed = (
+        args.storage_fault_seed if args.storage_fault_seed is not None
+        else (manifest.storage_fault_seed if manifest.storage_faults != "off"
+              else manifest.seed))
     # The budget (and guard limits) likewise default to the interrupted
     # run's, so a bare `resume` reproduces its limits exactly.
     budget = args.budget if args.budget is not None else manifest.budget
@@ -374,6 +415,10 @@ def cmd_resume(args) -> int:
           f"{durable}/{manifest.total_messages} already analysed, jobs={jobs}) ...")
     if faults != "off":
         print(f"Fault injection: profile={faults}, fault-seed={fault_seed}")
+    if storage_faults != "off":
+        print(f"Storage-fault injection: profile={storage_faults}, "
+              f"storage-fault-seed={storage_fault_seed}, "
+              f"durability={args.durability}")
     for letter in manifest.dead_letters:
         print(f"  prior dead letter: message {letter['index']} after "
               f"{letter['attempts']} attempts: {letter['error']}")
@@ -400,7 +445,10 @@ def cmd_resume(args) -> int:
                            faults=faults, fault_seed=fault_seed,
                            budget=budget, hostile=args.hostile or "",
                            guard_limits=guard_limits,
-                           batch_size=args.batch_size)
+                           batch_size=args.batch_size,
+                           durability=args.durability,
+                           storage_faults=storage_faults,
+                           storage_fault_seed=storage_fault_seed)
     _install_drain_handlers(runner)
     result = runner.run(messages)
     print(f"  {len(result.resumed_indices)} records reused, "
@@ -422,15 +470,18 @@ def cmd_report(args) -> int:
 
 
 def cmd_fsck(args) -> int:
-    """Validate a checkpoint: per-line CRC scan + manifest consistency.
+    """Validate a checkpoint: per-line CRC scan, manifest consistency,
+    ``endpoint.json`` sanity (serve checkpoints), leftover temp files.
 
     Exit codes: 0 = intact (a torn final line is tolerated and
-    reported), 1 = interior corruption, an unreadable manifest, or a
-    missing checkpoint.
+    reported), 1 = interior corruption, an unreadable manifest or
+    endpoint file, or a missing checkpoint.
     """
+    import json
     import pathlib
 
     from repro.runner import CheckpointStore
+    from repro.runner.checkpoint import ManifestCorrupt
 
     directory = pathlib.Path(args.checkpoint)
     if not directory.is_dir():
@@ -450,6 +501,15 @@ def cmd_fsck(args) -> int:
     manifest_broken = False
     try:
         manifest = store.read_manifest()
+    except ManifestCorrupt as exc:
+        # Torn write or bit rot, not a version skew: the records are
+        # independent of the manifest, so repair can still salvage.
+        manifest_broken = True
+        print(f"{store.manifest_path}: UNREADABLE ({exc.reason})")
+        print(f"  hint: the records are independent of the manifest — "
+              f"`repro fsck {directory} --repair <dest>` salvages every "
+              f"intact record; then `repro run --checkpoint <dest> "
+              f"--seed/--scale` re-creates the manifest and resumes")
     except (ValueError, KeyError) as exc:
         manifest_broken = True
         print(f"{store.manifest_path}: UNREADABLE ({exc})")
@@ -473,6 +533,34 @@ def cmd_fsck(args) -> int:
             print(f"  drained in-flight indices: "
                   f"{', '.join(str(index) for index in manifest.drained)}")
 
+    # Serve checkpoints carry an endpoint.json; a torn one sends every
+    # `repro submit --checkpoint` to a parse error, so diagnose it here.
+    endpoint_broken = False
+    endpoint_path = directory / "endpoint.json"
+    if endpoint_path.exists():
+        try:
+            endpoint = json.loads(endpoint_path.read_text(encoding="utf-8"))
+            if not isinstance(endpoint, dict) or not {"host", "port"} <= set(endpoint):
+                raise ValueError("missing host/port keys")
+        except (ValueError, OSError) as exc:
+            endpoint_broken = True
+            reason = getattr(exc, "msg", None) or str(exc)
+            print(f"{endpoint_path}: UNREADABLE ({reason})")
+            print("  hint: stale or torn endpoint file — delete it; the "
+                  "daemon rewrites it on startup (submit can use --port "
+                  "meanwhile)")
+        else:
+            print(f"{endpoint_path}: daemon endpoint "
+                  f"{endpoint['host']}:{endpoint['port']}")
+
+    # Leftover temp files mark a crash (or torn-rename fault) between
+    # temp write and atomic rename; the live files are intact.
+    for leftover in sorted(path for path in directory.iterdir()
+                           if path.name.endswith(".tmp")):
+        print(f"{leftover}: leftover temp file ({leftover.stat().st_size} "
+              f"byte(s)) — a rewrite crashed between write and rename; "
+              f"the live file is intact; safe to delete")
+
     corrupt = scan.corruption
     if corrupt:
         print(f"RESULT: {len(corrupt)} corrupt line(s) — "
@@ -485,10 +573,17 @@ def cmd_fsck(args) -> int:
     if args.repair:
         repaired = store.salvage_to(args.repair)
         salvaged = len(repaired.completed_indices())
-        print(f"Salvaged {salvaged} record(s) to {repaired.directory} "
-              f"(manifest marked 'interrupted'; resume it to re-analyse "
-              f"the rest)")
-    return 1 if (corrupt or manifest_broken) else 0
+        if manifest_broken or manifest is None:
+            print(f"Salvaged {salvaged} record(s) to {repaired.directory} "
+                  f"(no readable source manifest: run `repro run "
+                  f"--checkpoint {repaired.directory} --seed S --scale C` "
+                  f"to re-create one — the salvaged records are reused, "
+                  f"the rest re-analyse)")
+        else:
+            print(f"Salvaged {salvaged} record(s) to {repaired.directory} "
+                  f"(manifest marked 'interrupted'; resume it to re-analyse "
+                  f"the rest)")
+    return 1 if (corrupt or manifest_broken or endpoint_broken) else 0
 
 
 def cmd_serve(args) -> int:
@@ -528,8 +623,17 @@ def cmd_serve(args) -> int:
         retain=args.retain,
         budget=args.budget,
         guard_limits=tuple(args.guard_limit or ()) or None,
+        durability=args.durability,
+        storage_faults=args.storage_faults,
+        storage_fault_seed=(args.storage_fault_seed
+                            if args.storage_fault_seed is not None
+                            else args.seed),
     )
     daemon = ServeDaemon(config, args.checkpoint)
+    if config.storage_faults != "off":
+        print(f"Storage-fault injection: profile={config.storage_faults}, "
+              f"storage-fault-seed={config.storage_fault_seed}, "
+              f"durability={config.durability}", flush=True)
 
     def handle(signum, frame):
         daemon.request_shutdown()
@@ -622,9 +726,10 @@ def cmd_submit(args) -> int:
         print(f"submit failed: {exc}")
         return 1
     if args.export and exported:
-        pathlib.Path(args.export).write_text(
-            json.dumps(exported, indent=2, sort_keys=True), encoding="utf-8"
-        )
+        from repro.storage.durable import durable_write_text, retrying
+
+        payload = json.dumps(exported, indent=2, sort_keys=True)
+        retrying(lambda: durable_write_text(pathlib.Path(args.export), payload))
         print(f"{len(exported)} verdict record(s) exported to {args.export}")
     return 1 if problems else 0
 
@@ -751,6 +856,28 @@ def build_parser() -> argparse.ArgumentParser:
                             help="append finished records to DIR/records.jsonl so the "
                                  "run can be resumed after an interruption; each line "
                                  "carries a CRC32 suffix (see 'repro fsck')")
+    run_parser.add_argument("--durability", choices=("none", "batch", "always"),
+                            default="batch",
+                            help="fsync policy for durable writes: 'none' never "
+                                 "fsyncs (page cache only), 'batch' fsyncs the "
+                                 "records file every 256 appends + on close and "
+                                 "all whole-file replacements (default), 'always' "
+                                 "additionally fsyncs every append (lose at most "
+                                 "one record to power failure)")
+    run_parser.add_argument("--storage-faults",
+                            choices=("off", "light", "heavy", "hostile"),
+                            default="off",
+                            help="inject deterministic storage faults (short "
+                                 "writes, ENOSPC episodes, EIO, fsync failures, "
+                                 "torn renames) into every durable write; the "
+                                 "crash-consistent write path retries/degrades "
+                                 "instead of corrupting the checkpoint")
+    run_parser.add_argument("--storage-fault-seed", type=int, default=None,
+                            metavar="N",
+                            help="seed for the storage-fault schedule (default: "
+                                 "--seed); decisions key on file basenames, so "
+                                 "the same seed reproduces the same disk weather "
+                                 "in any checkpoint directory")
     run_parser.add_argument("--export", metavar="PATH", default=None,
                             help="write the analysis artifacts to a JSON file")
     run_parser.set_defaults(handler=cmd_run)
@@ -793,6 +920,20 @@ def build_parser() -> argparse.ArgumentParser:
                                help="re-specify the hostile-corpus spec of the "
                                     "interrupted run (hostile messages are appended "
                                     "by regeneration, not stored)")
+    resume_parser.add_argument("--durability", choices=("none", "batch", "always"),
+                               default="batch",
+                               help="fsync policy (see 'run --durability'); "
+                                    "per-invocation, not persisted in the manifest")
+    resume_parser.add_argument("--storage-faults",
+                               choices=("off", "light", "heavy", "hostile"),
+                               default=None,
+                               help="storage-fault profile (see 'run "
+                                    "--storage-faults'); defaults to the "
+                                    "interrupted run's profile from the manifest")
+    resume_parser.add_argument("--storage-fault-seed", type=int, default=None,
+                               metavar="N",
+                               help="storage-fault schedule seed (default: the "
+                                    "manifest's)")
     resume_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the completed artifacts to a JSON file")
     resume_parser.set_defaults(handler=cmd_resume)
@@ -878,6 +1019,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="when compacting, keep only the N newest message "
                                    "indices (verdicts were already streamed to "
                                    "submitters; default: keep all)")
+    serve_parser.add_argument("--durability", choices=("none", "batch", "always"),
+                              default="batch",
+                              help="fsync policy for the daemon's durable writes "
+                                   "(see 'run --durability')")
+    serve_parser.add_argument("--storage-faults",
+                              choices=("off", "light", "heavy", "hostile"),
+                              default="off",
+                              help="inject deterministic storage faults into the "
+                                   "daemon's durable writes (see 'run "
+                                   "--storage-faults'); the daemon degrades to "
+                                   "read-only under a persistent episode instead "
+                                   "of losing accepted records, and recovers when "
+                                   "the disk does (watch /healthz and /stats)")
+    serve_parser.add_argument("--storage-fault-seed", type=int, default=None,
+                              metavar="N",
+                              help="storage-fault schedule seed (default: --seed)")
     serve_parser.set_defaults(handler=cmd_serve)
 
     submit_parser = subparsers.add_parser(

@@ -128,8 +128,14 @@ def export_records(records: list[MessageRecord]) -> dict:
 
 
 def save_records(records: list[MessageRecord], path: str | pathlib.Path) -> None:
+    # Exports go through the durable layer like every other persistent
+    # artifact: temp write + fsync + atomic rename, never a half-written
+    # export (and the storage fault engine exercises this path too).
+    from repro.storage.durable import durable_write_text, retrying
+
     document = export_records(records)
-    pathlib.Path(path).write_text(json.dumps(document, separators=(",", ":")))
+    payload = json.dumps(document, separators=(",", ":"))
+    retrying(lambda: durable_write_text(pathlib.Path(path), payload))
 
 
 def record_to_line(record: MessageRecord) -> str:

@@ -39,7 +39,6 @@ parse:
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import threading
 from dataclasses import dataclass, field
@@ -60,6 +59,14 @@ from repro.core.export import (
     record_to_line,
     record_to_wire,
 )
+from repro.storage.durable import (
+    DEFAULT_DURABILITY,
+    DurableFile,
+    durable_write_text,
+    note_durable_record,
+    retrying,
+    validate_durability,
+)
 
 MANIFEST_VERSION = 1
 
@@ -69,6 +76,23 @@ MANIFEST_VERSION = 1
 #: :mod:`repro.core.export` so workers can render records to their
 #: final wire bytes; ``encode_record_line`` is re-exported here.
 RECORDS_FORMAT_VERSION = 2
+
+
+class ManifestCorrupt(ValueError):
+    """``manifest.json`` exists but does not parse (torn write, bit rot).
+
+    Carries an actionable hint instead of a raw ``JSONDecodeError`` so
+    ``resume``/``fsck`` can tell the operator what to do next.
+    """
+
+    def __init__(self, path: pathlib.Path, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(
+            f"{path} is torn or corrupt ({reason}); run "
+            f"`repro fsck {path.parent} --repair <dest>` to salvage the "
+            f"intact records, then resume the repaired checkpoint"
+        )
 
 
 def parse_record_line(line: str) -> tuple[dict | None, str | None]:
@@ -163,6 +187,13 @@ class RunManifest:
     stats: dict = field(default_factory=dict)
     faults: str = "off"
     fault_seed: int = 0
+    #: Storage fault weather (``--storage-faults``), kept so a bare
+    #: ``resume`` reproduces the interrupted run's disk weather the
+    #: same way ``faults`` reproduces its network weather.  Emitted
+    #: only when not "off" so default-path manifests stay byte-
+    #: identical to pre-storage-fault ones.
+    storage_faults: str = "off"
+    storage_fault_seed: int = 0
     #: Message indices checkpointed *after* a drain was requested — the
     #: in-flight work a graceful shutdown waited for.  Only populated
     #: when ``status == 'interrupted'``.
@@ -198,6 +229,9 @@ class RunManifest:
         }
         # Optional keys are emitted only when they carry information so
         # pre-existing manifests' key sets are preserved byte-for-byte.
+        if self.storage_faults != "off":
+            data["storage_faults"] = self.storage_faults
+            data["storage_fault_seed"] = self.storage_fault_seed
         if self.drained:
             data["drained"] = list(self.drained)
         if self.budget is not None:
@@ -225,6 +259,8 @@ class RunManifest:
             # Absent in manifests written before fault injection existed.
             faults=data.get("faults", "off"),
             fault_seed=data.get("fault_seed", 0),
+            storage_faults=data.get("storage_faults", "off"),
+            storage_fault_seed=data.get("storage_fault_seed", 0),
             drained=list(data.get("drained") or ()),
             budget=data.get("budget"),
             guard_limits=data.get("guard_limits"),
@@ -243,7 +279,17 @@ class CheckpointStore:
     RECORDS_NAME = "records.jsonl"
     MANIFEST_NAME = "manifest.json"
 
-    def __init__(self, directory: str | pathlib.Path, crc: bool = True):
+    #: Temp-file name left behind when a compaction pass crashes (or a
+    #: torn-rename fault fires) — kept for post-crash inspection; the
+    #: live records file is never half-written.
+    COMPACT_TMP_SUFFIX = ".compact.tmp"
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        crc: bool = True,
+        durability: str = DEFAULT_DURABILITY,
+    ):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.records_path = self.directory / self.RECORDS_NAME
@@ -252,8 +298,9 @@ class CheckpointStore:
         #: regardless); ``crc=False`` exists for writing v1 fixtures
         #: and for overhead benchmarking.
         self.crc = crc
+        self.durability = validate_durability(durability)
         self._lock = threading.Lock()
-        self._handle = None
+        self._durable = DurableFile(self.records_path, durability=durability)
 
     # ------------------------------------------------------------------
     # Records
@@ -276,17 +323,21 @@ class CheckpointStore:
         self._append_bytes(wire)
 
     def _append_bytes(self, data: bytes) -> None:
+        # Bounded retry rides out transient ENOSPC/EIO (DurableFile
+        # truncated the partial write, so the retry appends onto a
+        # clean tail); a persistent failure propagates to the caller.
         with self._lock:
-            if self._handle is None:
-                self._handle = self.records_path.open("ab")
-            self._handle.write(data + b"\n")
-            self._handle.flush()
+            retrying(lambda: self._durable.append(data + b"\n"))
+        note_durable_record()
+
+    def sync(self) -> None:
+        """Force records to stable storage now (manifest boundaries)."""
+        with self._lock:
+            retrying(self._durable.sync)
 
     def close(self) -> None:
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            self._durable.close()
 
     # ------------------------------------------------------------------
     def scan(self) -> CheckpointScan:
@@ -385,9 +436,13 @@ class CheckpointStore:
         The repaired manifest keeps the source's identity (seed, scale,
         faults, budget) but recomputes ``completed`` from the salvaged
         records and marks the run ``interrupted`` so a bare ``resume``
-        re-analyzes whatever corruption destroyed.
+        re-analyzes whatever corruption destroyed.  A torn/corrupt
+        source manifest does not block the salvage: the records are
+        copied and the repaired checkpoint is left without a manifest
+        (``repro run --checkpoint <dest> --seed/--scale`` re-creates
+        one and resumes from the salvaged records).
         """
-        repaired = CheckpointStore(destination)
+        repaired = CheckpointStore(destination, durability=self.durability)
         by_index: dict[int, MessageRecord] = {}
         for data in self.scan().entries:
             record = record_from_dict(data)
@@ -395,7 +450,10 @@ class CheckpointStore:
         for index in sorted(by_index):
             repaired.append(by_index[index])
         repaired.close()
-        manifest = self.read_manifest()
+        try:
+            manifest = self.read_manifest()
+        except ValueError:
+            manifest = None  # corrupt manifest: salvage records anyway
         if manifest is not None:
             manifest.completed = len(by_index)
             manifest.status = "interrupted"
@@ -432,9 +490,7 @@ class CheckpointStore:
         writing into the file being replaced.
         """
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            self._durable.close()
             if not self.records_path.exists():
                 return CompactionResult(0, 0, 0, 0, 0, 0, 0)
             raw = self.records_path.read_bytes()
@@ -476,13 +532,19 @@ class CheckpointStore:
             if retain is not None and len(survivors) > retain:
                 retired = len(survivors) - retain
                 survivors = survivors[retired:]
-            temp = self.records_path.with_suffix(".jsonl.tmp")
-            with temp.open("w", encoding="utf-8") as handle:
-                for index in survivors:
-                    handle.write(encode_record_line(payloads[index]) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp, self.records_path)
+            # Temp write -> fsync -> atomic rename -> *directory* fsync
+            # (rename alone is not power-loss durable).  A crash — real
+            # or injected torn-rename — leaves records.jsonl untouched
+            # and the .compact.tmp behind for post-crash inspection.
+            content = "".join(
+                encode_record_line(payloads[index]) + "\n" for index in survivors
+            )
+            durable_write_text(
+                self.records_path,
+                content,
+                durability=self.durability,
+                suffix=self.COMPACT_TMP_SUFFIX,
+            )
             bytes_after = self.records_path.stat().st_size
             return CompactionResult(
                 lines_before=lines_before,
@@ -500,12 +562,25 @@ class CheckpointStore:
     def write_manifest(self, manifest: RunManifest) -> None:
         payload = json.dumps(manifest.as_dict(), indent=2, sort_keys=True)
         with self._lock:
-            # Atomic replace: readers never observe a half-written manifest.
-            temp = self.manifest_path.with_suffix(".json.tmp")
-            temp.write_text(payload, encoding="utf-8")
-            temp.replace(self.manifest_path)
+            # Atomic replace: readers never observe a half-written
+            # manifest, even across power loss (temp fsync + rename +
+            # directory fsync).  Bounded retry rides out an ENOSPC
+            # episode; torn-rename faults leave manifest.json.tmp
+            # behind and the previous manifest intact.
+            retrying(
+                lambda: durable_write_text(
+                    self.manifest_path, payload, durability=self.durability
+                )
+            )
 
     def read_manifest(self) -> RunManifest | None:
         if not self.manifest_path.exists():
             return None
-        return RunManifest.from_dict(json.loads(self.manifest_path.read_text(encoding="utf-8")))
+        raw = self.manifest_path.read_text(encoding="utf-8")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as err:
+            raise ManifestCorrupt(self.manifest_path, str(err)) from None
+        if not isinstance(data, dict):
+            raise ManifestCorrupt(self.manifest_path, "not a JSON object")
+        return RunManifest.from_dict(data)

@@ -40,6 +40,7 @@ from collections import deque
 from dataclasses import dataclass, replace
 
 from repro.runner.pool import (
+    RespawnGovernor,
     ResultBatcher,
     acquire_pool,
     prewarm,
@@ -312,6 +313,9 @@ class ProcessPool:
         self.inflight: dict[int, set[int]] = {}
         self.idle: set[int] = set()
         self.stopped: set[int] = set()
+        #: Crash-loop protection: backoff between respawns, clean abort
+        #: once the windowed crash budget is exhausted.
+        self.governor = RespawnGovernor()
 
     # ------------------------------------------------------------------
     def run(self, pending: list[int]) -> None:
@@ -399,9 +403,11 @@ class ProcessPool:
         kind, worker_id = message[0], message[1]
         if kind == "frame":
             self._last_progress = time.monotonic()
+            self.governor.note_progress()
             self._handle_frame(worker_id, message[2], message[3])
         elif kind == "batch-done":
             self._last_progress = time.monotonic()
+            self.governor.note_progress()
             self._dispatch(worker_id, batch)
         elif kind == "ready":
             self._last_progress = time.monotonic()
@@ -495,8 +501,18 @@ class ProcessPool:
         )
         for index in lost:
             self._count_failure(index, crash)
+        self.governor.note_crash(exitcode)
         if self._should_respawn():
-            self.pool.spawn()  # replacement picks the retries up
+            delay = self.governor.permit()
+            if delay is None:
+                # A flapping worker target (dies on arrival, every
+                # time): stop feeding the reap/respawn spin and fail
+                # the run with the crash history instead.
+                self.runner._set_fatal(RuntimeError(self.governor.diagnosis()))
+            else:
+                if delay:
+                    time.sleep(delay)
+                self.pool.spawn()  # replacement picks the retries up
         self._dispatch_idle(batch)
 
     def _should_respawn(self) -> bool:

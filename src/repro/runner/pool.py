@@ -131,6 +131,75 @@ class ResultBatcher:
 # ----------------------------------------------------------------------
 # Host introspection
 # ----------------------------------------------------------------------
+class RespawnGovernor:
+    """Crash-loop protection for worker respawns.
+
+    An unconditional reap→respawn policy turns a worker target that
+    dies on arrival (a bad native dependency, an OOM-killed cgroup, a
+    corrupt world cache) into an infinite spawn spin that looks alive
+    from the outside.  Drivers consult the governor before every
+    respawn:
+
+    - :meth:`permit` returns the backoff delay to sleep before the
+      replacement spawns — exponential in the current *consecutive*
+      crash streak, so a genuinely flaky target costs little and a
+      flapping one backs off hard;
+    - once more than ``budget`` crashes land inside ``window`` seconds,
+      :meth:`permit` returns None and the driver converts the spin into
+      a clean abort with :meth:`diagnosis` as the error text.
+
+    Any sign of worker progress (a result frame, a finished batch)
+    resets the streak via :meth:`note_progress`; the windowed budget
+    keeps counting, so progress interleaved with crashes still exhausts
+    it eventually.
+    """
+
+    def __init__(
+        self,
+        budget: int = 12,
+        window: float = 60.0,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+    ):
+        self.budget = budget
+        self.window = window
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._crashes: list[float] = []  # monotonic timestamps, windowed
+        self._streak = 0
+        self._exit_codes: list[int | None] = []
+
+    def note_progress(self) -> None:
+        self._streak = 0
+
+    def note_crash(self, exitcode: int | None = None) -> None:
+        now = time.monotonic()
+        self._crashes.append(now)
+        self._exit_codes.append(exitcode)
+        cutoff = now - self.window
+        while self._crashes and self._crashes[0] < cutoff:
+            self._crashes.pop(0)
+        self._streak += 1
+
+    def permit(self) -> float | None:
+        """Backoff delay before the next respawn, or None when the
+        crash budget is exhausted (caller must abort, not respawn)."""
+        if len(self._crashes) > self.budget:
+            return None
+        if self._streak <= 1:
+            return 0.0
+        return min(self.max_delay, self.base_delay * (2 ** (self._streak - 2)))
+
+    def diagnosis(self) -> str:
+        tail = ", ".join(str(code) for code in self._exit_codes[-6:])
+        return (
+            f"worker crash budget exhausted: {len(self._crashes)} crashes "
+            f"within {self.window:g}s ({self._streak} consecutive; recent "
+            f"exit codes: {tail}); the worker target is flapping — "
+            f"aborting instead of respawning forever"
+        )
+
+
 def effective_cpu_count() -> int:
     """CPUs this process may actually run on (cgroup/affinity aware).
 

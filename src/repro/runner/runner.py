@@ -241,6 +241,10 @@ class CorpusRunner:
         interrupted = self._drain.is_set() and (
             len(self._records) + len(self._dead) < total
         )
+        if self.checkpoint is not None:
+            # Records reach stable storage before the manifest claims
+            # the run complete — the ordering crash consistency needs.
+            self.checkpoint.sync()
         self._write_manifest(status="interrupted" if interrupted else "complete")
         if self.checkpoint is not None:
             self.checkpoint.close()
@@ -299,10 +303,14 @@ class CorpusRunner:
             # not blocked behind this one's disk write.  Delivery is
             # exactly-once per index on every backend, so the dup check
             # above fully guards the append.
-            if wire is not None:
-                self.checkpoint.append_wire(wire)
-            else:
-                self.checkpoint.append(record)
+            try:
+                if wire is not None:
+                    self.checkpoint.append_wire(wire)
+                else:
+                    self.checkpoint.append(record)
+            except OSError as error:
+                self._abort_on_storage(error)
+                return
         if report:
             self.progress(self._stats, completed, self._total)
         if manifest_due:
@@ -322,7 +330,11 @@ class CorpusRunner:
             self._wire[index] = wire
             completed, report, manifest_due = self._progress_bookkeeping(index)
         if self.checkpoint is not None:
-            self.checkpoint.append_wire(wire)
+            try:
+                self.checkpoint.append_wire(wire)
+            except OSError as error:
+                self._abort_on_storage(error)
+                return False
         if report:
             self.progress(self._stats, completed, self._total)
         if manifest_due:
@@ -415,6 +427,21 @@ class CorpusRunner:
     def _note_retry(self) -> None:
         with self._lock:
             self._stats.retried += 1
+
+    def _abort_on_storage(self, error: OSError) -> None:
+        """A durable append failed past its bounded retry: the disk is
+        persistently refusing writes, so continuing would only analyze
+        messages whose records cannot land.  Abort cleanly — the fatal
+        error carries the OS diagnosis, every record already appended
+        is durable, and a later ``resume`` continues from them."""
+        self._set_fatal(error)
+        queue = self._queue
+        if queue is not None:
+            queue.close(discard_pending=True)
+        self._done.set()
+        # The process backend's event loop re-checks ``_fatal`` after
+        # this (the append happens on the event-loop thread), so no
+        # extra wakeup is needed there.
 
     def _set_fatal(self, error: BaseException) -> None:
         with self._lock:
@@ -515,5 +542,15 @@ class CorpusRunner:
                     [str(key), int(value)]
                     for key, value in self.run_info.get("guard_limits") or ()
                 ] or None,
+                storage_faults=str(self.run_info.get("storage_faults", "off")),
+                storage_fault_seed=int(self.run_info.get("storage_fault_seed", 0)),
             )
-        self.checkpoint.write_manifest(manifest)
+        try:
+            self.checkpoint.write_manifest(manifest)
+        except OSError:
+            # Mid-run progress snapshots and the post-fatal status are
+            # best-effort: the records file is the source of truth, and
+            # a disk refusing the manifest must not mask the run's own
+            # outcome.  Terminal complete/interrupted writes propagate.
+            if status not in ("running", "failed"):
+                raise

@@ -43,8 +43,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.export import WireRecord
+import time
+
 from repro.runner.executor import RunnerConfig, WorkerCrash, _worker_main
-from repro.runner.pool import acquire_pool, release_pool, unpack_frame
+from repro.runner.pool import RespawnGovernor, acquire_pool, release_pool, unpack_frame
 from repro.runner.queue import Job, JobQueue, QueueClosed
 from repro.runner.stats import RunningStats
 from repro.runner.workers import spawn_workers
@@ -152,6 +154,10 @@ class ProcessEngine:
         self._pending: list[ServeJob] = []
         self._stopped_workers: set[int] = set()
         self._stopping = threading.Event()
+        #: Crash-loop protection: a worker target that dies on arrival
+        #: backs off exponentially and eventually trips on_fatal instead
+        #: of spinning the reap/respawn loop forever.
+        self._governor = RespawnGovernor()
         self._pool = acquire_pool(
             _worker_main, config, jobs, name_prefix="repro-serve-worker"
         )
@@ -193,6 +199,7 @@ class ProcessEngine:
                         self._ready.add(worker_id)
                     self._dispatch_idle_locked()
             elif kind == "frame":
+                self._governor.note_progress()
                 self._handle_frame(worker_id, message[2], message[3])
             elif kind == "fail":
                 index, error = message[2], message[3]
@@ -245,10 +252,19 @@ class ProcessEngine:
             process = self._pool.discard(worker_id)
             lost = sorted(self._inflight.pop(worker_id, set()))
             self._ready.discard(worker_id)
-            if not self._stopping.is_set():
-                self._pool.spawn()
-                self._dispatch_idle_locked()
         exitcode = process.exitcode if process is not None else None
+        self._governor.note_crash(exitcode)
+        budget_exhausted = False
+        if not self._stopping.is_set():
+            delay = self._governor.permit()
+            if delay is None:
+                budget_exhausted = True
+            else:
+                if delay:
+                    time.sleep(delay)
+                with self._lock:
+                    self._pool.spawn()
+                    self._dispatch_idle_locked()
         crash = WorkerCrash(
             f"serve worker died (exit code {exitcode}) "
             f"with {len(lost)} submission(s) in flight"
@@ -258,6 +274,8 @@ class ProcessEngine:
                 job = self._jobs.pop(index, None)
             if job is not None:
                 self.on_result(job, None, crash)
+        if budget_exhausted:
+            self.on_fatal(self._governor.diagnosis())
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

@@ -63,6 +63,13 @@ from repro.serve.protocol import (
     read_line,
 )
 from repro.serve.scheduler import FairScheduler
+from repro.storage.durable import (
+    DEFAULT_DURABILITY,
+    durable_write_text,
+    install_storage_faults,
+    retrying,
+)
+from repro.storage.faults import StorageFaultEngine, storage_fault_profile
 
 #: Name of the discovery file written into the checkpoint directory so
 #: clients (and tests) can find the bound port of a daemon they spawned.
@@ -100,6 +107,15 @@ class ServeConfig:
     manifest_every: int = 50
     #: Verdict latencies kept for the /stats percentiles.
     latency_window: int = 2048
+    #: fsync policy for the checkpoint (``--durability``).
+    durability: str = DEFAULT_DURABILITY
+    #: Storage fault weather (``--storage-faults`` / ``--storage-fault-seed``).
+    storage_faults: str = "off"
+    storage_fault_seed: int = 0
+    #: Consecutive failed verdict appends (each already bounded-retried)
+    #: before the health state machine drops from ``degraded`` to
+    #: ``readonly`` and new submissions shed.
+    readonly_after: int = 3
 
 
 class _Session:
@@ -159,7 +175,7 @@ class ServeDaemon:
     def __init__(self, config: ServeConfig, checkpoint_dir: str | pathlib.Path):
         self.config = config
         self.directory = pathlib.Path(checkpoint_dir)
-        self.checkpoint = CheckpointStore(self.directory)
+        self.checkpoint = CheckpointStore(self.directory, durability=config.durability)
         self.admission = AdmissionController(config.admission)
         self.scheduler = FairScheduler()
         self.retry_policy = RetryPolicy()
@@ -188,6 +204,21 @@ class ServeDaemon:
         self.failed = 0
         self.compactions = 0
         self.checkpoint_lines = 0
+        # Storage health state machine: ok -> degraded (an append failed
+        # past its bounded retry; the verdict bytes are buffered, not
+        # lost) -> readonly (failures persist; new submissions shed with
+        # explicit responses) -> ok again once an append lands and the
+        # buffer drains.  Guarded by _storage_lock (never taken while
+        # holding it: _completion may be taken *around* it, not under).
+        self._storage_lock = threading.Lock()
+        self.storage_health = "ok"  # 'ok' | 'degraded' | 'readonly'
+        #: Verdict wire lines accepted but not yet durable (oldest first).
+        self._pending_wires: collections.deque[bytes] = collections.deque()
+        self._append_streak = 0  # consecutive failed appends
+        self.append_errors = 0  # cumulative, for /stats
+        self.storage_shed = 0
+        self.storage_recoveries = 0
+        self.last_storage_error: str | None = None
         self.reporters: dict[str, collections.Counter] = {}
         self._latencies: collections.deque = collections.deque(
             maxlen=max(1, config.latency_window)
@@ -201,6 +232,13 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Restore state, build the engine, bind, and go live."""
+        if self.config.storage_faults != "off":
+            install_storage_faults(
+                StorageFaultEngine(
+                    storage_fault_profile(self.config.storage_faults),
+                    seed=self.config.storage_fault_seed,
+                )
+            )
         self._restore()
         self._build_engine()
         listener = socket.create_server(
@@ -329,9 +367,13 @@ class ServeDaemon:
             indent=2,
             sort_keys=True,
         )
-        temp = self.directory / (ENDPOINT_NAME + ".tmp")
-        temp.write_text(payload, encoding="utf-8")
-        temp.replace(self.directory / ENDPOINT_NAME)
+        retrying(
+            lambda: durable_write_text(
+                self.directory / ENDPOINT_NAME,
+                payload,
+                durability=self.config.durability,
+            )
+        )
 
     def _on_fatal(self, reason: str) -> None:
         self._fatal = reason
@@ -405,7 +447,10 @@ class ServeDaemon:
         if path == "/stats":
             response = http_response(200, self.stats_payload())
         elif path == "/healthz":
-            status = 503 if self._draining else 200
+            # readonly is 503 like draining — load balancers should
+            # route elsewhere — but the payload still answers with the
+            # full storage diagnosis either way.
+            status = 503 if (self._draining or self.storage_health == "readonly") else 200
             response = http_response(status, self.health_payload())
         else:
             response = http_response(404, {"error": f"no such endpoint {path!r}"})
@@ -469,6 +514,34 @@ class ServeDaemon:
             message = ingest_eml_bytes(raw)
         except IngestError as error:
             reject(f"ingest-error: {error}")
+            return
+
+        # Readonly storage: the disk refused enough appends in a row
+        # that accepting more work would only grow the unpersistable
+        # backlog.  Each arrival first probes the disk (draining the
+        # pending buffer recovers the daemon the moment space returns),
+        # then — if still readonly — sheds with an explicit machine-
+        # readable response.  These sheds never tick the admission
+        # clock, so the deterministic shed set of the admission
+        # transcript is unaffected (like ``draining`` rejects).
+        if self.storage_health == "readonly":
+            self._probe_storage_recovery()
+        if self.storage_health == "readonly":
+            with self._completion:
+                self.submitted += 1
+                self.shed += 1
+                self.storage_shed += 1
+                self._reporter(reporter)["submitted"] += 1
+                self._reporter(reporter)["shed"] += 1
+            session.send(
+                {
+                    "op": "overloaded",
+                    "id": client_id,
+                    "reason": "readonly: checkpoint storage is failing "
+                    f"({self.last_storage_error}); retry once space returns",
+                    "retry_after_submissions": None,
+                }
+            )
             return
 
         # Arrival: the admission lock defines the arrival order; the
@@ -566,6 +639,77 @@ class ServeDaemon:
         with self._completion:
             self.stats.absorb(shard)
 
+    # ------------------------------------------------------------------
+    # Storage health (ok -> degraded -> readonly -> recovered)
+    # ------------------------------------------------------------------
+    def _append_durable(self, wire: bytes) -> int:
+        """Land one verdict line, riding out disk failures.
+
+        Returns how many buffered + fresh lines actually reached the
+        checkpoint in this call.  An accepted record is *never*
+        dropped: a failed append (already bounded-retried inside the
+        store) parks the wire bytes in ``_pending_wires`` — in order —
+        and flips the health state machine; every later append attempt
+        drains the buffer first, so recovery preserves append order.
+        """
+        with self._storage_lock:
+            appended = self._flush_pending_locked()
+            if self._pending_wires:
+                self._pending_wires.append(wire)  # still failing: buffer
+                return appended
+            try:
+                self.checkpoint.append_wire(wire)
+            except OSError as error:
+                self._note_append_failure_locked(error)
+                self._pending_wires.append(wire)
+                return appended
+            self._note_append_success_locked()
+            return appended + 1
+
+    def _flush_pending_locked(self) -> int:
+        """Drain the not-yet-durable buffer (caller holds _storage_lock)."""
+        flushed = 0
+        while self._pending_wires:
+            try:
+                self.checkpoint.append_wire(self._pending_wires[0])
+            except OSError as error:
+                self._note_append_failure_locked(error)
+                break
+            self._pending_wires.popleft()
+            flushed += 1
+            self._note_append_success_locked()
+        return flushed
+
+    def _note_append_failure_locked(self, error: OSError) -> None:
+        self.append_errors += 1
+        self._append_streak += 1
+        self.last_storage_error = str(error)
+        if self._append_streak >= max(1, self.config.readonly_after):
+            self.storage_health = "readonly"
+        elif self.storage_health == "ok":
+            self.storage_health = "degraded"
+
+    def _note_append_success_locked(self) -> None:
+        self._append_streak = 0
+        if not self._pending_wires and self.storage_health != "ok":
+            self.storage_health = "ok"
+            self.storage_recoveries += 1
+
+    def _probe_storage_recovery(self) -> None:
+        """Readonly + quiet pipeline = nothing retries the disk; incoming
+        traffic probes instead, so the daemon heals when space returns."""
+        with self._storage_lock:
+            if self._pending_wires:
+                self._flush_pending_locked()
+            elif self.storage_health != "ok":
+                self.storage_health = "ok"
+                self.storage_recoveries += 1
+
+    def _note_storage_error(self, error: OSError) -> None:
+        """Record a non-append durable failure (compaction, manifest)."""
+        with self._storage_lock:
+            self._note_append_failure_locked(error)
+
     def _on_result(self, job: ServeJob, wire, error) -> None:
         """Engine callback: exactly one verdict per accepted submission."""
         if error is not None:
@@ -600,19 +744,27 @@ class ServeDaemon:
 
         # The worker already rendered the final checkpoint line: append
         # the bytes and splice them into the verdict — the hot path
-        # never re-serializes the record.
-        self.checkpoint.append_wire(wire.wire)
+        # never re-serializes the record.  A failing disk buffers the
+        # line (degraded/readonly) instead of killing the daemon; the
+        # verdict still streams below — analysis happened, and the
+        # record is queued for the checkpoint, not lost.
+        appended = self._append_durable(wire.wire)
         compacted = False
         with self._completion:
-            self.checkpoint_lines += 1
+            self.checkpoint_lines += appended
             if (
                 self.config.compact_lines
                 and self.checkpoint_lines >= self.config.compact_lines
+                and self.storage_health == "ok"
             ):
-                result = self.checkpoint.compact(retain=self.config.retain)
-                self.checkpoint_lines = result.lines_after
-                self.compactions += 1
-                compacted = True
+                try:
+                    result = self.checkpoint.compact(retain=self.config.retain)
+                except OSError as error:
+                    self._note_storage_error(error)
+                else:
+                    self.checkpoint_lines = result.lines_after
+                    self.compactions += 1
+                    compacted = True
             if not getattr(self._engine, "provides_stats", False):
                 # Thread engine: no worker shards, fold the record here.
                 self.stats.update(wire.record)
@@ -631,7 +783,13 @@ class ServeDaemon:
     def _manifest_maybe(self, force: bool = False) -> None:
         every = max(1, self.config.manifest_every)
         if force or (self.completed + self.failed) % every == 0:
-            self._write_manifest("serving")
+            try:
+                self._write_manifest("serving")
+            except OSError as error:
+                # Best-effort progress snapshot: records are the source
+                # of truth and _restore() trusts them over a stale
+                # manifest, so degrade instead of dying.
+                self._note_storage_error(error)
 
     # ------------------------------------------------------------------
     # Drain
@@ -665,7 +823,21 @@ class ServeDaemon:
                 self._completion.wait(0.25)
         if self._engine is not None:
             self._engine.stop()
-        self._write_manifest("stopped")
+        with self._storage_lock:
+            self._flush_pending_locked()
+            stranded = len(self._pending_wires)
+        if stranded:
+            # Zero-loss means zero *silent* loss: if the disk never
+            # recovered, say so loudly and exit non-zero.
+            self._fatal = (
+                f"{stranded} accepted verdict record(s) could not be "
+                f"persisted (storage {self.storage_health}: "
+                f"{self.last_storage_error})"
+            )
+        try:
+            self._write_manifest("stopped")
+        except OSError as error:
+            self._fatal = self._fatal or f"final manifest write failed: {error}"
         self.checkpoint.close()
         with self._sessions_lock:
             sessions = list(self._sessions.values())
@@ -716,6 +888,7 @@ class ServeDaemon:
                     "compactions": self.compactions,
                     "retain": self.config.retain,
                 },
+                "storage": self._storage_payload(),
                 "analysis": self.stats.as_dict(),
             }
         depths = self.scheduler.depths()
@@ -724,13 +897,26 @@ class ServeDaemon:
         payload["reporters"] = reporters
         return payload
 
+    def _storage_payload(self) -> dict:
+        with self._storage_lock:
+            return {
+                "health": self.storage_health,
+                "durability": self.config.durability,
+                "pending_appends": len(self._pending_wires),
+                "append_errors": self.append_errors,
+                "storage_shed": self.storage_shed,
+                "recoveries": self.storage_recoveries,
+                "last_error": self.last_storage_error,
+            }
+
     def health_payload(self) -> dict:
         return {
-            "status": "draining" if self._draining else "ok",
+            "status": "draining" if self._draining else self.storage_health,
             "pid": os.getpid(),
             "port": self.port,
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "backlog": self._backlog(),
+            "storage": self._storage_payload(),
         }
 
     def _service_state(self) -> dict:
@@ -762,6 +948,8 @@ class ServeDaemon:
                 stats=self.stats.as_dict(),
                 budget=self.config.budget,
                 guard_limits=[list(pair) for pair in self.config.guard_limits or ()] or None,
+                storage_faults=self.config.storage_faults,
+                storage_fault_seed=self.config.storage_fault_seed,
                 service=self._service_state(),
             )
         self.checkpoint.write_manifest(manifest)

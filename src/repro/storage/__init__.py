@@ -1,0 +1,64 @@
+"""Crash-consistent durable writes + deterministic storage faults.
+
+Everything the pipeline persists — checkpoint records, manifests,
+``endpoint.json``, exports — flows through :mod:`repro.storage.durable`,
+the single place that knows how to append, fsync, and atomically
+replace.  :mod:`repro.storage.faults` injects seeded disk failures
+(short writes, ENOSPC, EIO, fsync failures, torn renames) underneath
+that layer, mirroring the deterministic weather discipline of
+:mod:`repro.web.faults` one layer down the stack.
+"""
+
+from repro.storage.durable import (
+    DEFAULT_DURABILITY,
+    DURABILITY_POLICIES,
+    FSYNC_BATCH_LINES,
+    RETRY_ATTEMPTS,
+    DurableFile,
+    atomic_replace,
+    durable_write_text,
+    fsync_dir,
+    install_storage_faults,
+    note_durable_record,
+    retrying,
+    storage_engine,
+    validate_durability,
+)
+from repro.storage.faults import (
+    STORAGE_FAULT_PROFILES,
+    FsyncFailure,
+    InjectedDiskFull,
+    InjectedIOError,
+    ShortWrite,
+    StorageFaultEngine,
+    StorageFaultError,
+    StorageFaultProfile,
+    TornRename,
+    storage_fault_profile,
+)
+
+__all__ = [
+    "DEFAULT_DURABILITY",
+    "DURABILITY_POLICIES",
+    "DurableFile",
+    "FSYNC_BATCH_LINES",
+    "RETRY_ATTEMPTS",
+    "FsyncFailure",
+    "InjectedDiskFull",
+    "InjectedIOError",
+    "STORAGE_FAULT_PROFILES",
+    "ShortWrite",
+    "StorageFaultEngine",
+    "StorageFaultError",
+    "StorageFaultProfile",
+    "TornRename",
+    "atomic_replace",
+    "durable_write_text",
+    "fsync_dir",
+    "install_storage_faults",
+    "note_durable_record",
+    "retrying",
+    "storage_engine",
+    "storage_fault_profile",
+    "validate_durability",
+]

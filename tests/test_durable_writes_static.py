@@ -1,0 +1,144 @@
+"""Every durable write flows through repro.storage — enforced statically.
+
+The crash-consistency guarantees (clean torn tails, atomic replaces,
+directory fsyncs, fault injection, the ``--durability`` policy) hold
+only if *all* persistence goes through :mod:`repro.storage.durable`.
+A stray ``open(path, "w")`` or bare ``os.replace`` elsewhere silently
+reopens every hole that layer closed: writes the fault engine cannot
+see, renames that are not power-loss durable, partial lines the
+checkpoint scanner would call interior corruption.
+
+So this test AST-walks ``src/repro`` (minus ``repro/storage`` itself,
+which is the one place allowed to touch the primitives) and fails on:
+
+- ``os.replace`` / ``os.fsync`` — use
+  :func:`repro.storage.durable.atomic_replace` / ``fsync_dir``;
+- ``open`` / ``.open`` with a write, append, exclusive, or update
+  mode, and ``.write_text`` / ``.write_bytes`` — use
+  :class:`repro.storage.durable.DurableFile` or ``durable_write_text``.
+
+There is deliberately no exemption list: if a future module needs a
+genuinely non-durable scratch write, route it through a helper in
+``repro.storage`` so the policy stays auditable in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The only package allowed to call the raw persistence primitives.
+ALLOWED_PACKAGE = "storage"
+
+_FORBIDDEN_OS = {"replace", "fsync"}
+_FORBIDDEN_METHODS = {"write_text", "write_bytes"}
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _mode_writes(call: ast.Call, mode_position: int) -> bool:
+    """True if an ``open``-style call's mode can write (or is dynamic).
+
+    ``mode_position`` is 1 for the builtin ``open(file, mode)`` and 0
+    for the ``Path.open(mode)`` method form.
+    """
+    mode = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS & set(mode.value))
+    return True  # dynamic mode: flag it — prove it read-only to the AST
+
+
+def _violations_in(source: str, filename: str) -> list[str]:
+    found = []
+    for node in ast.walk(ast.parse(source, filename=filename)):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+                and func.attr in _FORBIDDEN_OS
+            ):
+                found.append(
+                    f"{filename}:{node.lineno}: os.{func.attr} — use "
+                    f"repro.storage.durable."
+                    f"{'atomic_replace' if func.attr == 'replace' else 'fsync_dir'}"
+                )
+            elif func.attr in _FORBIDDEN_METHODS:
+                found.append(
+                    f"{filename}:{node.lineno}: .{func.attr}() — use "
+                    f"repro.storage.durable.durable_write_text"
+                )
+            elif func.attr == "open" and _mode_writes(node, mode_position=0):
+                found.append(
+                    f"{filename}:{node.lineno}: .open() with a write mode — "
+                    f"use repro.storage.durable (DurableFile or "
+                    f"durable_write_text)"
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "open"
+            and _mode_writes(node, mode_position=1)
+        ):
+            found.append(
+                f"{filename}:{node.lineno}: open() with a write mode — use "
+                f"repro.storage.durable (DurableFile or durable_write_text)"
+            )
+    return found
+
+
+def _audited_files():
+    files = [
+        path
+        for path in sorted(SRC.rglob("*.py"))
+        if path.relative_to(SRC).parts[0] != ALLOWED_PACKAGE
+    ]
+    assert files, f"nothing to audit under {SRC}"
+    return files
+
+
+class TestDurableWritePolicy:
+    def test_no_raw_persistence_outside_repro_storage(self):
+        violations = []
+        for path in _audited_files():
+            relative = str(path.relative_to(SRC.parent.parent))
+            violations.extend(_violations_in(path.read_text(), relative))
+        assert not violations, (
+            "raw durable-write primitives outside repro.storage "
+            "(crash-consistency holds only at the choke point):\n  "
+            + "\n  ".join(violations)
+        )
+
+    def test_checker_catches_each_forbidden_pattern(self):
+        # Guard the guard: every pattern the policy names must trip it.
+        bad = (
+            "import os\n"
+            "os.replace('a', 'b')\n"
+            "os.fsync(3)\n"
+            "path.write_text('x')\n"
+            "path.write_bytes(b'x')\n"
+            "open('a', 'w')\n"
+            "open('a', mode='r+')\n"
+            "path.open('ab')\n"
+            "open('a', flags)\n"
+        )
+        assert len(_violations_in(bad, "<bad>")) == 8
+
+    def test_checker_ignores_reads(self):
+        fine = (
+            "open('a')\n"
+            "open('a', 'rb')\n"
+            "path.open(mode='r')\n"
+            "path.read_text()\n"
+            "shutil.move('a', 'b')\n"
+        )
+        assert _violations_in(fine, "<fine>") == []
