@@ -628,6 +628,13 @@ def cmd_serve(args) -> int:
         storage_fault_seed=(args.storage_fault_seed
                             if args.storage_fault_seed is not None
                             else args.seed),
+        max_sessions=args.max_sessions,
+        line_deadline=args.line_deadline,
+        idle_timeout=args.idle_timeout,
+        send_deadline=args.send_deadline,
+        strike_budget=args.strikes,
+        listen_backlog=args.listen_backlog,
+        flush_timeout=args.flush_timeout,
     )
     daemon = ServeDaemon(config, args.checkpoint)
     if config.storage_faults != "off":
@@ -660,6 +667,14 @@ def cmd_serve(args) -> int:
     print(f"repro serve: drained ({daemon.completed} completed, "
           f"{daemon.shed} shed, {daemon.rejected} rejected); "
           f"manifest status 'stopped'.", flush=True)
+    # The drain parks the process engine's workers in the warm registry
+    # for in-process reuse; this process is exiting, so tear them down
+    # now — multiprocessing's own atexit join can run before the
+    # registry's, leaving the drained daemon blocked on parked workers
+    # that were never told to stop.
+    from repro.runner.pool import drop_warm_pool
+
+    drop_warm_pool()
     return code
 
 
@@ -701,10 +716,16 @@ def cmd_submit(args) -> int:
         with ServeClient(host, port, timeout=args.timeout) as client:
             by_id: dict[str, pathlib.Path] = {}
             for path in paths:
-                outcome = client.submit_file(path, reporter=args.reporter)
+                outcome = client.submit_with_retry(
+                    path.read_bytes(),
+                    reporter=args.reporter,
+                    max_retries=max(0, args.retry),
+                )
                 by_id[outcome.client_id] = path
                 if outcome.status == "accepted":
-                    print(f"{path}: accepted (message index {outcome.message_index})")
+                    retried = f" after {outcome.retries} retries" if outcome.retries else ""
+                    print(f"{path}: accepted (message index {outcome.message_index})"
+                          f"{retried}")
                 else:
                     problems += 1
                     extra = (f"; retry after {outcome.retry_after_submissions} "
@@ -1035,6 +1056,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--storage-fault-seed", type=int, default=None,
                               metavar="N",
                               help="storage-fault schedule seed (default: --seed)")
+    serve_parser.add_argument("--max-sessions", type=_positive_int, default=64,
+                              metavar="N",
+                              help="concurrent-session cap; excess connections are "
+                                   "refused with an explicit 'busy' response (never "
+                                   "ticking the admission clock), which bounds the "
+                                   "daemon's thread count")
+    serve_parser.add_argument("--line-deadline", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="wall-clock budget to finish one protocol line "
+                                   "once its first byte arrives (slowloris guard; "
+                                   "0 disables)")
+    serve_parser.add_argument("--idle-timeout", type=float, default=300.0,
+                              metavar="SECONDS",
+                              help="quiet seconds between lines before an idle "
+                                   "session is reaped; sessions still owed verdicts "
+                                   "are never reaped (0 disables)")
+    serve_parser.add_argument("--send-deadline", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="budget to stream one response to a slow peer "
+                                   "before declaring it dead (the verdict stays "
+                                   "durable; only the socket write is abandoned)")
+    serve_parser.add_argument("--strikes", type=_positive_int, default=8,
+                              metavar="N",
+                              help="malformed protocol lines one session may send "
+                                   "before a clean close")
+    serve_parser.add_argument("--listen-backlog", type=_positive_int, default=64,
+                              metavar="N",
+                              help="listen(2) backlog for the ingress socket")
+    serve_parser.add_argument("--flush-timeout", type=float, default=300.0,
+                              metavar="SECONDS",
+                              help="seconds a 'bye' waits for outstanding verdicts "
+                                   "before closing anyway")
     serve_parser.set_defaults(handler=cmd_serve)
 
     submit_parser = subparsers.add_parser(
@@ -1053,6 +1106,10 @@ def build_parser() -> argparse.ArgumentParser:
                                     "per-reporter admission budgets")
     submit_parser.add_argument("--timeout", type=float, default=120.0,
                                help="seconds to wait for admission and verdicts")
+    submit_parser.add_argument("--retry", type=int, default=2, metavar="N",
+                               help="automatic resubmissions per file when the "
+                                    "daemon answers 'overloaded' with a "
+                                    "retry_after_submissions hint (0 disables)")
     submit_parser.add_argument("--export", metavar="PATH", default=None,
                                help="write the verdict records to a JSON file")
     submit_parser.set_defaults(handler=cmd_submit)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import queue as stdlib_queue
+import signal
 import struct
 import threading
 import time
@@ -49,6 +50,30 @@ _STOP_GRACE = 5.0
 #: death/stall wakeup can be, *not* how fast results flow (results wake
 #: the parent instantly via the blocking get).
 _WATCH_INTERVAL = 0.5
+
+def _worker_entry(target, worker_id, config, inq, outq):
+    """Worker bootstrap: shed inherited signal dispositions, then run.
+
+    Forked workers inherit the parent CLI's SIGINT/SIGTERM handlers —
+    for ``repro serve`` that handler is ``daemon.request_shutdown()``
+    on the worker's dead copy of the daemon, which swallows the SIGTERM
+    that :meth:`WorkerPool.stop` sends, leaving an unstoppable worker
+    that the interpreter's exit join then waits on forever.  Workers
+    take orders over their command queue, never via signals: SIGTERM
+    reverts to its default (so ``terminate()`` works) and SIGINT is
+    ignored (a terminal Ctrl-C is delivered to the whole foreground
+    process group; the parent coordinates the drain).
+    """
+    for signum, disposition in (
+        (signal.SIGTERM, signal.SIG_DFL),
+        (signal.SIGINT, signal.SIG_IGN),
+    ):
+        try:
+            signal.signal(signum, disposition)
+        except (ValueError, OSError):
+            pass
+    target(worker_id, config, inq, outq)
+
 
 # ----------------------------------------------------------------------
 # Result frames
@@ -275,8 +300,8 @@ class WorkerPool:
             self._next_worker_id += 1
             inq = self.context.Queue()
             process = self.context.Process(
-                target=self.target,
-                args=(worker_id, self.config, inq, self.outq),
+                target=_worker_entry,
+                args=(self.target, worker_id, self.config, inq, self.outq),
                 name=f"{self.name_prefix}-{worker_id}",
                 daemon=True,
             )

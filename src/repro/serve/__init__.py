@@ -23,7 +23,12 @@ package turns the batch engine of :mod:`repro.runner` into that shape:
   checkpointing, rolling compaction, drain-on-SIGTERM, manifest
   lifecycle (``serving`` -> ``stopped``).
 - :mod:`~repro.serve.client` — the submission client behind
-  ``repro submit`` (and the tests).
+  ``repro submit`` (and the tests), including hint-honoring automatic
+  retry on ``overloaded``.
+- :mod:`~repro.serve.netchaos` — the deterministic hostile-client
+  fault engine (slowloris, floods, fuzz, flapping) that proves the
+  ingress hardening holds: well-behaved reporters' records stay
+  byte-identical under a hostile fleet.
 
 Determinism contract (the PR-5 invariant, extended end to end): every
 record depends only on (seed material, admission index), admission
@@ -35,12 +40,24 @@ an uninterrupted daemon — and to a batch run over the same messages.
 from repro.serve.admission import AdmissionConfig, AdmissionController, AdmissionDecision
 from repro.serve.client import ServeClient, SubmissionOutcome
 from repro.serve.engine import ProcessEngine, ServeJob, ThreadEngine, build_engine
+from repro.serve.netchaos import (
+    CLIENT_FAULT_PROFILES,
+    ChaosClient,
+    ChaosReport,
+    ClientFaultEngine,
+    ClientFaultProfile,
+    client_fault_profile,
+    fuzz_corpus,
+    run_chaos_fleet,
+)
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
+    LineChannel,
     ProtocolError,
     decode_line,
     encode_line,
     http_response,
+    send_bounded,
 )
 from repro.serve.scheduler import FairScheduler
 from repro.serve.server import ServeConfig, ServeDaemon
@@ -49,7 +66,13 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "CLIENT_FAULT_PROFILES",
+    "ChaosClient",
+    "ChaosReport",
+    "ClientFaultEngine",
+    "ClientFaultProfile",
     "FairScheduler",
+    "LineChannel",
     "MAX_LINE_BYTES",
     "ProcessEngine",
     "ProtocolError",
@@ -60,7 +83,11 @@ __all__ = [
     "SubmissionOutcome",
     "ThreadEngine",
     "build_engine",
+    "client_fault_profile",
     "decode_line",
     "encode_line",
+    "fuzz_corpus",
     "http_response",
+    "run_chaos_fleet",
+    "send_bounded",
 ]

@@ -44,6 +44,13 @@ ADMITTED = "admitted"
 SHED_GLOBAL = "global-admission-budget"
 SHED_REPORTER = "reporter-admission-budget"
 
+#: Reason on a connection-level ``busy`` refusal: the daemon's
+#: concurrent-session cap is full.  Emitted by the accept loop *before*
+#: a session exists, so a busy refusal never ticks the admission clock
+#: — floods cannot perturb the deterministic shed set of admitted
+#: traffic.
+REFUSED_BUSY = "session-limit"
+
 
 @dataclass(frozen=True)
 class AdmissionConfig:

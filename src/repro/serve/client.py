@@ -40,6 +40,9 @@ class SubmissionOutcome:
     #: The serialized MessageRecord dict from the verdict line.
     record: dict | None = None
     error: str | None = None
+    #: Automatic resubmissions :meth:`ServeClient.submit_with_retry`
+    #: spent before this outcome (0 for plain :meth:`submit_bytes`).
+    retries: int = 0
 
     @property
     def accepted(self) -> bool:
@@ -88,6 +91,36 @@ class ServeClient:
         self, path: str | pathlib.Path, reporter: str = "anonymous"
     ) -> SubmissionOutcome:
         return self.submit_bytes(pathlib.Path(path).read_bytes(), reporter=reporter)
+
+    def submit_with_retry(
+        self,
+        raw: bytes,
+        reporter: str = "anonymous",
+        client_id: str | None = None,
+        max_retries: int = 4,
+        backoff: float = 0.0,
+    ) -> SubmissionOutcome:
+        """Submit, honoring the daemon's ``retry_after_submissions`` hint.
+
+        An ``overloaded`` response carries how many arrival ticks the
+        admission bucket needs to refill one message's worth of budget;
+        each resubmission is itself a tick, so a lone client converges
+        by simply resubmitting up to ``max_retries`` times (``backoff``
+        seconds apart, scaled by the hint).  A ``None`` hint means the
+        budget can never refill (e.g. readonly storage) — returned
+        immediately, the caller owns that retry.  The final outcome's
+        ``retries`` records the attempts spent.
+        """
+        retries = 0
+        while True:
+            outcome = self.submit_bytes(raw, reporter=reporter, client_id=client_id)
+            outcome.retries = retries
+            hint = outcome.retry_after_submissions
+            if outcome.status != "overloaded" or hint is None or retries >= max_retries:
+                return outcome
+            retries += 1
+            if backoff > 0.0:
+                time.sleep(backoff * max(1, hint))
 
     def wait_verdicts(self, timeout: float | None = None) -> list[SubmissionOutcome]:
         """Block until every accepted submission has a terminal response."""

@@ -4,7 +4,12 @@ One process, five moving parts:
 
 - **Sessions** — one thread per connection reads line-delimited JSON
   submissions (:mod:`repro.serve.protocol`).  The same port answers
-  HTTP ``GET /stats`` / ``GET /healthz`` for monitoring.
+  HTTP ``GET /stats`` / ``GET /healthz`` for monitoring.  The ingress
+  is hardened against hostile clients (see DESIGN.md §11): a session
+  cap refused with explicit ``busy`` lines, per-line read deadlines, a
+  progress-based idle reaper, a malformed-line strike budget, and
+  bounded verdict sends with dead-peer detection — all exercised by
+  :mod:`repro.serve.netchaos`.
 - **Admission** — a single lock serializes arrivals, which *defines*
   the arrival order; the deterministic controller
   (:mod:`repro.serve.admission`) sheds with explicit ``overloaded``
@@ -50,17 +55,23 @@ from repro.runner.checkpoint import CheckpointStore, RunManifest
 from repro.runner.executor import RunnerConfig
 from repro.runner.retry import RetryPolicy
 from repro.runner.stats import RunningStats
-from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.admission import REFUSED_BUSY, AdmissionConfig, AdmissionController
 from repro.serve.engine import ServeJob, build_engine
 from repro.serve.protocol import (
+    HTTP_ALLOWED_METHODS,
     MAX_LINE_BYTES,
+    IdleTimeout,
+    LineChannel,
+    LineTooLong,
     ProtocolError,
+    ReadDeadlineExceeded,
     decode_line,
     encode_line,
     encode_verdict_line,
+    http_request_parts,
     http_response,
     looks_like_http,
-    read_line,
+    send_bounded,
 )
 from repro.serve.scheduler import FairScheduler
 from repro.storage.durable import (
@@ -116,6 +127,33 @@ class ServeConfig:
     #: before the health state machine drops from ``degraded`` to
     #: ``readonly`` and new submissions shed.
     readonly_after: int = 3
+    # ------------------------------------------------------------------
+    # Ingress hardening (the connection lifecycle; see DESIGN.md §11).
+    # ------------------------------------------------------------------
+    #: Hard cap on concurrently open ingress connections.  Excess
+    #: connections are refused with an explicit machine-readable
+    #: ``busy`` line (never ticking the admission clock) and closed
+    #: from the accept loop, so session threads stay bounded by this.
+    max_sessions: int = 64
+    #: Wall-clock budget to *complete* one protocol line once its first
+    #: byte arrived (slowloris guard; 0 disables).
+    line_deadline: float = 30.0
+    #: Quiet seconds between lines before an idle session is reaped.
+    #: Progress-based: a session still owed verdicts is never reaped,
+    #: and the clock restarts when the last verdict streams (0 disables).
+    idle_timeout: float = 300.0
+    #: Wall-clock budget for streaming one response line to a slow
+    #: peer before the socket is declared dead.  The verdict is already
+    #: durable in the checkpoint; only the doomed write is abandoned.
+    send_deadline: float = 30.0
+    #: Malformed protocol lines (undecodable JSON, missing/unknown op)
+    #: one session may send before a clean close.
+    strike_budget: int = 8
+    #: listen(2) backlog for the ingress socket.
+    listen_backlog: int = 64
+    #: Seconds a ``bye`` waits for outstanding verdicts before closing
+    #: anyway (the drain path for one polite session).
+    flush_timeout: float = 300.0
 
 
 class _Session:
@@ -124,15 +162,22 @@ class _Session:
     _next_id = 0
     _id_lock = threading.Lock()
 
-    def __init__(self, conn: socket.socket):
+    def __init__(
+        self,
+        conn: socket.socket,
+        send_deadline: float = 30.0,
+        on_dead_peer=None,
+    ):
         with _Session._id_lock:
             _Session._next_id += 1
             self.session_id = _Session._next_id
         self.conn = conn
+        self.send_deadline = send_deadline
+        self._on_dead_peer = on_dead_peer
         self._write_lock = threading.Lock()
         self.alive = True
         #: Accepted message indices whose verdict has not streamed yet
-        #: (what ``bye`` waits for).
+        #: (what ``bye`` waits for, and what defers the idle reaper).
         self.outstanding: set[int] = set()
         self.flushed = threading.Condition()
 
@@ -140,16 +185,34 @@ class _Session:
         return self.send_raw(encode_line(payload))
 
     def send_raw(self, data: bytes) -> bool:
-        """Stream pre-encoded line bytes (the verdict splice path)."""
+        """Stream pre-encoded line bytes (the verdict splice path).
+
+        Bounded: a peer that stops reading trips the send deadline and
+        is declared dead rather than pinning an engine callback thread.
+        Only the socket write is abandoned — the verdict is already
+        durable in the checkpoint by the time this is called.
+        """
         with self._write_lock:
             if not self.alive:
                 return False
-            try:
-                self.conn.sendall(data)
+            if send_bounded(self.conn, data, self.send_deadline):
                 return True
+            self.alive = False
+            # Shut down (not close) so the reader thread's select wakes
+            # and runs the session's normal cleanup path; closing here
+            # would race the reader on the fd.
+            try:
+                self.conn.shutdown(socket.SHUT_RDWR)
             except OSError:
-                self.alive = False
-                return False
+                pass
+        if self._on_dead_peer is not None:
+            self._on_dead_peer()
+        return False
+
+    def has_outstanding(self) -> bool:
+        """True while verdicts are still owed (defers the idle reaper)."""
+        with self.flushed:
+            return bool(self.outstanding)
 
     def finish(self, index: int) -> None:
         with self.flushed:
@@ -167,6 +230,8 @@ class _Session:
                 self.conn.close()
             except OSError:
                 pass
+        with self.flushed:
+            self.flushed.notify_all()
 
 
 class ServeDaemon:
@@ -187,6 +252,16 @@ class ServeDaemon:
         self._completion = threading.Condition()
         self._sessions: dict[int, _Session] = {}
         self._sessions_lock = threading.Lock()
+        #: Connections currently owned by a session thread (includes the
+        #: HTTP-sniff window before a session registers).  Guarded by
+        #: _sessions_lock; the accept loop refuses above max_sessions,
+        #: so session threads are bounded by the cap.
+        self._open_connections = 0
+        # Ingress telemetry (surfaced in /stats and /healthz only —
+        # never the manifest, so `--client-faults off` runs stay
+        # byte-identical to pre-hardening daemons).
+        self._ingress_lock = threading.Lock()
+        self._ingress: collections.Counter = collections.Counter()
         self._shutdown = threading.Event()
         self._drained = threading.Event()
         self._draining = False
@@ -242,7 +317,9 @@ class ServeDaemon:
         self._restore()
         self._build_engine()
         listener = socket.create_server(
-            (self.config.host, self.config.port), backlog=64, reuse_port=False
+            (self.config.host, self.config.port),
+            backlog=max(1, self.config.listen_backlog),
+            reuse_port=False,
         )
         self._listener = listener
         self.port = listener.getsockname()[1]
@@ -396,6 +473,19 @@ class ServeDaemon:
                 except OSError:
                     pass
                 return
+            with self._sessions_lock:
+                if self._open_connections >= max(1, self.config.max_sessions):
+                    over_cap = True
+                else:
+                    over_cap = False
+                    self._open_connections += 1
+            if over_cap:
+                # Refuse inline — no thread is ever spawned for an
+                # over-cap connection, which is what bounds the daemon's
+                # thread count by the session cap.
+                self._refuse_busy(conn)
+                continue
+            self._count_ingress("sessions_total")
             threading.Thread(
                 target=self._serve_connection,
                 args=(conn,),
@@ -403,11 +493,50 @@ class ServeDaemon:
                 daemon=True,
             ).start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        stream = conn.makefile("rb")
-        session = _Session(conn)
+    def _refuse_busy(self, conn: socket.socket) -> None:
+        """Explicit machine-readable refusal of an over-cap connection.
+
+        Never ticks the admission clock: the connection carried no
+        submission, so the deterministic admission transcript — and the
+        records of every admitted message — is unaffected by floods.
+        """
+        self._count_ingress("busy_refused")
+        line = encode_line(
+            {
+                "op": "busy",
+                "reason": REFUSED_BUSY,
+                "detail": f"{self.config.max_sessions} concurrent sessions are "
+                f"already open; reconnect after one closes",
+            }
+        )
         try:
-            line = read_line(stream, self.config.max_line_bytes)
+            conn.setblocking(False)
+            send_bounded(conn, line, timeout=1.0)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _count_ingress(self, key: str, amount: int = 1) -> None:
+        with self._ingress_lock:
+            self._ingress[key] += amount
+
+    def _release_connection(self) -> None:
+        with self._sessions_lock:
+            self._open_connections = max(0, self._open_connections - 1)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = _Session(
+            conn,
+            send_deadline=self.config.send_deadline,
+            on_dead_peer=lambda: self._count_ingress("dead_peers"),
+        )
+        channel = LineChannel(conn, limit=self.config.max_line_bytes)
+        try:
+            line = self._read_session_line(channel, session)
             if line is None:
                 return
             if looks_like_http(line):
@@ -415,36 +544,94 @@ class ServeDaemon:
                 return
             with self._sessions_lock:
                 self._sessions[session.session_id] = session
+            strikes = max(1, self.config.strike_budget)
             while line is not None:
                 try:
                     payload = decode_line(line)
                 except ProtocolError as error:
-                    session.send({"op": "error", "reason": str(error)})
+                    self._count_ingress("malformed_lines")
+                    strikes -= 1
+                    if not self._strike(session, strikes, str(error)):
+                        return
+                    line = self._read_session_line(channel, session)
+                    continue
+                verdict = self._handle_op(session, payload)
+                if verdict == "close":
                     return
-                if not self._handle_op(session, payload):
-                    return
+                if verdict == "strike":
+                    self._count_ingress("malformed_lines")
+                    strikes -= 1
+                    reason = f"unknown op {payload['op']!r}"
+                    if not self._strike(session, strikes, reason):
+                        return
                 self._backpressure_wait()
-                line = read_line(stream, self.config.max_line_bytes)
-        except ProtocolError as error:
-            session.send({"op": "error", "reason": str(error)})
+                line = self._read_session_line(channel, session)
         except OSError:
             pass
         finally:
             with self._sessions_lock:
                 self._sessions.pop(session.session_id, None)
             session.close()
-            try:
-                stream.close()
-            except OSError:
-                pass
+            self._release_connection()
+
+    def _read_session_line(self, channel: LineChannel, session: _Session) -> bytes | None:
+        """One deadline-guarded line; ``None`` means close the session.
+
+        Every reaping is explicit: the peer gets a machine-readable
+        ``error`` naming why before the close (best-effort — a reaped
+        peer is often not reading anyway).
+        """
+        config = self.config
+        try:
+            line = channel.read_line(
+                line_deadline=config.line_deadline or None,
+                idle_timeout=config.idle_timeout or None,
+                defer_idle=session.has_outstanding,
+            )
+        except LineTooLong as error:
+            # No resync is possible mid-line: error + close.
+            self._count_ingress("oversized_lines")
+            session.send({"op": "error", "reason": str(error)})
+            return None
+        except ReadDeadlineExceeded as error:
+            self._count_ingress("line_deadline_reaped")
+            session.send({"op": "error", "reason": f"read deadline: {error}"})
+            return None
+        except IdleTimeout as error:
+            self._count_ingress("idle_reaped")
+            session.send({"op": "error", "reason": f"idle timeout: {error}"})
+            return None
+        if line is None and channel.pending:
+            self._count_ingress("mid_line_disconnects")
+        return line
+
+    def _strike(self, session: _Session, strikes_remaining: int, reason: str) -> bool:
+        """Answer one malformed line; False when the budget is spent."""
+        if strikes_remaining <= 0:
+            self._count_ingress("strike_closes")
+            session.send(
+                {
+                    "op": "error",
+                    "reason": f"strike budget exhausted: {reason}",
+                    "strikes_remaining": 0,
+                }
+            )
+            return False
+        session.send(
+            {"op": "error", "reason": reason, "strikes_remaining": strikes_remaining}
+        )
+        return True
 
     def _serve_http(self, conn: socket.socket, request_line: bytes) -> None:
-        try:
-            path = request_line.split()[1].decode("ascii", "replace")
-        except IndexError:
-            path = "/"
-        path = path.split("?", 1)[0]
-        if path == "/stats":
+        self._count_ingress("http_requests")
+        method, path = http_request_parts(request_line)
+        if method not in HTTP_ALLOWED_METHODS:
+            response = http_response(
+                405,
+                {"error": f"method {method} not allowed; use GET or HEAD"},
+                headers={"Allow": ", ".join(HTTP_ALLOWED_METHODS)},
+            )
+        elif path == "/stats":
             response = http_response(200, self.stats_payload())
         elif path == "/healthz":
             # readonly is 503 like draining — load balancers should
@@ -454,35 +641,32 @@ class ServeDaemon:
             response = http_response(status, self.health_payload())
         else:
             response = http_response(404, {"error": f"no such endpoint {path!r}"})
+        if method == "HEAD":
+            response = response.split(b"\r\n\r\n", 1)[0] + b"\r\n\r\n"
+        send_bounded(conn, response, self.config.send_deadline)
         try:
-            conn.sendall(response)
+            conn.close()
         except OSError:
             pass
-        finally:
-            try:
-                conn.close()
-            except OSError:
-                pass
 
     # ------------------------------------------------------------------
-    def _handle_op(self, session: _Session, payload: dict) -> bool:
-        """Dispatch one protocol message; False closes the session."""
+    def _handle_op(self, session: _Session, payload: dict) -> str:
+        """Dispatch one message -> ``'ok'`` | ``'close'`` | ``'strike'``."""
         op = payload["op"]
         if op == "submit":
             self._handle_submit(session, payload)
-            return True
+            return "ok"
         if op == "ping":
             session.send({"op": "pong", "draining": self._draining})
-            return True
+            return "ok"
         if op == "stats":
             session.send({"op": "stats", "stats": self.stats_payload()})
-            return True
+            return "ok"
         if op == "bye":
             self._flush_session(session)
             session.send({"op": "goodbye"})
-            return False
-        session.send({"op": "error", "reason": f"unknown op {op!r}"})
-        return True
+            return "close"
+        return "strike"
 
     def _handle_submit(self, session: _Session, payload: dict) -> None:
         from repro.mail.ingest import IngestError, ingest_eml_bytes
@@ -592,8 +776,10 @@ class ServeDaemon:
                 return
         reject("draining: the daemon is shutting down; resubmit after restart")
 
-    def _flush_session(self, session: _Session, timeout: float = 300.0) -> None:
+    def _flush_session(self, session: _Session, timeout: float | None = None) -> None:
         """Block a ``bye`` until every accepted verdict streamed back."""
+        if timeout is None:
+            timeout = self.config.flush_timeout
         deadline = time.monotonic() + timeout
         with session.flushed:
             while session.outstanding and session.alive:
@@ -895,7 +1081,40 @@ class ServeDaemon:
         for name, depth in depths.items():
             reporters.setdefault(name, {})["queued"] = depth
         payload["reporters"] = reporters
+        # Outside _completion: ingress has its own locks, and the
+        # counters are telemetry, not part of the service state the
+        # manifest persists.
+        payload["ingress"] = self.ingress_payload()
         return payload
+
+    def ingress_payload(self) -> dict:
+        """Connection-lifecycle telemetry (/stats and /healthz only).
+
+        Deliberately never written to the manifest: a daemon run with
+        ``--client-faults off`` must leave a checkpoint directory
+        byte-identical to one produced before ingress hardening existed.
+        """
+        with self._sessions_lock:
+            open_connections = self._open_connections
+            active_sessions = len(self._sessions)
+        with self._ingress_lock:
+            counters = dict(self._ingress)
+        return {
+            "open_connections": open_connections,
+            "active_sessions": active_sessions,
+            "max_sessions": self.config.max_sessions,
+            "strike_budget": self.config.strike_budget,
+            "sessions_total": counters.get("sessions_total", 0),
+            "busy_refused": counters.get("busy_refused", 0),
+            "idle_reaped": counters.get("idle_reaped", 0),
+            "line_deadline_reaped": counters.get("line_deadline_reaped", 0),
+            "mid_line_disconnects": counters.get("mid_line_disconnects", 0),
+            "malformed_lines": counters.get("malformed_lines", 0),
+            "strike_closes": counters.get("strike_closes", 0),
+            "oversized_lines": counters.get("oversized_lines", 0),
+            "dead_peers": counters.get("dead_peers", 0),
+            "http_requests": counters.get("http_requests", 0),
+        }
 
     def _storage_payload(self) -> dict:
         with self._storage_lock:
@@ -917,6 +1136,7 @@ class ServeDaemon:
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "backlog": self._backlog(),
             "storage": self._storage_payload(),
+            "ingress": self.ingress_payload(),
         }
 
     def _service_state(self) -> dict:

@@ -1,0 +1,129 @@
+"""The hostile-client fault engine, socket-free: profile presets, the
+pure ``(seed, client id, op index)`` behavior schedule, and the fuzz
+corpus — every corpus line must draw a :class:`ProtocolError` from the
+daemon's own decoder, which is what guarantees a fuzz op can never tick
+the admission clock.  The engine is driven against a live daemon in
+``test_serve_hostile.py``.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.serve.netchaos import (
+    CLIENT_FAULT_PROFILES,
+    FUZZ_SHAPES,
+    ClientFaultEngine,
+    client_fault_profile,
+    fuzz_corpus,
+)
+from repro.serve.protocol import ProtocolError, decode_line
+
+
+class TestProfiles:
+    def test_presets_cover_the_cli_choices(self):
+        assert sorted(CLIENT_FAULT_PROFILES) == ["heavy", "hostile", "light", "off"]
+        assert not CLIENT_FAULT_PROFILES["off"].active
+        for name in ("light", "heavy", "hostile"):
+            assert CLIENT_FAULT_PROFILES[name].active
+
+    def test_rates_form_a_valid_band_partition(self):
+        # Disjoint bands of one uniform draw: the rates must leave room
+        # for the benign noop leftover.
+        for profile in CLIENT_FAULT_PROFILES.values():
+            total = sum(getattr(profile, f) for f in profile.RATE_FIELDS)
+            assert 0.0 <= total < 1.0, profile.name
+
+    def test_monotone_escalation(self):
+        light, heavy, hostile = (
+            CLIENT_FAULT_PROFILES[n] for n in ("light", "heavy", "hostile")
+        )
+        for name in light.RATE_FIELDS:
+            assert (
+                getattr(light, name) <= getattr(heavy, name) <= getattr(hostile, name)
+            ), name
+
+    def test_lookup_rejects_unknown_names(self):
+        assert client_fault_profile("hostile").name == "hostile"
+        with pytest.raises(ValueError, match="unknown client fault profile"):
+            client_fault_profile("armageddon")
+
+
+class TestSchedule:
+    def test_behavior_is_a_pure_function_of_coordinates(self):
+        one = ClientFaultEngine(client_fault_profile("hostile"), seed=99)
+        two = ClientFaultEngine(client_fault_profile("hostile"), seed=99)
+        for op_index in range(200):
+            a = one.behavior("chaos-0", op_index)
+            b = two.behavior("chaos-0", op_index)
+            assert (a.kind, a.payload, a.chunks, a.burst, a.overshoot) == (
+                b.kind, b.payload, b.chunks, b.burst, b.overshoot,
+            )
+
+    def test_different_seeds_diverge(self):
+        one = ClientFaultEngine(client_fault_profile("hostile"), seed=1)
+        two = ClientFaultEngine(client_fault_profile("hostile"), seed=2)
+        kinds_one = [one.behavior("c", i).kind for i in range(100)]
+        kinds_two = [two.behavior("c", i).kind for i in range(100)]
+        assert kinds_one != kinds_two
+
+    def test_clients_get_independent_schedules(self):
+        engine = ClientFaultEngine(client_fault_profile("hostile"), seed=7)
+        kinds_a = [engine.behavior("chaos-a", i).kind for i in range(100)]
+        kinds_b = [engine.behavior("chaos-b", i).kind for i in range(100)]
+        assert kinds_a != kinds_b
+
+    def test_hostile_profile_schedules_every_kind(self):
+        engine = ClientFaultEngine(client_fault_profile("hostile"), seed=3)
+        seen = collections.Counter(
+            engine.behavior("chaos-0", i).kind for i in range(600)
+        )
+        for kind in ("slowloris", "idle_camp", "mid_line", "fuzz",
+                     "oversized", "flood", "flap", "noop"):
+            assert seen[kind] > 0, kind
+        # Each kind lands near its configured rate (fuzz is the widest
+        # band at 0.25, so it must be the most common hostile kind).
+        assert seen["fuzz"] == max(seen.values())
+
+    def test_off_profile_schedules_only_noops(self):
+        engine = ClientFaultEngine(client_fault_profile("off"), seed=3)
+        assert not engine.active
+        assert all(
+            engine.behavior("chaos-0", i).kind == "noop" for i in range(100)
+        )
+
+    def test_telemetry_counts_scheduled_kinds(self):
+        engine = ClientFaultEngine(client_fault_profile("hostile"), seed=3)
+        for i in range(50):
+            engine.behavior("chaos-0", i)
+        assert sum(engine.injected.values()) == 50
+
+
+class TestFuzzCorpus:
+    def test_corpus_is_deterministic(self):
+        assert fuzz_corpus(41, count=32) == fuzz_corpus(41, count=32)
+        assert fuzz_corpus(41, count=32) != fuzz_corpus(42, count=32)
+
+    def test_every_line_is_newline_free(self):
+        for line in fuzz_corpus(17, count=128):
+            assert b"\n" not in line
+
+    def test_every_line_draws_a_protocol_error(self):
+        # The load-bearing property: no fuzz line is ever admissible, so
+        # fuzz traffic can never perturb admission indices.  This also
+        # covers the deep-nesting bomb: decode_line must answer with a
+        # ProtocolError, not unwind with RecursionError.
+        for line in fuzz_corpus(17, count=128):
+            with pytest.raises(ProtocolError):
+                decode_line(line)
+
+    def test_corpus_exercises_all_shapes(self):
+        # Reconstruct which shapes appeared by structural fingerprints.
+        lines = fuzz_corpus(5, count=256)
+        assert any(line.startswith(b"[" * 100) for line in lines)  # deep_nesting
+        assert any(line == b"{}" for line in lines)  # empty_object
+        assert any(line.startswith(b"POST ") for line in lines)  # http_like
+        assert any(b"no-op-here" in line for line in lines)  # missing_op
+        assert len(FUZZ_SHAPES) == 9

@@ -28,12 +28,18 @@ from repro.serve.admission import (
     AdmissionController,
 )
 from repro.serve.protocol import (
+    IdleTimeout,
+    LineChannel,
+    LineTooLong,
     ProtocolError,
+    ReadDeadlineExceeded,
     decode_line,
     encode_line,
+    http_request_parts,
     http_response,
     looks_like_http,
     read_line,
+    send_bounded,
 )
 from repro.serve.scheduler import FairScheduler
 
@@ -365,3 +371,186 @@ class TestServiceManifest:
         # Absent optional keys read as zero (old manifests).
         sparse = RunningStats.from_dict({"analyzed": 1, "categories": {}})
         assert sparse.analyzed == 1 and sparse.quarantined == 0
+
+
+# ----------------------------------------------------------------------
+# Hardened ingress primitives (PR 9): LineChannel + send_bounded + HTTP
+# ----------------------------------------------------------------------
+class TestLineChannel:
+    """The deadline-aware server-side line reader, over socketpairs."""
+
+    @staticmethod
+    def _pair():
+        import socket
+
+        server, client = socket.socketpair()
+        return server, client
+
+    def test_reads_split_and_coalesced_lines(self):
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=1024)
+            client.sendall(b'{"op":"ping"}\n{"op":')
+            assert channel.read_line(idle_timeout=5.0) == b'{"op":"ping"}'
+            client.sendall(b'"stats"}\n')
+            assert channel.read_line(idle_timeout=5.0) == b'{"op":"stats"}'
+        finally:
+            server.close()
+            client.close()
+
+    def test_strips_crlf_and_reports_eof(self):
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=1024)
+            client.sendall(b"hello\r\n")
+            client.close()
+            assert channel.read_line(idle_timeout=5.0) == b"hello"
+            assert channel.read_line(idle_timeout=5.0) is None
+            assert channel.pending == 0
+        finally:
+            server.close()
+
+    def test_mid_line_disconnect_leaves_pending_bytes(self):
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=1024)
+            client.sendall(b'{"op": "submit", "id": "never-fini')
+            client.close()
+            assert channel.read_line(idle_timeout=5.0) is None
+            assert channel.pending > 0
+        finally:
+            server.close()
+
+    def test_oversized_line_raises(self):
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=16)
+            client.sendall(b"x" * 64 + b"\n")
+            with pytest.raises(LineTooLong):
+                channel.read_line(idle_timeout=5.0)
+        finally:
+            server.close()
+            client.close()
+
+    def test_slowloris_trips_the_line_deadline(self):
+        import threading
+        import time
+
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=1024, poll_slice=0.02)
+
+            def trickle():
+                for _ in range(50):
+                    try:
+                        client.sendall(b"x")
+                    except OSError:
+                        return
+                    time.sleep(0.05)
+
+            thread = threading.Thread(target=trickle, daemon=True)
+            thread.start()
+            started = time.monotonic()
+            with pytest.raises(ReadDeadlineExceeded):
+                channel.read_line(line_deadline=0.3, idle_timeout=30.0)
+            assert time.monotonic() - started < 5.0
+        finally:
+            server.close()
+            client.close()
+
+    def test_idle_timeout_and_defer(self):
+        server, client = self._pair()
+        try:
+            channel = LineChannel(server, limit=1024, poll_slice=0.02)
+            with pytest.raises(IdleTimeout):
+                channel.read_line(idle_timeout=0.2)
+            # A defer callback that reports progress parks the clock;
+            # once it stops deferring the timeout fires.
+            deferrals = []
+
+            def defer():
+                deferrals.append(True)
+                return len(deferrals) < 3
+
+            with pytest.raises(IdleTimeout):
+                channel.read_line(idle_timeout=0.1, defer_idle=defer)
+            assert len(deferrals) == 3
+        finally:
+            server.close()
+            client.close()
+
+
+class TestSendBounded:
+    def test_sends_to_a_reading_peer(self):
+        import socket
+
+        server, client = socket.socketpair()
+        try:
+            assert send_bounded(server, b"hello\n", timeout=5.0)
+            assert client.recv(64) == b"hello\n"
+        finally:
+            server.close()
+            client.close()
+
+    def test_gives_up_on_a_peer_that_stopped_reading(self):
+        import socket
+        import time
+
+        server, client = socket.socketpair()
+        try:
+            # Shrink both buffers so a non-reading peer backs up fast.
+            for sock, opt in ((server, socket.SO_SNDBUF), (client, socket.SO_RCVBUF)):
+                sock.setsockopt(socket.SOL_SOCKET, opt, 4096)
+            blob = b"x" * (1 << 22)
+            started = time.monotonic()
+            assert not send_bounded(server, blob, timeout=0.3, poll_slice=0.02)
+            assert time.monotonic() - started < 5.0
+        finally:
+            server.close()
+            client.close()
+
+    def test_returns_false_on_a_closed_socket(self):
+        import socket
+
+        server, client = socket.socketpair()
+        server.close()
+        client.close()
+        assert not send_bounded(server, b"late\n", timeout=0.2)
+
+
+class TestHttpMethods:
+    def test_all_http_methods_are_sniffed(self):
+        for method in ("GET", "HEAD", "POST", "PUT", "DELETE",
+                       "OPTIONS", "PATCH", "TRACE", "CONNECT"):
+            assert looks_like_http(f"{method} /submit HTTP/1.1".encode())
+        assert not looks_like_http(b'{"op": "ping"}')
+        assert not looks_like_http(b"GETAWAY /x")  # needs the space
+
+    def test_request_parts(self):
+        assert http_request_parts(b"POST /submit?x=1 HTTP/1.1") == ("POST", "/submit")
+        assert http_request_parts(b"GET /stats") == ("GET", "/stats")
+        assert http_request_parts(b"") == ("?", "/")
+
+    def test_405_response_carries_allow_header(self):
+        response = http_response(
+            405, {"error": "nope"}, headers={"Allow": "GET, HEAD"}
+        )
+        head, body = response.split(b"\r\n\r\n", 1)
+        assert head.startswith(b"HTTP/1.0 405 Method Not Allowed")
+        assert b"Allow: GET, HEAD" in head
+        assert json.loads(body)["error"] == "nope"
+
+
+class TestDecodeHardening:
+    def test_deeply_nested_json_is_a_protocol_error(self):
+        # A nesting bomb must not unwind the session thread with
+        # RecursionError; it is just another malformed line.
+        bomb = b"[" * 5000 + b"]" * 5000
+        with pytest.raises(ProtocolError):
+            decode_line(bomb)
+
+    def test_binary_junk_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\x00\x01\xff\xfe")
+        with pytest.raises(ProtocolError):
+            decode_line(b'{"op": 42}')

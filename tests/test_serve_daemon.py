@@ -199,6 +199,27 @@ class TestOverloadShedding:
         manifest = json.loads((tmp_path / "a" / "manifest.json").read_text())
         assert manifest["service"]["shed"] == len(shed_a)
 
+    def test_submit_with_retry_converges_under_overload(self, tmp_path):
+        # The client-side retry helper honors retry_after_submissions:
+        # each resubmission is itself an arrival tick that refills the
+        # bucket, so a lone client lands every message within its
+        # bounded retry budget instead of reimplementing the loop.
+        with _daemon(tmp_path, admission=self._overload_config()) as daemon:
+            with ServeClient("127.0.0.1", daemon.port, timeout=120) as client:
+                outcomes = [
+                    client.submit_with_retry(raw, reporter="acme", max_retries=4)
+                    for raw in MESSAGES
+                ]
+                assert all(o.accepted for o in outcomes)
+                assert sum(o.retries for o in outcomes) > 0
+                client.wait_verdicts(timeout=120)
+                assert all(o.status == "verdict" for o in outcomes)
+                stats = client.stats()
+        _assert_reconciled(stats)
+        assert stats["completed"] == len(MESSAGES)
+        # The retried (shed) attempts are still explicit in the ledger.
+        assert stats["shed"] == sum(o.retries for o in outcomes)
+
 
 class TestRestartByteIdentity:
     def test_restart_replay_matches_uninterrupted_and_batch(self, tmp_path):
